@@ -1,0 +1,172 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the framework's kernels:
+ * dense GEMM, Cholesky/GP fits, the one-shot scheduler, the
+ * analytical cost model, and VAE forward/backward training steps.
+ * These quantify the substrate costs behind every experiment (e.g.
+ * how many design points per second the evaluator can score).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "dse/gp.hh"
+#include "nn/loss.hh"
+#include "nn/optim.hh"
+#include "nn/sequential.hh"
+#include "sched/evaluator.hh"
+#include "tensor/linalg.hh"
+#include "util/rng.hh"
+#include "vaesa/vae.hh"
+#include "workload/networks.hh"
+
+namespace {
+
+using namespace vaesa;
+
+void
+BM_MatrixMultiply(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(1);
+    Matrix a(n, n);
+    Matrix b(n, n);
+    a.randomNormal(rng, 0.0, 1.0);
+    b.randomNormal(rng, 0.0, 1.0);
+    for (auto _ : state) {
+        Matrix c = Matrix::multiply(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatrixMultiply)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_Cholesky(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(2);
+    Matrix b(n, n);
+    b.randomNormal(rng, 0.0, 1.0);
+    Matrix a = Matrix::multiplyTransB(b, b);
+    for (std::size_t i = 0; i < n; ++i)
+        a(i, i) += static_cast<double>(n);
+    for (auto _ : state) {
+        Matrix lower;
+        cholesky(a, lower);
+        benchmark::DoNotOptimize(lower.data());
+    }
+}
+BENCHMARK(BM_Cholesky)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_GpFitPredict(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(3);
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (std::size_t i = 0; i < n; ++i) {
+        xs.push_back({rng.uniform(), rng.uniform(), rng.uniform(),
+                      rng.uniform()});
+        ys.push_back(rng.normal());
+    }
+    for (auto _ : state) {
+        GaussianProcess gp;
+        gp.fit(xs, ys);
+        double acc = 0.0;
+        for (int q = 0; q < 64; ++q) {
+            acc += gp.predict({rng.uniform(), rng.uniform(),
+                               rng.uniform(), rng.uniform()})
+                       .mean;
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_GpFitPredict)->Arg(64)->Arg(128)->Arg(192);
+
+void
+BM_SchedulerOneShot(benchmark::State &state)
+{
+    Scheduler sched;
+    Rng rng(4);
+    const auto layers = resNet50Layers();
+    std::size_t mapped = 0;
+    for (auto _ : state) {
+        const AcceleratorConfig config =
+            designSpace().randomConfig(rng);
+        const auto mapping =
+            sched.schedule(config, layers[mapped % layers.size()]);
+        benchmark::DoNotOptimize(mapping);
+        ++mapped;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerOneShot);
+
+void
+BM_EvaluateWorkload(benchmark::State &state)
+{
+    Evaluator evaluator;
+    Rng rng(5);
+    const Workload resnet = workloadByName("resnet50");
+    for (auto _ : state) {
+        const AcceleratorConfig config =
+            designSpace().randomConfig(rng);
+        const EvalResult r =
+            evaluator.evaluateWorkload(config, resnet.layers);
+        benchmark::DoNotOptimize(r.edp);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            resnet.layers.size());
+}
+BENCHMARK(BM_EvaluateWorkload);
+
+void
+BM_VaeTrainingStep(benchmark::State &state)
+{
+    const auto batch = static_cast<std::size_t>(state.range(0));
+    Rng rng(6);
+    VaeOptions options;
+    options.latentDim = 4;
+    Vae vae(options, rng);
+    nn::Adam opt(vae.parameters(), 1e-3);
+    Matrix x(batch, options.inputDim);
+    x.randomUniform(rng, 0.0, 1.0);
+
+    for (auto _ : state) {
+        auto fr = vae.forward(x, rng);
+        const nn::LossResult recon = nn::mseLoss(fr.recon, x);
+        const nn::KldResult kld =
+            nn::gaussianKld(fr.mu, fr.logvar);
+        Matrix grad_mu = kld.gradMu;
+        grad_mu.scale(1e-4);
+        Matrix grad_logvar = kld.gradLogvar;
+        grad_logvar.scale(1e-4);
+        opt.zeroGrad();
+        vae.backward(fr, recon.grad, grad_mu, grad_logvar,
+                     Matrix());
+        opt.step();
+        benchmark::DoNotOptimize(recon.value);
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_VaeTrainingStep)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_MlpForward(benchmark::State &state)
+{
+    Rng rng(7);
+    auto net = nn::makeMlp(12, {64, 64}, 1, rng);
+    Matrix x(64, 12);
+    x.randomUniform(rng, 0.0, 1.0);
+    for (auto _ : state) {
+        Matrix out = net->forward(x);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_MlpForward);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Substrate walkthrough: evaluate one Simba-like accelerator on all
+ * four DNN workloads with the one-shot scheduler and the analytical
+ * cost model, printing the chosen mapping and the full latency /
+ * energy breakdown per layer. This example uses only the substrate
+ * APIs (no VAE), the way a user would sanity-check a design before
+ * launching a search.
+ *
+ * Usage: accelerator_report [pes macs accumKB weightKB inputKB
+ *                            globalKB]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sched/evaluator.hh"
+#include "workload/networks.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vaesa;
+
+    AcceleratorConfig config;
+    config.numPes = 16;
+    config.numMacs = 1024;
+    config.accumBufBytes = 24 * 1024;
+    config.weightBufBytes = 512 * 1024;
+    config.inputBufBytes = 64 * 1024;
+    config.globalBufBytes = 128 * 1024;
+    if (argc == 7) {
+        config.numPes = std::atoll(argv[1]);
+        config.numMacs = std::atoll(argv[2]);
+        config.accumBufBytes = std::atoll(argv[3]) * 1024;
+        config.weightBufBytes = std::atoll(argv[4]) * 1024;
+        config.inputBufBytes = std::atoll(argv[5]) * 1024;
+        config.globalBufBytes = std::atoll(argv[6]) * 1024;
+    } else if (argc != 1) {
+        std::fprintf(stderr,
+                     "usage: %s [pes macs accumKB weightKB inputKB "
+                     "globalKB]\n",
+                     argv[0]);
+        return 1;
+    }
+
+    // Snap to the nearest legal grid point of the design space.
+    const DesignSpace &ds = designSpace();
+    for (int p = 0; p < numHwParams; ++p) {
+        const auto param = static_cast<HwParam>(p);
+        config.setValue(param,
+                        ds.snapValue(param, config.value(param)));
+    }
+    std::printf("accelerator: %s (lanes/PE: %lld)\n\n",
+                config.describe().c_str(),
+                static_cast<long long>(config.lanesPerPe()));
+
+    Evaluator evaluator;
+    for (const Workload &w : trainingWorkloads()) {
+        std::printf("== %s ==\n", w.name.c_str());
+        std::printf("%-24s %12s %12s %8s %8s\n", "layer",
+                    "latency(cyc)", "energy(pJ)", "util",
+                    "bound");
+        double total_lat = 0.0;
+        double total_en = 0.0;
+        for (const LayerShape &layer : w.layers) {
+            Mapping mapping;
+            const CostResult r =
+                evaluator.detailedLayer(config, layer, &mapping);
+            if (!r.valid) {
+                std::printf("%-24s  UNMAPPABLE (%s)\n",
+                            layer.name.c_str(),
+                            r.invalidReason.c_str());
+                continue;
+            }
+            const char *bound =
+                r.latencyCycles == r.computeCycles ? "compute"
+                : r.latencyCycles == r.dramCycles  ? "dram"
+                                                   : "gbuf";
+            std::printf("%-24s %12.4g %12.4g %7.1f%% %8s\n",
+                        layer.name.c_str(), r.latencyCycles,
+                        r.energyPj, 100.0 * r.macUtilization,
+                        bound);
+            total_lat += r.latencyCycles;
+            total_en += r.energyPj;
+        }
+        std::printf("%-24s %12.4g %12.4g   EDP %.4g\n\n", "TOTAL",
+                    total_lat, total_en, total_lat * total_en);
+    }
+
+    // Show one mapping in detail.
+    const LayerShape layer = resNet50Layers()[2];
+    Mapping mapping;
+    const CostResult r =
+        evaluator.detailedLayer(config, layer, &mapping);
+    if (r.valid) {
+        std::printf("example mapping for %s:\n  %s\n",
+                    layer.name.c_str(),
+                    mapping.describe().c_str());
+        std::printf("  energy breakdown (pJ): mac=%.3g reg=%.3g "
+                    "ib=%.3g wb=%.3g ab=%.3g gb=%.3g dram=%.3g "
+                    "noc=%.3g\n",
+                    r.macEnergy, r.registerEnergy,
+                    r.inputBufEnergy, r.weightBufEnergy,
+                    r.accumBufEnergy, r.globalBufEnergy,
+                    r.dramEnergy, r.nocEnergy);
+    }
+    return 0;
+}

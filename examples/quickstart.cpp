@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Quickstart: the full VAESA pipeline in one small program.
+ *
+ *   1. Build a training dataset by randomly sampling the design space
+ *      and scoring points with the scheduler + analytical cost model.
+ *   2. Train the VAE and its latency/energy predictor heads jointly.
+ *   3. Encode/decode a configuration to show reconstruction.
+ *   4. Compare random search vs Bayesian optimization in the latent
+ *      space on ResNet-50's layers.
+ *
+ * Environment knobs: VAESA_DATASET, VAESA_EPOCHS, VAESA_SAMPLES.
+ */
+
+#include <cstdio>
+
+#include "dse/bo.hh"
+#include "dse/random_search.hh"
+#include "sched/evaluator.hh"
+#include "util/env.hh"
+#include "util/rng.hh"
+#include "vaesa/framework.hh"
+#include "vaesa/latent_dse.hh"
+#include "workload/networks.hh"
+
+int
+main()
+{
+    using namespace vaesa;
+
+    const auto dataset_size =
+        static_cast<std::size_t>(envInt("VAESA_DATASET", 4000));
+    const auto epochs =
+        static_cast<std::size_t>(envInt("VAESA_EPOCHS", 15));
+    const auto samples =
+        static_cast<std::size_t>(envInt("VAESA_SAMPLES", 60));
+
+    // 1. Dataset over all four training workloads' layers.
+    Evaluator evaluator;
+    std::vector<LayerShape> pool;
+    for (const Workload &w : trainingWorkloads())
+        pool.insert(pool.end(), w.layers.begin(), w.layers.end());
+
+    std::printf("== VAESA quickstart ==\n");
+    std::printf("design space size: %.3g points\n",
+                designSpace().totalSize());
+    std::printf("building dataset (%zu samples)...\n", dataset_size);
+    Rng rng(42);
+    const Dataset data =
+        DatasetBuilder(evaluator, pool).build(dataset_size, rng);
+    std::printf("dataset: %zu valid samples over %zu layers\n",
+                data.size(), data.layerPool().size());
+
+    // 2. Train the framework.
+    FrameworkOptions options;
+    options.vae.latentDim = 4;
+    options.train.epochs = epochs;
+    std::printf("training VAE + predictors (%zu epochs)...\n", epochs);
+    VaesaFramework framework(data, options, /*seed=*/7);
+    const EpochStats &last = framework.history().back();
+    std::printf("final losses: recon=%.5f kld=%.3f lat=%.5f "
+                "en=%.5f\n",
+                last.reconLoss, last.kldLoss, last.latencyLoss,
+                last.energyLoss);
+
+    // 3. Round-trip one configuration through the latent space.
+    const AcceleratorConfig sample = data.samples()[0].config;
+    const std::vector<double> z = framework.encodeConfig(sample);
+    const AcceleratorConfig recon = framework.decodeLatent(z);
+    std::printf("original:      %s\n", sample.describe().c_str());
+    std::printf("reconstructed: %s\n", recon.describe().c_str());
+
+    // 4. Latent-space BO vs random search on ResNet-50.
+    const Workload resnet = workloadByName("resnet50");
+    LatentObjective latent_obj(framework, evaluator, resnet.layers);
+    InputSpaceObjective input_obj(evaluator, resnet.layers);
+
+    Rng search_rng(123);
+    const SearchTrace random_trace =
+        RandomSearch().run(input_obj, samples, search_rng);
+    Rng bo_rng(123);
+    const SearchTrace vae_bo_trace =
+        BayesOpt().run(latent_obj, samples, bo_rng);
+
+    std::printf("\nResNet-50 EDP after %zu samples:\n", samples);
+    std::printf("  random search: %.4g\n", random_trace.best());
+    std::printf("  vae_bo:        %.4g\n", vae_bo_trace.best());
+    const AcceleratorConfig best =
+        latent_obj.decode(vae_bo_trace.bestPoint());
+    std::printf("best decoded design: %s\n", best.describe().c_str());
+    return 0;
+}

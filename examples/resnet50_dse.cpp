@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Full design space exploration for ResNet-50 — the paper's headline
+ * use case. Trains VAESA, then runs the three search methods of
+ * Figure 11 (random, input-space BO, latent-space BO) with the same
+ * budget, and prints the best accelerator each one found together
+ * with convergence checkpoints.
+ *
+ * Environment knobs: VAESA_DATASET, VAESA_EPOCHS, VAESA_SAMPLES.
+ */
+
+#include <cstdio>
+
+#include "dse/bo.hh"
+#include "dse/random_search.hh"
+#include "sched/evaluator.hh"
+#include "util/env.hh"
+#include "vaesa/latent_dse.hh"
+#include "workload/networks.hh"
+
+int
+main()
+{
+    using namespace vaesa;
+
+    const auto dataset_size =
+        static_cast<std::size_t>(envInt("VAESA_DATASET", 8000));
+    const auto epochs =
+        static_cast<std::size_t>(envInt("VAESA_EPOCHS", 40));
+    const auto samples =
+        static_cast<std::size_t>(envInt("VAESA_SAMPLES", 150));
+
+    Evaluator evaluator;
+    std::vector<LayerShape> pool;
+    for (const Workload &w : trainingWorkloads())
+        pool.insert(pool.end(), w.layers.begin(), w.layers.end());
+
+    std::printf("building dataset (%zu samples)...\n", dataset_size);
+    Rng data_rng(42);
+    const Dataset data =
+        DatasetBuilder(evaluator, pool).build(dataset_size, data_rng);
+
+    std::printf("training VAESA (4-D latent, %zu epochs)...\n",
+                epochs);
+    FrameworkOptions options;
+    options.vae.latentDim = 4;
+    options.train.epochs = epochs;
+    VaesaFramework framework(data, options, 7);
+    const double radius = framework.latentRadius(data);
+
+    const Workload resnet = workloadByName("resnet50");
+    InputSpaceObjective input_obj(evaluator, resnet.layers);
+    LatentObjective latent_obj(framework, evaluator, resnet.layers,
+                               radius);
+
+    struct Entry
+    {
+        const char *name;
+        SearchTrace trace;
+        AcceleratorConfig best;
+    };
+    std::vector<Entry> entries;
+
+    {
+        Rng rng(1);
+        SearchTrace t = RandomSearch().run(input_obj, samples, rng);
+        entries.push_back(
+            {"random", t, input_obj.decode(t.bestPoint())});
+    }
+    {
+        Rng rng(1);
+        SearchTrace t = BayesOpt().run(input_obj, samples, rng);
+        entries.push_back(
+            {"bo", t, input_obj.decode(t.bestPoint())});
+    }
+    {
+        Rng rng(1);
+        SearchTrace t = BayesOpt().run(latent_obj, samples, rng);
+        entries.push_back(
+            {"vae_bo", t, latent_obj.decode(t.bestPoint())});
+    }
+
+    std::printf("\nResNet-50 DSE, %zu simulator samples per "
+                "method:\n\n",
+                samples);
+    std::printf("%-8s", "samples");
+    for (const Entry &e : entries)
+        std::printf(" %14s", e.name);
+    std::printf("\n");
+    for (std::size_t c :
+         {std::size_t{10}, std::size_t{25}, std::size_t{50},
+          std::size_t{100}, samples}) {
+        if (c > samples)
+            continue;
+        std::printf("%-8zu", c);
+        for (const Entry &e : entries)
+            std::printf(" %14.4g", e.trace.bestAfter(c));
+        std::printf("\n");
+    }
+
+    std::printf("\nbest designs found:\n");
+    for (const Entry &e : entries) {
+        std::printf("  %-8s EDP %.4g  %s\n", e.name,
+                    e.trace.best(), e.best.describe().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Command-line driver for the whole framework -- the tool a user
+ * would script against. Subcommands:
+ *
+ *   vaesa_cli space
+ *       Print the design space (Table II) and its size.
+ *   vaesa_cli eval PES MACS ACCUM_KB WEIGHT_KB INPUT_KB GLOBAL_KB
+ *             [--workload NAME]
+ *       Map + score one configuration (default workload resnet50).
+ *   vaesa_cli train MODEL.BIN [--latent N] [--epochs N]
+ *             [--dataset N] [--alpha X] [--seed N]
+ *       Build a dataset, train end-to-end, save a snapshot.
+ *   vaesa_cli search MODEL.BIN [--workload NAME] [--samples N]
+ *             [--method vae_bo|bo|random|ga|sa] [--seed N]
+ *       Search with a saved model (vae_bo) or directly in the input
+ *       space (bo/random/ga/sa, model still provides the box).
+ *   vaesa_cli decode MODEL.BIN Z1 Z2 [...]
+ *       Decode a latent point to a configuration and score it.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "arch/area_model.hh"
+#include "dse/bo.hh"
+#include "dse/genetic.hh"
+#include "dse/random_search.hh"
+#include "sched/evaluator.hh"
+#include "vaesa/latent_dse.hh"
+#include "vaesa/serialize.hh"
+#include "workload/networks.hh"
+#include "workload/parse.hh"
+
+namespace {
+
+using namespace vaesa;
+
+/** Tiny flag parser: --name value pairs after the positionals. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int first)
+    {
+        for (int i = first; i < argc; ++i) {
+            if (std::strncmp(argv[i], "--", 2) == 0 &&
+                i + 1 < argc) {
+                flags_.emplace_back(argv[i] + 2, argv[i + 1]);
+                ++i;
+            } else {
+                positional_.push_back(argv[i]);
+            }
+        }
+    }
+
+    std::string
+    flag(const std::string &name, const std::string &fallback) const
+    {
+        for (const auto &[key, value] : flags_)
+            if (key == name)
+                return value;
+        return fallback;
+    }
+
+    long
+    flagInt(const std::string &name, long fallback) const
+    {
+        const std::string v = flag(name, "");
+        return v.empty() ? fallback : std::strtol(v.c_str(),
+                                                  nullptr, 10);
+    }
+
+    double
+    flagDouble(const std::string &name, double fallback) const
+    {
+        const std::string v = flag(name, "");
+        return v.empty() ? fallback : std::strtod(v.c_str(),
+                                                  nullptr);
+    }
+
+    const std::vector<std::string> &
+    positional() const
+    {
+        return positional_;
+    }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> flags_;
+    std::vector<std::string> positional_;
+};
+
+/**
+ * Resolve the target layers: --layers FILE (Table IV text format)
+ * wins over --workload NAME (default resnet50).
+ */
+Workload
+resolveWorkload(const Args &args)
+{
+    const std::string file = args.flag("layers", "");
+    if (!file.empty()) {
+        const auto layers = parseLayerFile(file);
+        if (!layers) {
+            std::fprintf(stderr, "cannot open layer file %s\n",
+                         file.c_str());
+            std::exit(1);
+        }
+        return {"custom(" + file + ")", *layers};
+    }
+    return workloadByName(args.flag("workload", "resnet50"));
+}
+
+/** Resolve --metric edp|latency|energy (default edp). */
+Metric
+resolveMetric(const Args &args)
+{
+    const std::string name = args.flag("metric", "edp");
+    if (name == "edp")
+        return Metric::Edp;
+    if (name == "latency")
+        return Metric::Latency;
+    if (name == "energy")
+        return Metric::Energy;
+    std::fprintf(stderr,
+                 "unknown metric '%s' (edp|latency|energy)\n",
+                 name.c_str());
+    std::exit(1);
+}
+
+int
+cmdSpace()
+{
+    const DesignSpace &ds = designSpace();
+    std::printf("%-22s %12s %10s\n", "parameter", "max", "values");
+    for (int p = 0; p < numHwParams; ++p) {
+        const auto &spec = ds.spec(static_cast<HwParam>(p));
+        std::printf("%-22s %12lld %10lld\n", spec.name.c_str(),
+                    static_cast<long long>(spec.max),
+                    static_cast<long long>(spec.count));
+    }
+    std::printf("total size: %.4g design points\n", ds.totalSize());
+    return 0;
+}
+
+int
+cmdEval(const Args &args)
+{
+    const auto &pos = args.positional();
+    if (pos.size() != 6) {
+        std::fprintf(stderr,
+                     "eval needs: PES MACS ACCUM_KB WEIGHT_KB "
+                     "INPUT_KB GLOBAL_KB\n");
+        return 1;
+    }
+    AcceleratorConfig config;
+    config.numPes = std::atoll(pos[0].c_str());
+    config.numMacs = std::atoll(pos[1].c_str());
+    config.accumBufBytes = std::atoll(pos[2].c_str()) * 1024;
+    config.weightBufBytes = std::atoll(pos[3].c_str()) * 1024;
+    config.inputBufBytes = std::atoll(pos[4].c_str()) * 1024;
+    config.globalBufBytes = std::atoll(pos[5].c_str()) * 1024;
+    const DesignSpace &ds = designSpace();
+    for (int p = 0; p < numHwParams; ++p) {
+        const auto param = static_cast<HwParam>(p);
+        config.setValue(param,
+                        ds.snapValue(param, config.value(param)));
+    }
+
+    const Workload workload = resolveWorkload(args);
+    Evaluator evaluator;
+    const EvalResult r =
+        evaluator.evaluateWorkload(config, workload.layers);
+    std::printf("config (snapped): %s\n", config.describe().c_str());
+    std::printf("area: %.2f mm^2\n", AreaModel().totalMm2(config));
+    if (!r.valid) {
+        std::printf("UNMAPPABLE for %s\n", workload.name.c_str());
+        return 2;
+    }
+    std::printf("%s: latency %.6g cycles, energy %.6g pJ, EDP "
+                "%.6g\n",
+                workload.name.c_str(), r.latencyCycles, r.energyPj,
+                r.edp);
+    return 0;
+}
+
+int
+cmdTrain(const Args &args)
+{
+    if (args.positional().empty()) {
+        std::fprintf(stderr, "train needs: MODEL.BIN\n");
+        return 1;
+    }
+    const std::string path = args.positional()[0];
+    const auto dataset_size =
+        static_cast<std::size_t>(args.flagInt("dataset", 8000));
+    const auto epochs =
+        static_cast<std::size_t>(args.flagInt("epochs", 50));
+    const auto latent =
+        static_cast<std::size_t>(args.flagInt("latent", 4));
+    const double alpha = args.flagDouble("alpha", 1e-4);
+    const auto seed =
+        static_cast<std::uint64_t>(args.flagInt("seed", 7));
+
+    Evaluator evaluator;
+    std::vector<LayerShape> pool;
+    for (const Workload &w : trainingWorkloads())
+        pool.insert(pool.end(), w.layers.begin(), w.layers.end());
+    std::printf("building dataset (%zu samples)...\n", dataset_size);
+    Rng rng(42);
+    const Dataset data =
+        DatasetBuilder(evaluator, pool).build(dataset_size, rng);
+
+    FrameworkOptions options;
+    options.vae.latentDim = latent;
+    options.train.epochs = epochs;
+    options.train.kldWeight = alpha;
+    std::printf("training (latent %zu, %zu epochs, alpha %g)...\n",
+                latent, epochs, alpha);
+    VaesaFramework framework(data, options, seed);
+    std::printf("final recon MSE: %.5f; latent radius: %.2f\n",
+                framework.history().back().reconLoss,
+                framework.latentRadius(data));
+    if (!saveFramework(path, framework)) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    std::printf("snapshot saved to %s\n", path.c_str());
+    return 0;
+}
+
+int
+cmdSearch(const Args &args)
+{
+    if (args.positional().empty()) {
+        std::fprintf(stderr, "search needs: MODEL.BIN\n");
+        return 1;
+    }
+    const std::string path = args.positional()[0];
+    const Workload workload = resolveWorkload(args);
+    const Metric metric = resolveMetric(args);
+    const auto samples =
+        static_cast<std::size_t>(args.flagInt("samples", 200));
+    const std::string method = args.flag("method", "vae_bo");
+    const auto seed =
+        static_cast<std::uint64_t>(args.flagInt("seed", 1));
+
+    std::unique_ptr<VaesaFramework> framework =
+        loadFramework(path);
+    if (!framework) {
+        std::fprintf(stderr, "cannot load %s\n", path.c_str());
+        return 1;
+    }
+
+    Evaluator evaluator;
+    // The snapshot carries no dataset, so size the latent box from
+    // the prior: the KL-regularized encodings live within a few
+    // sigma of the origin.
+    const double radius = args.flagDouble("radius", 3.0);
+    LatentObjective latent_obj(*framework, evaluator,
+                               workload.layers, radius, metric);
+    InputSpaceObjective input_obj(evaluator, workload.layers,
+                                  metric);
+
+    Rng rng(seed);
+    SearchTrace trace;
+    Objective *used = &input_obj;
+    if (method == "vae_bo") {
+        trace = BayesOpt().run(latent_obj, samples, rng);
+        used = &latent_obj;
+    } else if (method == "bo") {
+        trace = BayesOpt().run(input_obj, samples, rng);
+    } else if (method == "random") {
+        trace = RandomSearch().run(input_obj, samples, rng);
+    } else if (method == "ga") {
+        trace = GeneticSearch().run(input_obj, samples, rng);
+    } else if (method == "sa") {
+        trace = SimulatedAnnealing().run(input_obj, samples, rng);
+    } else {
+        std::fprintf(stderr,
+                     "unknown method '%s' (vae_bo|bo|random|ga|"
+                     "sa)\n",
+                     method.c_str());
+        return 1;
+    }
+
+    std::printf("%s on %s, %zu samples: best %s %.6g\n",
+                method.c_str(), workload.name.c_str(), samples,
+                metricName(metric), trace.best());
+    const AcceleratorConfig best =
+        used == &latent_obj
+            ? latent_obj.decode(trace.bestPoint())
+            : input_obj.decode(trace.bestPoint());
+    std::printf("best design: %s\n", best.describe().c_str());
+    std::printf("area: %.2f mm^2\n", AreaModel().totalMm2(best));
+    return 0;
+}
+
+int
+cmdDecode(const Args &args)
+{
+    const auto &pos = args.positional();
+    if (pos.size() < 2) {
+        std::fprintf(stderr, "decode needs: MODEL.BIN Z1 [Z2 ...]\n");
+        return 1;
+    }
+    std::unique_ptr<VaesaFramework> framework =
+        loadFramework(pos[0]);
+    if (!framework) {
+        std::fprintf(stderr, "cannot load %s\n", pos[0].c_str());
+        return 1;
+    }
+    std::vector<double> z;
+    for (std::size_t i = 1; i < pos.size(); ++i)
+        z.push_back(std::strtod(pos[i].c_str(), nullptr));
+    if (z.size() != framework->latentDim()) {
+        std::fprintf(stderr, "model has a %zu-D latent space\n",
+                     framework->latentDim());
+        return 1;
+    }
+    const AcceleratorConfig config = framework->decodeLatent(z);
+    std::printf("decoded: %s\n", config.describe().c_str());
+
+    Evaluator evaluator;
+    const Workload workload = resolveWorkload(args);
+    const EvalResult r =
+        evaluator.evaluateWorkload(config, workload.layers);
+    if (r.valid)
+        std::printf("%s EDP: %.6g\n", workload.name.c_str(), r.edp);
+    else
+        std::printf("UNMAPPABLE for %s\n", workload.name.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: %s space|eval|train|search|decode "
+                     "[args...]\n",
+                     argv[0]);
+        return 1;
+    }
+    const std::string command = argv[1];
+    const Args args(argc, argv, 2);
+    if (command == "space")
+        return cmdSpace();
+    if (command == "eval")
+        return cmdEval(args);
+    if (command == "train")
+        return cmdTrain(args);
+    if (command == "search")
+        return cmdSearch(args);
+    if (command == "decode")
+        return cmdDecode(args);
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    return 1;
+}

@@ -1,0 +1,67 @@
+#include "arch/area_model.hh"
+
+#include "util/logging.hh"
+
+namespace vaesa {
+
+namespace {
+
+// 40 nm-like component areas in um^2.
+constexpr double macArea = 700.0;
+constexpr double sramAreaPerByte = 0.6;
+constexpr double sramPeripheralArea = 5000.0;
+constexpr double routerArea = 12000.0;
+
+} // namespace
+
+AreaModel::AreaModel(double tech_scale)
+    : scale_(tech_scale)
+{
+    if (tech_scale <= 0.0)
+        fatal("AreaModel technology scale must be positive, got ",
+              tech_scale);
+}
+
+double
+AreaModel::macUm2() const
+{
+    return scale_ * macArea;
+}
+
+double
+AreaModel::sramUm2(std::int64_t capacity_bytes) const
+{
+    if (capacity_bytes <= 0)
+        panic("sramUm2: non-positive capacity ", capacity_bytes);
+    return scale_ * (sramPeripheralArea +
+                     sramAreaPerByte *
+                         static_cast<double>(capacity_bytes));
+}
+
+double
+AreaModel::routerUm2() const
+{
+    return scale_ * routerArea;
+}
+
+double
+AreaModel::totalUm2(const AcceleratorConfig &config) const
+{
+    if (!designSpace().isValid(config))
+        panic("totalUm2 of an invalid configuration");
+    const double per_pe =
+        static_cast<double>(config.lanesPerPe()) * macUm2() +
+        sramUm2(config.accumBufBytes) +
+        sramUm2(config.weightBufBytes) +
+        sramUm2(config.inputBufBytes) + routerUm2();
+    return static_cast<double>(config.numPes) * per_pe +
+           sramUm2(config.globalBufBytes);
+}
+
+double
+AreaModel::totalMm2(const AcceleratorConfig &config) const
+{
+    return totalUm2(config) / 1e6;
+}
+
+} // namespace vaesa

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Silicon-area model at the same 40 nm-like operating point as the
+ * energy model. Timeloop reports area alongside latency and energy;
+ * VAESA's objective is EDP, but area matters for sanity-checking
+ * decoded designs (e.g.\ the accelerator_report example) and for
+ * EDAP-style analyses.
+ *
+ * Component estimates follow public 40/45 nm numbers: a 16-bit MAC
+ * datapath is a few hundred um^2, dense SRAM is ~0.5 um^2/byte plus
+ * peripheral overhead that amortizes with capacity, and a NoC router
+ * port costs a few thousand um^2.
+ */
+
+#ifndef VAESA_ARCH_AREA_MODEL_HH
+#define VAESA_ARCH_AREA_MODEL_HH
+
+#include "arch/design_space.hh"
+
+namespace vaesa {
+
+/** Per-component and full-chip area estimates in um^2. */
+class AreaModel
+{
+  public:
+    /** Default 40 nm-like operating point. */
+    AreaModel() = default;
+
+    /** Uniformly scaled variant (1.0 = 40 nm defaults). */
+    explicit AreaModel(double tech_scale);
+
+    /** Area of one 16-bit MAC unit (datapath + pipeline regs). */
+    double macUm2() const;
+
+    /**
+     * Area of an SRAM of the given capacity: cell array plus a
+     * fixed peripheral term per instance.
+     */
+    double sramUm2(std::int64_t capacity_bytes) const;
+
+    /** Area of one PE's NoC router port. */
+    double routerUm2() const;
+
+    /**
+     * Total accelerator area: PEs (lanes x MAC + the three per-PE
+     * buffers + router) plus the shared global buffer.
+     */
+    double totalUm2(const AcceleratorConfig &config) const;
+
+    /** Total area in mm^2 (convenience). */
+    double totalMm2(const AcceleratorConfig &config) const;
+
+  private:
+    double scale_ = 1.0;
+};
+
+} // namespace vaesa
+
+#endif // VAESA_ARCH_AREA_MODEL_HH

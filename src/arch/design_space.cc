@@ -1,0 +1,247 @@
+#include "arch/design_space.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/numeric.hh"
+#include "util/rng.hh"
+
+namespace vaesa {
+
+std::int64_t
+AcceleratorConfig::lanesPerPe() const
+{
+    if (numPes <= 0)
+        return 0;
+    return numMacs / numPes;
+}
+
+std::int64_t
+AcceleratorConfig::value(HwParam param) const
+{
+    switch (param) {
+      case HwParam::NumPes: return numPes;
+      case HwParam::NumMacs: return numMacs;
+      case HwParam::AccumBufBytes: return accumBufBytes;
+      case HwParam::WeightBufBytes: return weightBufBytes;
+      case HwParam::InputBufBytes: return inputBufBytes;
+      case HwParam::GlobalBufBytes: return globalBufBytes;
+    }
+    panic("AcceleratorConfig::value: bad parameter");
+}
+
+void
+AcceleratorConfig::setValue(HwParam param, std::int64_t value)
+{
+    switch (param) {
+      case HwParam::NumPes: numPes = value; return;
+      case HwParam::NumMacs: numMacs = value; return;
+      case HwParam::AccumBufBytes: accumBufBytes = value; return;
+      case HwParam::WeightBufBytes: weightBufBytes = value; return;
+      case HwParam::InputBufBytes: inputBufBytes = value; return;
+      case HwParam::GlobalBufBytes: globalBufBytes = value; return;
+    }
+    panic("AcceleratorConfig::setValue: bad parameter");
+}
+
+std::string
+AcceleratorConfig::describe() const
+{
+    std::ostringstream oss;
+    oss << "pes=" << numPes << " macs=" << numMacs
+        << " accum=" << accumBufBytes << "B"
+        << " weight=" << weightBufBytes << "B"
+        << " input=" << inputBufBytes << "B"
+        << " global=" << globalBufBytes << "B";
+    return oss.str();
+}
+
+DesignSpace::DesignSpace()
+{
+    specs_[0] = {"No. of PEs", 5, 64};
+    specs_[1] = {"No. of MAC units", 64, 4096};
+    specs_[2] = {"Accum. buffer size", 128, 96 * 1024};
+    specs_[3] = {"Weight buffer size", 32768, 8 * 1024 * 1024};
+    specs_[4] = {"Input buffer size", 2048, 256 * 1024};
+    specs_[5] = {"Global buffer size", 131072, 256 * 1024};
+}
+
+const DesignSpace::ParamSpec &
+DesignSpace::spec(HwParam param) const
+{
+    return specs_[static_cast<int>(param)];
+}
+
+std::int64_t
+DesignSpace::count(HwParam param) const
+{
+    return spec(param).count;
+}
+
+std::int64_t
+DesignSpace::indexToValue(HwParam param, std::int64_t index) const
+{
+    const ParamSpec &s = spec(param);
+    if (index < 0 || index >= s.count)
+        panic("DesignSpace: index ", index, " out of [0,", s.count,
+              ") for ", s.name);
+    if (param == HwParam::NumPes) {
+        // Geometric grid: 4, 8, 16, 32, 64.
+        return std::int64_t{4} << index;
+    }
+    // Linear grids: step, 2*step, ..., max.
+    const std::int64_t step = s.max / s.count;
+    return step * (index + 1);
+}
+
+std::int64_t
+DesignSpace::valueToIndex(HwParam param, std::int64_t value) const
+{
+    const ParamSpec &s = spec(param);
+    if (param == HwParam::NumPes) {
+        std::int64_t best_idx = 0;
+        double best_err = 1e300;
+        for (std::int64_t i = 0; i < s.count; ++i) {
+            const double err =
+                std::fabs(std::log2(static_cast<double>(
+                              indexToValue(param, i))) -
+                          std::log2(std::max<double>(1.0,
+                              static_cast<double>(value))));
+            if (err < best_err) {
+                best_err = err;
+                best_idx = i;
+            }
+        }
+        return best_idx;
+    }
+    const std::int64_t step = s.max / s.count;
+    // Round to the nearest multiple of step, clamped into the grid.
+    std::int64_t idx = (2 * value + step) / (2 * step) - 1;
+    if (idx < 0)
+        idx = 0;
+    if (idx >= s.count)
+        idx = s.count - 1;
+    return idx;
+}
+
+std::int64_t
+DesignSpace::snapValue(HwParam param, std::int64_t value) const
+{
+    return indexToValue(param, valueToIndex(param, value));
+}
+
+AcceleratorConfig
+DesignSpace::fromIndices(
+    const std::array<std::int64_t, numHwParams> &idx) const
+{
+    AcceleratorConfig config;
+    for (int p = 0; p < numHwParams; ++p) {
+        const auto param = static_cast<HwParam>(p);
+        config.setValue(param, indexToValue(param, idx[p]));
+    }
+    return config;
+}
+
+std::array<std::int64_t, numHwParams>
+DesignSpace::toIndices(const AcceleratorConfig &config) const
+{
+    std::array<std::int64_t, numHwParams> idx{};
+    for (int p = 0; p < numHwParams; ++p) {
+        const auto param = static_cast<HwParam>(p);
+        idx[p] = valueToIndex(param, config.value(param));
+    }
+    return idx;
+}
+
+AcceleratorConfig
+DesignSpace::randomConfig(Rng &rng) const
+{
+    std::array<std::int64_t, numHwParams> idx{};
+    for (int p = 0; p < numHwParams; ++p) {
+        const auto param = static_cast<HwParam>(p);
+        idx[p] = static_cast<std::int64_t>(
+            rng.index(static_cast<std::uint64_t>(count(param))));
+    }
+    return fromIndices(idx);
+}
+
+double
+DesignSpace::totalSize() const
+{
+    double size = 1.0;
+    for (const ParamSpec &s : specs_)
+        size *= static_cast<double>(s.count);
+    return size;
+}
+
+std::vector<double>
+DesignSpace::toFeatures(const AcceleratorConfig &config) const
+{
+    std::vector<double> feats(numHwParams);
+    for (int p = 0; p < numHwParams; ++p) {
+        const auto param = static_cast<HwParam>(p);
+        feats[p] = log2d(static_cast<double>(config.value(param)));
+    }
+    return feats;
+}
+
+AcceleratorConfig
+DesignSpace::fromFeatures(const std::vector<double> &feats) const
+{
+    if (feats.size() != numHwParams)
+        panic("DesignSpace::fromFeatures: expected ", numHwParams,
+              " features, got ", feats.size());
+    AcceleratorConfig config;
+    for (int p = 0; p < numHwParams; ++p) {
+        const auto param = static_cast<HwParam>(p);
+        const double raw = std::exp2(feats[p]);
+        const auto value = static_cast<std::int64_t>(
+            std::llround(std::min(raw, 9.0e15)));
+        config.setValue(param, snapValue(param, value));
+    }
+    return config;
+}
+
+std::vector<double>
+DesignSpace::featureLowerBounds() const
+{
+    std::vector<double> lo(numHwParams);
+    for (int p = 0; p < numHwParams; ++p) {
+        const auto param = static_cast<HwParam>(p);
+        lo[p] = log2d(static_cast<double>(indexToValue(param, 0)));
+    }
+    return lo;
+}
+
+std::vector<double>
+DesignSpace::featureUpperBounds() const
+{
+    std::vector<double> hi(numHwParams);
+    for (int p = 0; p < numHwParams; ++p) {
+        const auto param = static_cast<HwParam>(p);
+        hi[p] = log2d(static_cast<double>(
+            indexToValue(param, count(param) - 1)));
+    }
+    return hi;
+}
+
+bool
+DesignSpace::isValid(const AcceleratorConfig &config) const
+{
+    if (config.numPes <= 0 || config.numMacs <= 0)
+        return false;
+    if (config.lanesPerPe() < 1)
+        return false;
+    return config.accumBufBytes > 0 && config.weightBufBytes > 0 &&
+           config.inputBufBytes > 0 && config.globalBufBytes > 0;
+}
+
+const DesignSpace &
+designSpace()
+{
+    static const DesignSpace instance;
+    return instance;
+}
+
+} // namespace vaesa

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The hardware design space of Table II: six discrete parameters of a
+ * Simba-like DNN accelerator, with exact index<->value<->feature
+ * conversions.
+ *
+ * Parameter grids (counts multiply to 3.6e17, matching the paper):
+ *   - number of PEs:        {4, 8, 16, 32, 64}          (5 values)
+ *   - total MAC units:      multiples of 64 up to 4096  (64 values)
+ *   - accum buffer / PE:    multiples of 768 B to 96 KB (128 values)
+ *   - weight buffer / PE:   multiples of 256 B to 8 MB  (32768 values)
+ *   - input buffer / PE:    multiples of 128 B to 256 KB(2048 values)
+ *   - global buffer:        multiples of 2 B to 256 KB  (131072 values)
+ */
+
+#ifndef VAESA_ARCH_DESIGN_SPACE_HH
+#define VAESA_ARCH_DESIGN_SPACE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vaesa {
+
+class Rng;
+
+/** Identifier of one tunable hardware parameter. */
+enum class HwParam : int {
+    NumPes = 0,
+    NumMacs = 1,
+    AccumBufBytes = 2,
+    WeightBufBytes = 3,
+    InputBufBytes = 4,
+    GlobalBufBytes = 5,
+};
+
+/** Number of tunable hardware parameters. */
+constexpr int numHwParams = 6;
+
+/**
+ * One concrete accelerator configuration. Buffer capacities are per-PE
+ * for the accumulation/weight/input buffers and shared for the global
+ * buffer, following the Simba hierarchy.
+ */
+struct AcceleratorConfig
+{
+    /** Number of processing elements. */
+    std::int64_t numPes = 0;
+
+    /** Total MAC units across the accelerator (numMacs % numPes == 0
+     *  is not required by the grid; lanes per PE are rounded down and
+     *  must stay >= 1 for validity). */
+    std::int64_t numMacs = 0;
+
+    /** Per-PE accumulation buffer capacity in bytes. */
+    std::int64_t accumBufBytes = 0;
+
+    /** Per-PE weight buffer capacity in bytes. */
+    std::int64_t weightBufBytes = 0;
+
+    /** Per-PE input buffer capacity in bytes. */
+    std::int64_t inputBufBytes = 0;
+
+    /** Shared global buffer capacity in bytes. */
+    std::int64_t globalBufBytes = 0;
+
+    /** MAC lanes per PE (numMacs / numPes, floored). */
+    std::int64_t lanesPerPe() const;
+
+    /** Value of one parameter by enum. */
+    std::int64_t value(HwParam param) const;
+
+    /** Set one parameter by enum. */
+    void setValue(HwParam param, std::int64_t value);
+
+    /** Human-readable one-line description. */
+    std::string describe() const;
+
+    bool operator==(const AcceleratorConfig &other) const = default;
+};
+
+/**
+ * Static description of the discrete search space: per-parameter grids
+ * and conversions between grid indices, physical values, and the
+ * log2-feature vectors the VAE consumes.
+ */
+class DesignSpace
+{
+  public:
+    /** Grid metadata for one parameter. */
+    struct ParamSpec
+    {
+        /** Parameter name as in Table II. */
+        std::string name;
+
+        /** Number of discrete values. */
+        std::int64_t count;
+
+        /** Largest value (Table II "Max"). */
+        std::int64_t max;
+    };
+
+    DesignSpace();
+
+    /** Grid metadata for one parameter. */
+    const ParamSpec &spec(HwParam param) const;
+
+    /** Number of discrete values of one parameter. */
+    std::int64_t count(HwParam param) const;
+
+    /** Physical value at a grid index in [0, count). */
+    std::int64_t indexToValue(HwParam param, std::int64_t index) const;
+
+    /** Grid index of the closest legal value to a physical value. */
+    std::int64_t valueToIndex(HwParam param, std::int64_t value) const;
+
+    /** Closest legal physical value (snap to grid). */
+    std::int64_t snapValue(HwParam param, std::int64_t value) const;
+
+    /** Build a configuration from six grid indices. */
+    AcceleratorConfig
+    fromIndices(const std::array<std::int64_t, numHwParams> &idx) const;
+
+    /** Recover the six grid indices of a configuration. */
+    std::array<std::int64_t, numHwParams>
+    toIndices(const AcceleratorConfig &config) const;
+
+    /** Uniform random configuration (every grid point equally likely). */
+    AcceleratorConfig randomConfig(Rng &rng) const;
+
+    /** Total number of design points (as double; ~3.6e17). */
+    double totalSize() const;
+
+    /**
+     * Raw feature vector of a configuration: log2 of each parameter
+     * value. These are what the Normalizer min-max scales (Sec IV-A4).
+     */
+    std::vector<double> toFeatures(const AcceleratorConfig &config) const;
+
+    /**
+     * Decode raw (log2-domain) features back to the nearest legal
+     * configuration; the reconstruction step of the pipeline.
+     */
+    AcceleratorConfig fromFeatures(const std::vector<double> &feats) const;
+
+    /** Smallest raw feature value per parameter (log2 of min value). */
+    std::vector<double> featureLowerBounds() const;
+
+    /** Largest raw feature value per parameter (log2 of max value). */
+    std::vector<double> featureUpperBounds() const;
+
+    /**
+     * Architectural validity: at least one MAC lane per PE and nonzero
+     * buffers (grid values always give nonzero buffers; the lane check
+     * can fail when numMacs < numPes).
+     */
+    bool isValid(const AcceleratorConfig &config) const;
+
+  private:
+    std::array<ParamSpec, numHwParams> specs_;
+};
+
+/** Singleton accessor; the grid is immutable program-wide. */
+const DesignSpace &designSpace();
+
+} // namespace vaesa
+
+#endif // VAESA_ARCH_DESIGN_SPACE_HH

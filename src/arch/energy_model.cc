@@ -1,0 +1,63 @@
+#include "arch/energy_model.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace vaesa {
+
+namespace {
+
+// 40 nm-like per-action energies in pJ for 16-bit words.
+constexpr double macEnergy = 1.0;
+constexpr double registerEnergy = 0.15;
+constexpr double sramBaseEnergy = 0.4;
+constexpr double sramSqrtCoefficient = 0.45; // pJ per sqrt(KiB)
+constexpr double dramEnergy = 200.0;
+constexpr double nocHopEnergy = 0.35;
+
+} // namespace
+
+EnergyModel::EnergyModel(double tech_scale)
+    : scale_(tech_scale)
+{
+    if (tech_scale <= 0.0)
+        fatal("EnergyModel technology scale must be positive, got ",
+              tech_scale);
+}
+
+double
+EnergyModel::macPj() const
+{
+    return scale_ * macEnergy;
+}
+
+double
+EnergyModel::sramAccessPj(std::int64_t capacity_bytes) const
+{
+    if (capacity_bytes <= 0)
+        panic("sramAccessPj: non-positive capacity ", capacity_bytes);
+    const double kib = static_cast<double>(capacity_bytes) / 1024.0;
+    return scale_ * (sramBaseEnergy +
+                     sramSqrtCoefficient * std::sqrt(kib));
+}
+
+double
+EnergyModel::registerAccessPj() const
+{
+    return scale_ * registerEnergy;
+}
+
+double
+EnergyModel::dramAccessPj() const
+{
+    return scale_ * dramEnergy;
+}
+
+double
+EnergyModel::nocHopPj() const
+{
+    return scale_ * nocHopEnergy;
+}
+
+} // namespace vaesa

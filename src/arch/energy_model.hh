@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Per-operation energy model at a 40 nm-like operating point.
+ *
+ * Substitutes for the Timeloop/Accelergy energy tables the paper uses.
+ * Values follow the well-known CMOS estimates (Horowitz, ISSCC'14;
+ * Eyeriss): a 16-bit MAC costs ~1 pJ, SRAM access energy grows roughly
+ * with the square root of capacity, and DRAM access costs two orders
+ * of magnitude more than small SRAM. Only *relative* energies matter
+ * for EDP orderings, which is what the reproduction targets.
+ */
+
+#ifndef VAESA_ARCH_ENERGY_MODEL_HH
+#define VAESA_ARCH_ENERGY_MODEL_HH
+
+#include <cstdint>
+
+namespace vaesa {
+
+/**
+ * Energy-per-action lookup for the accelerator's component types.
+ * All energies are in picojoules per 16-bit word action.
+ */
+class EnergyModel
+{
+  public:
+    /** Default 40 nm-like operating point. */
+    EnergyModel() = default;
+
+    /**
+     * Construct with an overall technology scale factor (1.0 = 40 nm
+     * defaults; smaller scales all energies down uniformly).
+     */
+    explicit EnergyModel(double tech_scale);
+
+    /** Energy of one 16-bit multiply-accumulate. */
+    double macPj() const;
+
+    /**
+     * Energy of one 16-bit word access to an SRAM of the given
+     * capacity: base + k * sqrt(capacity in KiB).
+     */
+    double sramAccessPj(std::int64_t capacity_bytes) const;
+
+    /** Energy of one register-file access inside a PE. */
+    double registerAccessPj() const;
+
+    /** Energy of one 16-bit word DRAM access. */
+    double dramAccessPj() const;
+
+    /** Energy of moving one word over the on-chip network (per hop). */
+    double nocHopPj() const;
+
+  private:
+    double scale_ = 1.0;
+};
+
+} // namespace vaesa
+
+#endif // VAESA_ARCH_ENERGY_MODEL_HH

@@ -1,0 +1,203 @@
+#include "costmodel/cost_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/numeric.hh"
+
+namespace vaesa {
+
+CostModel::CostModel(const Params &params, const EnergyModel &energy)
+    : params_(params), energy_(energy)
+{
+}
+
+bool
+CostModel::checkMapping(const AcceleratorConfig &arch,
+                        const LayerShape &layer, const Mapping &mapping,
+                        std::string *reason) const
+{
+    auto fail = [&](const std::string &why) {
+        if (reason)
+            *reason = why;
+        return false;
+    };
+
+    if (!layer.isSane())
+        return fail("layer has a non-positive dimension");
+    if (!designSpace().isValid(arch))
+        return fail("architecture is structurally invalid");
+
+    if (mapping.spatialK < 1 || mapping.spatialK > arch.numPes)
+        return fail("spatialK outside [1, numPes]");
+    if (mapping.spatialC < 1 || mapping.spatialC > arch.lanesPerPe())
+        return fail("spatialC outside [1, lanes/PE]");
+
+    const auto dims = layerDims(layer);
+    for (int d = 0; d < numDims; ++d) {
+        if (mapping.tilePe[d] < 1)
+            return fail(std::string("tilePe[") + dimName(d) + "] < 1");
+        if (mapping.tileGb[d] < mapping.tilePe[d])
+            return fail(std::string("tileGb[") + dimName(d) +
+                        "] < tilePe");
+        if (mapping.tileGb[d] > dims[d])
+            return fail(std::string("tileGb[") + dimName(d) +
+                        "] exceeds layer dimension");
+    }
+    // The global-buffer K tile must cover the concurrent array tile.
+    if (mapping.tileGb[DimK] < mapping.arrayTilePe(DimK) &&
+        mapping.tileGb[DimK] < dims[DimK]) {
+        return fail("tileGb[K] smaller than the concurrent array tile");
+    }
+    if (mapping.spatialC > mapping.tilePe[DimC])
+        return fail("spatialC exceeds the per-PE C tile");
+
+    const double bpw = params_.bytesPerWord;
+    if (static_cast<double>(mapping.weightTileWords()) * bpw >
+        static_cast<double>(arch.weightBufBytes)) {
+        return fail("weight tile exceeds weight buffer");
+    }
+    if (static_cast<double>(mapping.inputTileWords(layer)) * bpw >
+        static_cast<double>(arch.inputBufBytes)) {
+        return fail("input tile exceeds input buffer");
+    }
+    if (static_cast<double>(mapping.psumTileWords()) *
+            params_.bytesPerPsum >
+        static_cast<double>(arch.accumBufBytes)) {
+        return fail("psum tile exceeds accumulation buffer");
+    }
+    const double gb_words =
+        static_cast<double>(mapping.inputGbTileWords(layer)) +
+        static_cast<double>(mapping.outputGbTileWords());
+    if (gb_words * bpw > static_cast<double>(arch.globalBufBytes))
+        return fail("global-buffer tile exceeds global buffer");
+
+    if (reason)
+        reason->clear();
+    return true;
+}
+
+CostResult
+CostModel::evaluate(const AcceleratorConfig &arch, const LayerShape &layer,
+                    const Mapping &mapping) const
+{
+    CostResult result;
+    std::string reason;
+    if (!checkMapping(arch, layer, mapping, &reason)) {
+        result.valid = false;
+        result.invalidReason = reason;
+        return result;
+    }
+    result.valid = true;
+
+    const auto dims = layerDims(layer);
+    const double macs = layer.macs();
+
+    // Tile iteration counts: nTotal over PE-array tiles, nGb over
+    // global-buffer tiles (DRAM-level loops).
+    double n_total = 1.0;
+    double n_total_arr[numDims];
+    double n_gb[numDims];
+    for (int d = 0; d < numDims; ++d) {
+        n_total_arr[d] = static_cast<double>(
+            ceilDiv(dims[d], mapping.arrayTilePe(d)));
+        n_gb[d] = static_cast<double>(
+            ceilDiv(dims[d], mapping.tileGb[d]));
+        n_total *= n_total_arr[d];
+    }
+
+    // Compute-bound cycles: per array-tile, each PE runs its tile with
+    // spatialC lanes reducing C.
+    const double cycles_per_tile =
+        static_cast<double>(mapping.tilePe[DimR]) *
+        static_cast<double>(mapping.tilePe[DimS]) *
+        static_cast<double>(mapping.tilePe[DimP]) *
+        static_cast<double>(mapping.tilePe[DimQ]) *
+        static_cast<double>(
+            ceilDiv(mapping.tilePe[DimC], mapping.spatialC)) *
+        static_cast<double>(mapping.tilePe[DimK]);
+    result.computeCycles = n_total * cycles_per_tile;
+
+    // DRAM traffic (see mapping.hh for the loop-order rationale).
+    const double n_pq_outer =
+        static_cast<double>(ceilDiv(dims[DimP], mapping.tilePe[DimP])) *
+        static_cast<double>(ceilDiv(dims[DimQ], mapping.tilePe[DimQ]));
+    result.dramWeightReads =
+        static_cast<double>(layer.weightWords()) * n_pq_outer;
+
+    double n_gb_all = 1.0;
+    for (int d = 0; d < numDims; ++d)
+        n_gb_all *= n_gb[d];
+    result.dramInputReads =
+        n_gb_all * static_cast<double>(mapping.inputGbTileWords(layer));
+
+    result.dramOutputWrites = static_cast<double>(layer.outputWords());
+
+    // Global-buffer traffic: input fills from DRAM, multicast reads by
+    // the PE array (once per array-tile iteration), and one output
+    // pass-through.
+    const double gb_input_writes = result.dramInputReads;
+    const double gb_input_reads =
+        n_total * static_cast<double>(mapping.inputTileWords(layer));
+    const double gb_output_writes = result.dramOutputWrites;
+    const double gb_output_reads = result.dramOutputWrites;
+
+    // Per-PE buffer traffic.
+    const double input_buf_writes =
+        gb_input_reads * static_cast<double>(mapping.spatialK);
+    const double input_buf_reads = macs;
+    const double weight_buf_writes = result.dramWeightReads;
+    const double weight_buf_reads =
+        macs / (static_cast<double>(mapping.tilePe[DimP]) *
+                static_cast<double>(mapping.tilePe[DimQ]));
+    const double accum_updates =
+        macs / static_cast<double>(mapping.spatialC);
+    const double accum_accesses =
+        2.0 * accum_updates + 2.0 * result.dramOutputWrites;
+
+    // Latency: bandwidth-bound terms vs compute.
+    const double dram_words = result.dramWeightReads +
+                              result.dramInputReads +
+                              result.dramOutputWrites;
+    result.dramCycles = dram_words / params_.dramWordsPerCycle;
+    const double gb_words = gb_input_writes + gb_input_reads +
+                            gb_output_writes + gb_output_reads;
+    result.globalBufCycles = gb_words / params_.globalBufWordsPerCycle;
+    result.latencyCycles = std::max({result.computeCycles,
+                                     result.dramCycles,
+                                     result.globalBufCycles});
+
+    // Energy roll-up.
+    result.macEnergy = macs * energy_.macPj();
+    result.registerEnergy = 2.0 * macs * energy_.registerAccessPj();
+    result.inputBufEnergy = (input_buf_reads + input_buf_writes) *
+                            energy_.sramAccessPj(arch.inputBufBytes);
+    result.weightBufEnergy = (weight_buf_reads + weight_buf_writes) *
+                             energy_.sramAccessPj(arch.weightBufBytes);
+    result.accumBufEnergy =
+        accum_accesses * energy_.sramAccessPj(arch.accumBufBytes);
+    result.globalBufEnergy =
+        gb_words * energy_.sramAccessPj(arch.globalBufBytes);
+    result.dramEnergy = dram_words * energy_.dramAccessPj();
+    const double mean_hops =
+        std::sqrt(static_cast<double>(mapping.spatialK));
+    result.nocEnergy = (gb_input_reads + result.dramWeightReads +
+                        gb_output_writes) *
+                       mean_hops * energy_.nocHopPj();
+
+    result.energyPj = result.macEnergy + result.registerEnergy +
+                      result.inputBufEnergy + result.weightBufEnergy +
+                      result.accumBufEnergy + result.globalBufEnergy +
+                      result.dramEnergy + result.nocEnergy;
+
+    const double issue_slots =
+        result.computeCycles * static_cast<double>(mapping.spatialK) *
+        static_cast<double>(mapping.spatialC);
+    result.macUtilization = issue_slots > 0.0 ? macs / issue_slots : 0.0;
+
+    return result;
+}
+
+} // namespace vaesa

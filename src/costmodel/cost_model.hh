@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Analytical latency/energy model for the Simba-like accelerator --
+ * the repository's stand-in for Timeloop.
+ *
+ * Like Timeloop, the model derives per-level access counts from the
+ * mapping's tile sizes, multiplies them by per-access energies, and
+ * takes latency as the maximum of compute-bound and per-memory-level
+ * bandwidth-bound cycles. See mapping.hh for the loop-order
+ * conventions that fix the re-fetch factors.
+ */
+
+#ifndef VAESA_COSTMODEL_COST_MODEL_HH
+#define VAESA_COSTMODEL_COST_MODEL_HH
+
+#include <string>
+
+#include "arch/design_space.hh"
+#include "arch/energy_model.hh"
+#include "costmodel/mapping.hh"
+#include "workload/layer.hh"
+
+namespace vaesa {
+
+/** Full evaluation of (architecture, layer, mapping). */
+struct CostResult
+{
+    /** False when the mapping violates a capacity or shape invariant;
+     *  all other fields are undefined in that case. */
+    bool valid = false;
+
+    /** Reason for invalidity (empty when valid). */
+    std::string invalidReason;
+
+    /** End-to-end latency in cycles (max of the bound terms). */
+    double latencyCycles = 0.0;
+
+    /** Total energy in picojoules. */
+    double energyPj = 0.0;
+
+    /** Energy-delay product: latencyCycles * energyPj. */
+    double edp() const { return latencyCycles * energyPj; }
+
+    /** @name Latency breakdown (cycles) */
+    /** @{ */
+    double computeCycles = 0.0;
+    double dramCycles = 0.0;
+    double globalBufCycles = 0.0;
+    /** @} */
+
+    /** @name DRAM traffic breakdown (words) */
+    /** @{ */
+    double dramWeightReads = 0.0;
+    double dramInputReads = 0.0;
+    double dramOutputWrites = 0.0;
+    /** @} */
+
+    /** @name Energy breakdown (pJ) */
+    /** @{ */
+    double macEnergy = 0.0;
+    double registerEnergy = 0.0;
+    double inputBufEnergy = 0.0;
+    double weightBufEnergy = 0.0;
+    double accumBufEnergy = 0.0;
+    double globalBufEnergy = 0.0;
+    double dramEnergy = 0.0;
+    double nocEnergy = 0.0;
+    /** @} */
+
+    /** Fraction of MAC issue slots doing useful work, in (0, 1]. */
+    double macUtilization = 0.0;
+};
+
+/**
+ * The analytical model. Stateless apart from bandwidth parameters and
+ * the energy table, so one instance can score any number of points.
+ */
+class CostModel
+{
+  public:
+    /** Bandwidths in 16-bit words per cycle. */
+    struct Params
+    {
+        /** DRAM bandwidth (words/cycle); 8 words ~ 16 GB/s at 1 GHz. */
+        double dramWordsPerCycle = 8.0;
+
+        /** Global-buffer bandwidth (words/cycle). */
+        double globalBufWordsPerCycle = 32.0;
+
+        /** Bytes per activation/weight word. */
+        double bytesPerWord = 2.0;
+
+        /** Bytes per partial sum held in the accumulation buffer. */
+        double bytesPerPsum = 4.0;
+    };
+
+    /** Model with default bandwidths and the 40 nm energy table. */
+    CostModel() = default;
+
+    /** Model with explicit parameters. */
+    CostModel(const Params &params, const EnergyModel &energy);
+
+    /** Score one (architecture, layer, mapping) triple. */
+    CostResult evaluate(const AcceleratorConfig &arch,
+                        const LayerShape &layer,
+                        const Mapping &mapping) const;
+
+    /**
+     * Check the mapping against the architecture's capacities and the
+     * structural invariants without computing costs.
+     * @param reason set to a diagnostic when the check fails.
+     */
+    bool checkMapping(const AcceleratorConfig &arch,
+                      const LayerShape &layer, const Mapping &mapping,
+                      std::string *reason = nullptr) const;
+
+    /** Bandwidth/word-size parameters in use. */
+    const Params &params() const { return params_; }
+
+    /** Energy table in use. */
+    const EnergyModel &energy() const { return energy_; }
+
+  private:
+    Params params_;
+    EnergyModel energy_;
+};
+
+} // namespace vaesa
+
+#endif // VAESA_COSTMODEL_COST_MODEL_HH

@@ -1,0 +1,90 @@
+#include "costmodel/mapping.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace vaesa {
+
+std::array<std::int64_t, numDims>
+layerDims(const LayerShape &layer)
+{
+    return {layer.r, layer.s, layer.p, layer.q, layer.c, layer.k};
+}
+
+std::int64_t
+Mapping::arrayTilePe(int dim) const
+{
+    if (dim == DimK)
+        return spatialK * tilePe[DimK];
+    return tilePe[dim];
+}
+
+std::int64_t
+Mapping::weightTileWords() const
+{
+    return tilePe[DimR] * tilePe[DimS] * tilePe[DimC] * tilePe[DimK];
+}
+
+std::int64_t
+Mapping::inputTileWords(const LayerShape &layer) const
+{
+    const std::int64_t in_w =
+        (tilePe[DimP] - 1) * layer.strideW + tilePe[DimR];
+    const std::int64_t in_h =
+        (tilePe[DimQ] - 1) * layer.strideH + tilePe[DimS];
+    return in_w * in_h * tilePe[DimC];
+}
+
+std::int64_t
+Mapping::psumTileWords() const
+{
+    return tilePe[DimP] * tilePe[DimQ] * tilePe[DimK];
+}
+
+std::int64_t
+Mapping::inputGbTileWords(const LayerShape &layer) const
+{
+    const std::int64_t in_w =
+        (tileGb[DimP] - 1) * layer.strideW + tileGb[DimR];
+    const std::int64_t in_h =
+        (tileGb[DimQ] - 1) * layer.strideH + tileGb[DimS];
+    return in_w * in_h * tileGb[DimC];
+}
+
+std::int64_t
+Mapping::outputGbTileWords() const
+{
+    return tileGb[DimP] * tileGb[DimQ] * tileGb[DimK];
+}
+
+std::string
+Mapping::describe() const
+{
+    std::ostringstream oss;
+    oss << "spatialK=" << spatialK << " spatialC=" << spatialC
+        << " tilePe=[";
+    for (int d = 0; d < numDims; ++d)
+        oss << (d ? "," : "") << tilePe[d];
+    oss << "] tileGb=[";
+    for (int d = 0; d < numDims; ++d)
+        oss << (d ? "," : "") << tileGb[d];
+    oss << "]";
+    return oss.str();
+}
+
+const char *
+dimName(int dim)
+{
+    switch (dim) {
+      case DimR: return "R";
+      case DimS: return "S";
+      case DimP: return "P";
+      case DimQ: return "Q";
+      case DimC: return "C";
+      case DimK: return "K";
+    }
+    panic("dimName: bad dimension ", dim);
+}
+
+} // namespace vaesa

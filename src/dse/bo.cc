@@ -1,0 +1,168 @@
+#include "dse/bo.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/numeric.hh"
+
+namespace vaesa {
+
+BayesOpt::BayesOpt(const BoOptions &options)
+    : options_(options)
+{
+}
+
+double
+expectedImprovement(const GaussianProcess::Prediction &pred, double best)
+{
+    const double sigma = std::sqrt(std::max(pred.var, 0.0));
+    if (sigma < 1e-12)
+        return std::max(best - pred.mean, 0.0);
+    const double z = (best - pred.mean) / sigma;
+    return (best - pred.mean) * normalCdf(z) + sigma * normalPdf(z);
+}
+
+SearchTrace
+BayesOpt::run(Objective &objective, std::size_t samples, Rng &rng) const
+{
+    SearchTrace trace;
+    continueRun(objective, trace, samples, rng);
+    return trace;
+}
+
+void
+BayesOpt::continueRun(Objective &objective, SearchTrace &trace,
+                      std::size_t additional, Rng &rng) const
+{
+    const std::vector<double> lo = objective.lowerBounds();
+    const std::vector<double> hi = objective.upperBounds();
+    const std::size_t dim = objective.dim();
+    const std::size_t samples = trace.points.size() + additional;
+
+    auto sample_uniform = [&]() {
+        std::vector<double> x(dim);
+        for (std::size_t d = 0; d < dim; ++d)
+            x[d] = rng.uniform(lo[d], hi[d]);
+        return x;
+    };
+
+    // Warm-up (only for a fresh trace).
+    if (trace.points.empty()) {
+        const std::size_t warmup =
+            std::min(options_.initSamples, samples);
+        for (std::size_t i = 0; i < warmup; ++i) {
+            const std::vector<double> x = sample_uniform();
+            trace.add(x, objective.evaluate(x));
+        }
+    }
+
+    GaussianProcess gp(options_.kernel);
+    std::size_t iterations_since_refit = options_.hyperRefitInterval;
+
+    while (trace.points.size() < samples) {
+        // Penalize invalid observations to a finite value so the GP
+        // learns to avoid the region instead of ignoring it.
+        double worst_finite = -1e300;
+        double best_finite = invalidScore;
+        for (const TracePoint &p : trace.points) {
+            if (std::isfinite(p.value)) {
+                worst_finite = std::max(worst_finite, p.value);
+                best_finite = std::min(best_finite, p.value);
+            }
+        }
+        const bool any_finite = worst_finite > -1e300;
+        const double penalty = any_finite
+            ? worst_finite * options_.invalidPenaltyFactor
+            : 1.0;
+
+        if (!any_finite) {
+            // Nothing to model yet; keep sampling at random.
+            const std::vector<double> x = sample_uniform();
+            trace.add(x, objective.evaluate(x));
+            continue;
+        }
+
+        // Subset-of-data selection: best half + most recent half.
+        std::vector<std::size_t> chosen;
+        const std::size_t n = trace.points.size();
+        if (n <= options_.maxGpPoints) {
+            chosen.resize(n);
+            for (std::size_t i = 0; i < n; ++i)
+                chosen[i] = i;
+        } else {
+            std::vector<std::size_t> order(n);
+            for (std::size_t i = 0; i < n; ++i)
+                order[i] = i;
+            std::sort(order.begin(), order.end(),
+                      [&](std::size_t a, std::size_t b) {
+                          return trace.points[a].value <
+                                 trace.points[b].value;
+                      });
+            std::vector<bool> taken(n, false);
+            const std::size_t half = options_.maxGpPoints / 2;
+            for (std::size_t i = 0; i < half; ++i) {
+                chosen.push_back(order[i]);
+                taken[order[i]] = true;
+            }
+            for (std::size_t i = n;
+                 i > 0 && chosen.size() < options_.maxGpPoints; --i) {
+                if (!taken[i - 1]) {
+                    chosen.push_back(i - 1);
+                    taken[i - 1] = true;
+                }
+            }
+        }
+
+        std::vector<std::vector<double>> xs;
+        std::vector<double> ys;
+        xs.reserve(chosen.size());
+        ys.reserve(chosen.size());
+        for (std::size_t idx : chosen) {
+            xs.push_back(trace.points[idx].x);
+            ys.push_back(std::isfinite(trace.points[idx].value)
+                             ? trace.points[idx].value
+                             : penalty);
+        }
+
+        if (iterations_since_refit >= options_.hyperRefitInterval) {
+            gp.fitWithHyperSearch(xs, ys);
+            iterations_since_refit = 0;
+        } else {
+            gp.fit(xs, ys);
+        }
+        ++iterations_since_refit;
+
+        // Acquisition: random + local candidates, take the best EI.
+        const std::vector<double> incumbent = trace.bestPoint();
+        std::vector<double> best_x = sample_uniform();
+        double best_ei = -1.0;
+        auto consider = [&](const std::vector<double> &x) {
+            const double ei =
+                expectedImprovement(gp.predict(x), best_finite);
+            if (ei > best_ei) {
+                best_ei = ei;
+                best_x = x;
+            }
+        };
+        for (std::size_t i = 0; i < options_.uniformCandidates; ++i)
+            consider(sample_uniform());
+        if (!incumbent.empty()) {
+            for (std::size_t i = 0; i < options_.localCandidates; ++i) {
+                std::vector<double> x = incumbent;
+                for (std::size_t d = 0; d < dim; ++d) {
+                    const double span = hi[d] - lo[d];
+                    x[d] = clampd(
+                        x[d] + rng.normal(0.0, options_.perturbSigma *
+                                                   span),
+                        lo[d], hi[d]);
+                }
+                consider(x);
+            }
+        }
+
+        trace.add(best_x, objective.evaluate(best_x));
+    }
+}
+
+} // namespace vaesa

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Bayesian optimization over an Objective's box: GP surrogate +
+ * expected-improvement acquisition. The identical driver produces the
+ * `bo` baseline (on the 6-D input box) and the `vae_bo` flow (on the
+ * latent box) of Figure 11 / Table V.
+ */
+
+#ifndef VAESA_DSE_BO_HH
+#define VAESA_DSE_BO_HH
+
+#include <cstddef>
+
+#include "dse/gp.hh"
+#include "dse/objective.hh"
+#include "util/rng.hh"
+
+namespace vaesa {
+
+/** Tunables of the BO driver. */
+struct BoOptions
+{
+    /** Random warm-up evaluations before the first GP fit. */
+    std::size_t initSamples = 10;
+
+    /** Subset-of-data cap on GP training points (O(n^3) control):
+     *  the best half and the most recent half of the history. */
+    std::size_t maxGpPoints = 192;
+
+    /** Uniform random acquisition candidates per iteration. */
+    std::size_t uniformCandidates = 512;
+
+    /** Gaussian perturbations of the incumbent per iteration. */
+    std::size_t localCandidates = 128;
+
+    /** Stddev of local perturbations, in box units. */
+    double perturbSigma = 0.08;
+
+    /** Refit GP hyperparameters every this many iterations. */
+    std::size_t hyperRefitInterval = 16;
+
+    /** Kernel family of the surrogate. */
+    GaussianProcess::Kernel kernel = GaussianProcess::Kernel::Matern52;
+
+    /** Penalty multiplier mapping invalid points to a finite value
+     *  (worst finite observation times this factor). */
+    double invalidPenaltyFactor = 2.0;
+};
+
+/** GP-EI Bayesian-optimization driver. */
+class BayesOpt
+{
+  public:
+    /** Driver with default options. */
+    BayesOpt() = default;
+
+    /** Driver with explicit options. */
+    explicit BayesOpt(const BoOptions &options);
+
+    /**
+     * Minimize the objective with a fixed evaluation budget.
+     * @param objective problem to minimize.
+     * @param samples total objective evaluations (incl. warm-up).
+     * @param rng seeded generator.
+     * @return chronological trace of all samples.
+     */
+    SearchTrace run(Objective &objective, std::size_t samples,
+                    Rng &rng) const;
+
+    /**
+     * Extend an existing trace by additional evaluations. Prior
+     * points seed the GP (warm start); warm-up sampling only happens
+     * when the trace is empty. Used by adaptive flows that alternate
+     * search with model retraining.
+     */
+    void continueRun(Objective &objective, SearchTrace &trace,
+                     std::size_t additional, Rng &rng) const;
+
+    /** Options in use. */
+    const BoOptions &options() const { return options_; }
+
+  private:
+    BoOptions options_;
+};
+
+/**
+ * Expected improvement for minimization at a GP prediction.
+ * @param best incumbent (smallest observed) value.
+ */
+double expectedImprovement(const GaussianProcess::Prediction &pred,
+                           double best);
+
+} // namespace vaesa
+
+#endif // VAESA_DSE_BO_HH

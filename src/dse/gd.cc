@@ -1,0 +1,52 @@
+#include "dse/gd.hh"
+
+#include "util/logging.hh"
+#include "util/numeric.hh"
+
+namespace vaesa {
+
+GradientDescent::GradientDescent(const GdOptions &options)
+    : options_(options)
+{
+}
+
+GdResult
+GradientDescent::run(const DifferentiableFn &fn,
+                     const std::vector<double> &x0) const
+{
+    const bool project =
+        !options_.lower.empty() || !options_.upper.empty();
+    if (project && (options_.lower.size() != x0.size() ||
+                    options_.upper.size() != x0.size())) {
+        panic("GradientDescent: bound dimensionality mismatch");
+    }
+
+    GdResult result;
+    result.x = x0;
+    std::vector<double> velocity(x0.size(), 0.0);
+    std::vector<double> grad;
+
+    result.valueTrace.reserve(options_.steps + 1);
+    result.value = fn(result.x, nullptr);
+    result.valueTrace.push_back(result.value);
+
+    for (std::size_t step = 0; step < options_.steps; ++step) {
+        fn(result.x, &grad);
+        if (grad.size() != result.x.size())
+            panic("GradientDescent: gradient dimensionality mismatch");
+        for (std::size_t d = 0; d < result.x.size(); ++d) {
+            velocity[d] = options_.momentum * velocity[d] -
+                          options_.learningRate * grad[d];
+            result.x[d] += velocity[d];
+            if (project) {
+                result.x[d] = clampd(result.x[d], options_.lower[d],
+                                     options_.upper[d]);
+            }
+        }
+        result.value = fn(result.x, nullptr);
+        result.valueTrace.push_back(result.value);
+    }
+    return result;
+}
+
+} // namespace vaesa

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Projected gradient descent over a differentiable surrogate.
+ *
+ * The paper's GD flows minimize a *predictor* (not the simulator):
+ * vae_gd walks the latent space against the jointly-trained predictor
+ * heads; the gd baseline walks the normalized input space against a
+ * separately trained predictor and rounds to the grid afterwards.
+ * Both are thin wrappers around this driver.
+ */
+
+#ifndef VAESA_DSE_GD_HH
+#define VAESA_DSE_GD_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace vaesa {
+
+/**
+ * Differentiable scalar function: returns f(x) and, when grad is
+ * non-null, writes df/dx into it (resized by the callee).
+ */
+using DifferentiableFn = std::function<double(
+    const std::vector<double> &x, std::vector<double> *grad)>;
+
+/** Tunables of the GD driver. */
+struct GdOptions
+{
+    /** Step size. */
+    double learningRate = 0.05;
+
+    /** Momentum coefficient (classical). */
+    double momentum = 0.9;
+
+    /** Number of gradient steps. */
+    std::size_t steps = 100;
+
+    /** Clamp iterates into [lower, upper] after every step. */
+    std::vector<double> lower;
+
+    /** See lower. Empty bounds disable projection. */
+    std::vector<double> upper;
+};
+
+/** Outcome of one GD run. */
+struct GdResult
+{
+    /** Final iterate. */
+    std::vector<double> x;
+
+    /** Surrogate value at the final iterate. */
+    double value = 0.0;
+
+    /** Surrogate value at each step (steps + 1 entries, incl. x0). */
+    std::vector<double> valueTrace;
+};
+
+/** Projected gradient descent with momentum. */
+class GradientDescent
+{
+  public:
+    /** Driver with default options. */
+    GradientDescent() = default;
+
+    /** Driver with explicit options. */
+    explicit GradientDescent(const GdOptions &options);
+
+    /**
+     * Minimize fn starting at x0.
+     * @param fn surrogate with gradients.
+     * @param x0 starting point.
+     */
+    GdResult run(const DifferentiableFn &fn,
+                 const std::vector<double> &x0) const;
+
+    /** Options in use. */
+    const GdOptions &options() const { return options_; }
+
+  private:
+    GdOptions options_;
+};
+
+} // namespace vaesa
+
+#endif // VAESA_DSE_GD_HH

@@ -1,0 +1,180 @@
+#include "dse/genetic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/numeric.hh"
+
+namespace vaesa {
+
+GeneticSearch::GeneticSearch(const GaOptions &options)
+    : options_(options)
+{
+}
+
+SearchTrace
+GeneticSearch::run(Objective &objective, std::size_t samples,
+                   Rng &rng) const
+{
+    const std::vector<double> lo = objective.lowerBounds();
+    const std::vector<double> hi = objective.upperBounds();
+    const std::size_t dim = objective.dim();
+    const std::size_t pop_size =
+        std::max<std::size_t>(2, options_.populationSize);
+
+    SearchTrace trace;
+    auto evaluate = [&](const std::vector<double> &x) {
+        const double value = objective.evaluate(x);
+        trace.add(x, value);
+        return value;
+    };
+    // Rank invalid (infinite) individuals below everything finite
+    // but keep them comparable among themselves.
+    auto fitness_key = [](double v) {
+        return std::isfinite(v) ? v : 1e300;
+    };
+
+    struct Individual
+    {
+        std::vector<double> genes;
+        double value;
+    };
+    std::vector<Individual> population;
+    population.reserve(pop_size);
+    for (std::size_t i = 0;
+         i < pop_size && trace.points.size() < samples; ++i) {
+        std::vector<double> genes(dim);
+        for (std::size_t d = 0; d < dim; ++d)
+            genes[d] = rng.uniform(lo[d], hi[d]);
+        const double value = evaluate(genes);
+        population.push_back({std::move(genes), value});
+    }
+
+    auto tournament = [&]() -> const Individual & {
+        const Individual *best =
+            &population[rng.index(population.size())];
+        for (std::size_t t = 1; t < options_.tournamentSize; ++t) {
+            const Individual &cand =
+                population[rng.index(population.size())];
+            if (fitness_key(cand.value) < fitness_key(best->value))
+                best = &cand;
+        }
+        return *best;
+    };
+
+    while (trace.points.size() < samples) {
+        std::sort(population.begin(), population.end(),
+                  [&](const Individual &a, const Individual &b) {
+                      return fitness_key(a.value) <
+                             fitness_key(b.value);
+                  });
+        std::vector<Individual> next;
+        next.reserve(pop_size);
+        const std::size_t elites =
+            std::min(options_.elites, population.size());
+        for (std::size_t e = 0; e < elites; ++e)
+            next.push_back(population[e]);
+
+        while (next.size() < pop_size &&
+               trace.points.size() < samples) {
+            const Individual &pa = tournament();
+            const Individual &pb = tournament();
+            std::vector<double> child(dim);
+            for (std::size_t d = 0; d < dim; ++d) {
+                // BLX-alpha blend crossover.
+                const double a = pa.genes[d];
+                const double b = pb.genes[d];
+                const double span = std::fabs(a - b);
+                const double left = std::min(a, b) -
+                                    options_.blendAlpha * span;
+                const double right = std::max(a, b) +
+                                     options_.blendAlpha * span;
+                child[d] = rng.uniform(left, right);
+                if (rng.uniform() < options_.mutationRate) {
+                    child[d] += rng.normal(
+                        0.0,
+                        options_.mutationSigma * (hi[d] - lo[d]));
+                }
+                child[d] = clampd(child[d], lo[d], hi[d]);
+            }
+            const double value = evaluate(child);
+            next.push_back({std::move(child), value});
+        }
+        population = std::move(next);
+    }
+    return trace;
+}
+
+SimulatedAnnealing::SimulatedAnnealing(const SaOptions &options)
+    : options_(options)
+{
+}
+
+SearchTrace
+SimulatedAnnealing::run(Objective &objective, std::size_t samples,
+                        Rng &rng) const
+{
+    const std::vector<double> lo = objective.lowerBounds();
+    const std::vector<double> hi = objective.upperBounds();
+    const std::size_t dim = objective.dim();
+
+    SearchTrace trace;
+    if (samples == 0)
+        return trace;
+
+    std::vector<double> current(dim);
+    for (std::size_t d = 0; d < dim; ++d)
+        current[d] = rng.uniform(lo[d], hi[d]);
+    double current_value = objective.evaluate(current);
+    trace.add(current, current_value);
+
+    // Temperature scaled to the first finite observation's
+    // magnitude so acceptance probabilities are meaningful across
+    // objective scales.
+    double scale = std::isfinite(current_value)
+                       ? std::fabs(current_value) + 1e-12
+                       : 1.0;
+    double temperature = options_.initialTemperature * scale;
+    std::size_t rejects = 0;
+
+    while (trace.points.size() < samples) {
+        std::vector<double> proposal = current;
+        for (std::size_t d = 0; d < dim; ++d) {
+            proposal[d] = clampd(
+                proposal[d] + rng.normal(0.0, options_.stepSigma *
+                                                  (hi[d] - lo[d])),
+                lo[d], hi[d]);
+        }
+        const double value = objective.evaluate(proposal);
+        trace.add(proposal, value);
+
+        bool accept = false;
+        if (!std::isfinite(current_value)) {
+            accept = true;
+        } else if (std::isfinite(value)) {
+            if (value <= current_value) {
+                accept = true;
+            } else {
+                const double prob = std::exp(
+                    (current_value - value) /
+                    std::max(temperature, 1e-300));
+                accept = rng.uniform() < prob;
+            }
+        }
+        if (accept) {
+            current = std::move(proposal);
+            current_value = value;
+            rejects = 0;
+        } else if (++rejects >= options_.restartAfterRejects) {
+            // Restart from the incumbent to escape dead regions.
+            current = trace.bestPoint();
+            current_value = trace.best();
+            rejects = 0;
+        }
+        temperature *= options_.coolingRate;
+    }
+    return trace;
+}
+
+} // namespace vaesa

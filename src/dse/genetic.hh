@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Evolutionary search over an Objective's box -- the class of
+ * algorithms Table I cites for NAAS. Tournament selection, blend
+ * crossover, Gaussian mutation, elitism. Like the other drivers it
+ * works unchanged on the input box and on a VAESA latent box.
+ */
+
+#ifndef VAESA_DSE_GENETIC_HH
+#define VAESA_DSE_GENETIC_HH
+
+#include "dse/objective.hh"
+#include "util/rng.hh"
+
+namespace vaesa {
+
+/** Tunables of the evolutionary driver. */
+struct GaOptions
+{
+    /** Individuals per generation. */
+    std::size_t populationSize = 24;
+
+    /** Tournament size for parent selection. */
+    std::size_t tournamentSize = 3;
+
+    /** Elites copied unchanged into the next generation. */
+    std::size_t elites = 2;
+
+    /** Per-gene probability of Gaussian mutation. */
+    double mutationRate = 0.25;
+
+    /** Mutation stddev, in box-span units. */
+    double mutationSigma = 0.1;
+
+    /** BLX-alpha blend-crossover expansion factor. */
+    double blendAlpha = 0.3;
+};
+
+/** Generational genetic algorithm. */
+class GeneticSearch
+{
+  public:
+    /** Driver with default options. */
+    GeneticSearch() = default;
+
+    /** Driver with explicit options. */
+    explicit GeneticSearch(const GaOptions &options);
+
+    /**
+     * Minimize with a fixed evaluation budget (the final partial
+     * generation is truncated to hit the budget exactly).
+     */
+    SearchTrace run(Objective &objective, std::size_t samples,
+                    Rng &rng) const;
+
+    /** Options in use. */
+    const GaOptions &options() const { return options_; }
+
+  private:
+    GaOptions options_;
+};
+
+/** Tunables of simulated annealing. */
+struct SaOptions
+{
+    /** Initial acceptance temperature as a fraction of the observed
+     *  objective spread. */
+    double initialTemperature = 1.0;
+
+    /** Multiplicative cooling per step. */
+    double coolingRate = 0.98;
+
+    /** Proposal stddev, in box-span units. */
+    double stepSigma = 0.08;
+
+    /** Restart from the incumbent after this many rejections. */
+    std::size_t restartAfterRejects = 25;
+};
+
+/** Metropolis simulated annealing over the box. */
+class SimulatedAnnealing
+{
+  public:
+    /** Driver with default options. */
+    SimulatedAnnealing() = default;
+
+    /** Driver with explicit options. */
+    explicit SimulatedAnnealing(const SaOptions &options);
+
+    /** Minimize with a fixed evaluation budget. */
+    SearchTrace run(Objective &objective, std::size_t samples,
+                    Rng &rng) const;
+
+    /** Options in use. */
+    const SaOptions &options() const { return options_; }
+
+  private:
+    SaOptions options_;
+};
+
+} // namespace vaesa
+
+#endif // VAESA_DSE_GENETIC_HH

@@ -1,0 +1,152 @@
+#include "dse/gp.hh"
+
+#include <cmath>
+
+#include "tensor/linalg.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace vaesa {
+
+GaussianProcess::GaussianProcess(Kernel kernel)
+    : kernel_(kernel)
+{
+}
+
+GaussianProcess::GaussianProcess(Kernel kernel, const Hyper &hyper)
+    : kernel_(kernel), hyper_(hyper)
+{
+}
+
+double
+GaussianProcess::kernelValue(const std::vector<double> &a,
+                             const std::vector<double> &b) const
+{
+    const double d2 = squaredDistance(a, b);
+    const double ls = hyper_.lengthscale;
+    switch (kernel_) {
+      case Kernel::Rbf:
+        return std::exp(-0.5 * d2 / (ls * ls));
+      case Kernel::Matern52: {
+        const double r = std::sqrt(d2) / ls;
+        const double sq5r = std::sqrt(5.0) * r;
+        return (1.0 + sq5r + 5.0 * r * r / 3.0) * std::exp(-sq5r);
+      }
+    }
+    panic("GaussianProcess: bad kernel");
+}
+
+void
+GaussianProcess::fit(const std::vector<std::vector<double>> &xs,
+                     const std::vector<double> &ys)
+{
+    if (xs.empty() || xs.size() != ys.size())
+        panic("GaussianProcess::fit: bad observation set (",
+              xs.size(), " xs, ", ys.size(), " ys)");
+    xs_ = xs;
+
+    yMean_ = mean(ys);
+    yStd_ = stddev(ys);
+    if (yStd_ < 1e-12)
+        yStd_ = 1.0;
+    std::vector<double> y_std(ys.size());
+    for (std::size_t i = 0; i < ys.size(); ++i)
+        y_std[i] = (ys[i] - yMean_) / yStd_;
+
+    const std::size_t n = xs_.size();
+    Matrix k(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            const double v = kernelValue(xs_[i], xs_[j]);
+            k(i, j) = v;
+            k(j, i) = v;
+        }
+        k(i, i) += hyper_.noiseVar;
+    }
+
+    choleskyJittered(k, choleskyLower_);
+    alpha_ = solveLowerTransposed(choleskyLower_,
+                                  solveLower(choleskyLower_, y_std));
+
+    // log p(y) = -0.5 y^T alpha - sum log L_ii - n/2 log(2 pi).
+    double quad = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        quad += y_std[i] * alpha_[i];
+    double log_det_half = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        log_det_half += std::log(choleskyLower_(i, i));
+    logLik_ = -0.5 * quad - log_det_half -
+              0.5 * static_cast<double>(n) * std::log(2.0 * M_PI);
+}
+
+GaussianProcess::Prediction
+GaussianProcess::predict(const std::vector<double> &x) const
+{
+    if (xs_.empty())
+        panic("GaussianProcess::predict before fit");
+    const std::size_t n = xs_.size();
+    std::vector<double> k_star(n);
+    for (std::size_t i = 0; i < n; ++i)
+        k_star[i] = kernelValue(x, xs_[i]);
+
+    double mean_std = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        mean_std += k_star[i] * alpha_[i];
+
+    const std::vector<double> v = solveLower(choleskyLower_, k_star);
+    double var_std = kernelValue(x, x);
+    for (double vi : v)
+        var_std -= vi * vi;
+    if (var_std < 0.0)
+        var_std = 0.0;
+
+    return {yMean_ + yStd_ * mean_std, yStd_ * yStd_ * var_std};
+}
+
+double
+GaussianProcess::logMarginalLikelihood() const
+{
+    if (xs_.empty())
+        panic("logMarginalLikelihood before fit");
+    return logLik_;
+}
+
+void
+GaussianProcess::fitWithHyperSearch(
+    const std::vector<std::vector<double>> &xs,
+    const std::vector<double> &ys)
+{
+    static const double lengthscales[] = {0.05, 0.1, 0.2, 0.4, 0.8,
+                                          1.6};
+    static const double noises[] = {1e-6, 1e-4, 1e-2};
+
+    Hyper best = hyper_;
+    double best_lik = -1e300;
+    for (double ls : lengthscales) {
+        for (double nv : noises) {
+            hyper_.lengthscale = ls;
+            hyper_.noiseVar = nv;
+            fit(xs, ys);
+            if (logLik_ > best_lik) {
+                best_lik = logLik_;
+                best = hyper_;
+            }
+        }
+    }
+    hyper_ = best;
+    fit(xs, ys);
+}
+
+double
+normalPdf(double z)
+{
+    return std::exp(-0.5 * z * z) / std::sqrt(2.0 * M_PI);
+}
+
+double
+normalCdf(double z)
+{
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+} // namespace vaesa

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Gaussian-process regression for Bayesian optimization.
+ *
+ * Supports RBF and Matern-5/2 kernels with isotropic lengthscale,
+ * observation noise, and internal y-standardization. Hyperparameters
+ * are selected by maximizing the log marginal likelihood over a small
+ * grid, which is robust and deterministic.
+ */
+
+#ifndef VAESA_DSE_GP_HH
+#define VAESA_DSE_GP_HH
+
+#include <vector>
+
+#include "tensor/matrix.hh"
+
+namespace vaesa {
+
+/** Gaussian-process regressor with a fixed kernel family. */
+class GaussianProcess
+{
+  public:
+    /** Kernel family. */
+    enum class Kernel { Rbf, Matern52 };
+
+    /** Kernel hyperparameters (y is standardized internally, so the
+     *  signal variance is fixed at 1). */
+    struct Hyper
+    {
+        /** Isotropic lengthscale in box units. */
+        double lengthscale = 0.3;
+
+        /** Observation-noise variance (standardized units). */
+        double noiseVar = 1e-4;
+    };
+
+    /** Construct with a kernel family and default hyperparameters. */
+    explicit GaussianProcess(Kernel kernel = Kernel::Matern52);
+
+    /** Construct with a kernel family and hyperparameters. */
+    GaussianProcess(Kernel kernel, const Hyper &hyper);
+
+    /**
+     * Fit to observations. Inputs are copied; y is standardized
+     * internally. Requires at least one observation.
+     */
+    void fit(const std::vector<std::vector<double>> &xs,
+             const std::vector<double> &ys);
+
+    /** Posterior mean and variance at one point. */
+    struct Prediction
+    {
+        /** Posterior mean in original y units. */
+        double mean;
+
+        /** Posterior variance in original y^2 units (>= 0). */
+        double var;
+    };
+
+    /** Predict at one point. Requires a prior fit(). */
+    Prediction predict(const std::vector<double> &x) const;
+
+    /** Log marginal likelihood of the last fit (standardized y). */
+    double logMarginalLikelihood() const;
+
+    /**
+     * Pick hyperparameters by grid-searching lengthscale x noise for
+     * the maximum log marginal likelihood, then refit with the winner.
+     */
+    void fitWithHyperSearch(const std::vector<std::vector<double>> &xs,
+                            const std::vector<double> &ys);
+
+    /** Current hyperparameters. */
+    const Hyper &hyper() const { return hyper_; }
+
+    /** Set hyperparameters (takes effect at the next fit). */
+    void setHyper(const Hyper &hyper) { hyper_ = hyper; }
+
+    /** Number of fitted observations (0 before fit). */
+    std::size_t sampleCount() const { return xs_.size(); }
+
+  private:
+    double kernelValue(const std::vector<double> &a,
+                       const std::vector<double> &b) const;
+
+    Kernel kernel_;
+    Hyper hyper_;
+    std::vector<std::vector<double>> xs_;
+    std::vector<double> alpha_;
+    Matrix choleskyLower_;
+    double yMean_ = 0.0;
+    double yStd_ = 1.0;
+    double logLik_ = 0.0;
+};
+
+/** Standard normal probability density. */
+double normalPdf(double z);
+
+/** Standard normal cumulative distribution (via erf). */
+double normalCdf(double z);
+
+} // namespace vaesa
+
+#endif // VAESA_DSE_GP_HH

@@ -1,0 +1,165 @@
+#include "dse/objective.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <array>
+
+#include "util/logging.hh"
+#include "util/numeric.hh"
+
+namespace vaesa {
+
+void
+SearchTrace::add(const std::vector<double> &x, double value)
+{
+    points.push_back({x, value});
+}
+
+double
+SearchTrace::bestAfter(std::size_t n) const
+{
+    double best = invalidScore;
+    const std::size_t limit = std::min(n, points.size());
+    for (std::size_t i = 0; i < limit; ++i)
+        best = std::min(best, points[i].value);
+    return best;
+}
+
+double
+SearchTrace::best() const
+{
+    return bestAfter(points.size());
+}
+
+std::vector<double>
+SearchTrace::bestPoint() const
+{
+    double best = invalidScore;
+    std::vector<double> arg;
+    for (const TracePoint &p : points) {
+        if (p.value < best) {
+            best = p.value;
+            arg = p.x;
+        }
+    }
+    return arg;
+}
+
+std::vector<double>
+SearchTrace::bestCurve() const
+{
+    std::vector<double> curve;
+    curve.reserve(points.size());
+    double best = invalidScore;
+    for (const TracePoint &p : points) {
+        best = std::min(best, p.value);
+        curve.push_back(best);
+    }
+    return curve;
+}
+
+std::size_t
+SearchTrace::samplesToReach(double threshold) const
+{
+    for (std::size_t i = 0; i < points.size(); ++i)
+        if (points[i].value <= threshold)
+            return i + 1;
+    return 0;
+}
+
+double
+metricValue(const EvalResult &result, Metric metric)
+{
+    if (!result.valid)
+        return invalidScore;
+    switch (metric) {
+      case Metric::Edp: return result.edp;
+      case Metric::Latency: return result.latencyCycles;
+      case Metric::Energy: return result.energyPj;
+    }
+    panic("metricValue: bad metric");
+}
+
+const char *
+metricName(Metric metric)
+{
+    switch (metric) {
+      case Metric::Edp: return "EDP";
+      case Metric::Latency: return "latency";
+      case Metric::Energy: return "energy";
+    }
+    panic("metricName: bad metric");
+}
+
+InputSpaceObjective::InputSpaceObjective(const Evaluator &evaluator,
+                                         std::vector<LayerShape> layers,
+                                         Metric metric)
+    : evaluator_(evaluator), layers_(std::move(layers)),
+      metric_(metric)
+{
+    if (layers_.empty())
+        fatal("InputSpaceObjective needs at least one layer");
+}
+
+std::size_t
+InputSpaceObjective::dim() const
+{
+    return numHwParams;
+}
+
+std::vector<double>
+InputSpaceObjective::lowerBounds() const
+{
+    return std::vector<double>(numHwParams, 0.0);
+}
+
+std::vector<double>
+InputSpaceObjective::upperBounds() const
+{
+    return std::vector<double>(numHwParams, 1.0);
+}
+
+AcceleratorConfig
+InputSpaceObjective::decode(const std::vector<double> &x) const
+{
+    if (x.size() != numHwParams)
+        panic("InputSpaceObjective::decode: wrong dimensionality");
+    const DesignSpace &ds = designSpace();
+    std::array<std::int64_t, numHwParams> idx{};
+    for (int p = 0; p < numHwParams; ++p) {
+        const auto param = static_cast<HwParam>(p);
+        const double unit = clampd(x[p], 0.0, 1.0);
+        const auto count = static_cast<double>(ds.count(param));
+        idx[p] = std::min<std::int64_t>(
+            ds.count(param) - 1,
+            static_cast<std::int64_t>(
+                std::llround(unit * (count - 1.0))));
+    }
+    return ds.fromIndices(idx);
+}
+
+std::vector<double>
+InputSpaceObjective::encode(const AcceleratorConfig &config) const
+{
+    const DesignSpace &ds = designSpace();
+    const auto idx = ds.toIndices(config);
+    std::vector<double> x(numHwParams);
+    for (int p = 0; p < numHwParams; ++p) {
+        const auto param = static_cast<HwParam>(p);
+        const auto count = static_cast<double>(ds.count(param));
+        x[p] = count > 1.0
+                   ? static_cast<double>(idx[p]) / (count - 1.0)
+                   : 0.0;
+    }
+    return x;
+}
+
+double
+InputSpaceObjective::evaluate(const std::vector<double> &x)
+{
+    const AcceleratorConfig config = decode(x);
+    return metricValue(evaluator_.evaluateWorkload(config, layers_),
+                       metric_);
+}
+
+} // namespace vaesa

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Search-space abstractions for design space exploration.
+ *
+ * An Objective is a black-box function over a continuous box to be
+ * MINIMIZED (EDP in all of the paper's experiments). The same search
+ * drivers (random, BO) run against the 6-D normalized input space and
+ * against a VAE latent space; only the Objective differs, which is
+ * exactly the framing of Figure 6.
+ */
+
+#ifndef VAESA_DSE_OBJECTIVE_HH
+#define VAESA_DSE_OBJECTIVE_HH
+
+#include <limits>
+#include <vector>
+
+#include "arch/design_space.hh"
+#include "sched/evaluator.hh"
+#include "workload/layer.hh"
+
+namespace vaesa {
+
+/** Value used for invalid/unmappable design points. */
+constexpr double invalidScore = std::numeric_limits<double>::infinity();
+
+/**
+ * The hardware quantity a search minimizes. The paper optimizes EDP
+ * throughout but notes the flow "can optimize the latency and energy
+ * separately" (Section IV-A2).
+ */
+enum class Metric { Edp, Latency, Energy };
+
+/** Extract a metric from an evaluation (invalidScore when invalid). */
+double metricValue(const EvalResult &result, Metric metric);
+
+/** Human-readable metric name. */
+const char *metricName(Metric metric);
+
+/** A black-box minimization problem over a continuous box. */
+class Objective
+{
+  public:
+    virtual ~Objective() = default;
+
+    /** Dimensionality of the search box. */
+    virtual std::size_t dim() const = 0;
+
+    /** Per-dimension lower bounds of the box. */
+    virtual std::vector<double> lowerBounds() const = 0;
+
+    /** Per-dimension upper bounds of the box. */
+    virtual std::vector<double> upperBounds() const = 0;
+
+    /**
+     * Score a point (smaller is better). Returns invalidScore when the
+     * point decodes to an unmappable design.
+     */
+    virtual double evaluate(const std::vector<double> &x) = 0;
+};
+
+/** One evaluated point of a search run. */
+struct TracePoint
+{
+    /** The point in the search box. */
+    std::vector<double> x;
+
+    /** Its objective value. */
+    double value;
+};
+
+/** Chronological record of a search run. */
+struct SearchTrace
+{
+    /** All evaluated points, in sample order. */
+    std::vector<TracePoint> points;
+
+    /** Append one evaluation. */
+    void add(const std::vector<double> &x, double value);
+
+    /** Best (smallest) value among the first n samples. */
+    double bestAfter(std::size_t n) const;
+
+    /** Best value overall (invalidScore when empty). */
+    double best() const;
+
+    /** Best point overall (empty when no finite sample exists). */
+    std::vector<double> bestPoint() const;
+
+    /** Best-so-far curve: out[i] = min(value[0..i]). */
+    std::vector<double> bestCurve() const;
+
+    /**
+     * Sample index (1-based) at which the trace first reaches
+     * threshold or better; 0 when it never does.
+     */
+    std::size_t samplesToReach(double threshold) const;
+};
+
+/**
+ * The paper's direct-search objective over the ORIGINAL design space:
+ * points live in the [0,1]^6 box that maps linearly onto the grid
+ * *indices* of Table II, so a uniform sample is uniform over the
+ * 3.6e17 discrete configurations (the paper's `random` baseline) and
+ * BO sees the raw, linearly-scaled parameter axes (the paper's `bo`
+ * baseline). Evaluation rounds to the nearest grid index and scores
+ * workload EDP with the scheduler + cost model. Note the contrast
+ * with the latent space: VAESA's learned representation is the
+ * log-normalized, compressed one -- that difference is the point of
+ * the paper.
+ */
+class InputSpaceObjective : public Objective
+{
+  public:
+    /**
+     * @param evaluator scoring backend (borrowed; must outlive this).
+     * @param layers workload layers to optimize.
+     * @param metric quantity to minimize (default EDP).
+     */
+    InputSpaceObjective(const Evaluator &evaluator,
+                        std::vector<LayerShape> layers,
+                        Metric metric = Metric::Edp);
+
+    std::size_t dim() const override;
+    std::vector<double> lowerBounds() const override;
+    std::vector<double> upperBounds() const override;
+    double evaluate(const std::vector<double> &x) override;
+
+    /** Decode a box point to the discrete configuration it scores. */
+    AcceleratorConfig decode(const std::vector<double> &x) const;
+
+    /** Normalize a configuration into the [0,1]^6 box. */
+    std::vector<double> encode(const AcceleratorConfig &config) const;
+
+    /** The metric being minimized. */
+    Metric metric() const { return metric_; }
+
+  private:
+    const Evaluator &evaluator_;
+    std::vector<LayerShape> layers_;
+    Metric metric_;
+};
+
+} // namespace vaesa
+
+#endif // VAESA_DSE_OBJECTIVE_HH

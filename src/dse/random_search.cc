@@ -1,0 +1,21 @@
+#include "dse/random_search.hh"
+
+namespace vaesa {
+
+SearchTrace
+RandomSearch::run(Objective &objective, std::size_t samples,
+                  Rng &rng) const
+{
+    const std::vector<double> lo = objective.lowerBounds();
+    const std::vector<double> hi = objective.upperBounds();
+    SearchTrace trace;
+    for (std::size_t i = 0; i < samples; ++i) {
+        std::vector<double> x(objective.dim());
+        for (std::size_t d = 0; d < x.size(); ++d)
+            x[d] = rng.uniform(lo[d], hi[d]);
+        trace.add(x, objective.evaluate(x));
+    }
+    return trace;
+}
+
+} // namespace vaesa

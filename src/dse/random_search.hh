@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Uniform random search over an Objective's box -- the `random`
+ * baseline of Figure 11 and Table V.
+ */
+
+#ifndef VAESA_DSE_RANDOM_SEARCH_HH
+#define VAESA_DSE_RANDOM_SEARCH_HH
+
+#include <cstddef>
+
+#include "dse/objective.hh"
+#include "util/rng.hh"
+
+namespace vaesa {
+
+/** Stateless random-search driver. */
+class RandomSearch
+{
+  public:
+    /**
+     * Evaluate n uniform points of the objective's box.
+     * @param objective problem to minimize.
+     * @param samples number of evaluations.
+     * @param rng seeded generator.
+     * @return chronological trace of all samples.
+     */
+    SearchTrace run(Objective &objective, std::size_t samples,
+                    Rng &rng) const;
+};
+
+} // namespace vaesa
+
+#endif // VAESA_DSE_RANDOM_SEARCH_HH

@@ -1,0 +1,100 @@
+#include "nn/activation.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace vaesa::nn {
+
+LeakyReLU::LeakyReLU(std::size_t width, double slope)
+    : width_(width), slope_(slope)
+{
+}
+
+Matrix
+LeakyReLU::forward(const Matrix &input)
+{
+    if (input.cols() != width_)
+        panic("LeakyReLU width mismatch: ", input.cols(), " != ", width_);
+    cachedInput_ = input;
+    Matrix out = input;
+    out.apply([this](double x) { return x > 0.0 ? x : slope_ * x; });
+    return out;
+}
+
+Matrix
+LeakyReLU::backward(const Matrix &grad_output)
+{
+    Matrix grad = grad_output;
+    if (grad.rows() != cachedInput_.rows() || grad.cols() != width_)
+        panic("LeakyReLU backward shape mismatch");
+    for (std::size_t r = 0; r < grad.rows(); ++r)
+        for (std::size_t c = 0; c < grad.cols(); ++c)
+            if (cachedInput_(r, c) <= 0.0)
+                grad(r, c) *= slope_;
+    return grad;
+}
+
+Sigmoid::Sigmoid(std::size_t width)
+    : width_(width)
+{
+}
+
+Matrix
+Sigmoid::forward(const Matrix &input)
+{
+    if (input.cols() != width_)
+        panic("Sigmoid width mismatch: ", input.cols(), " != ", width_);
+    Matrix out = input;
+    out.apply([](double x) { return 1.0 / (1.0 + std::exp(-x)); });
+    cachedOutput_ = out;
+    return out;
+}
+
+Matrix
+Sigmoid::backward(const Matrix &grad_output)
+{
+    Matrix grad = grad_output;
+    if (grad.rows() != cachedOutput_.rows() || grad.cols() != width_)
+        panic("Sigmoid backward shape mismatch");
+    for (std::size_t r = 0; r < grad.rows(); ++r) {
+        for (std::size_t c = 0; c < grad.cols(); ++c) {
+            const double y = cachedOutput_(r, c);
+            grad(r, c) *= y * (1.0 - y);
+        }
+    }
+    return grad;
+}
+
+Tanh::Tanh(std::size_t width)
+    : width_(width)
+{
+}
+
+Matrix
+Tanh::forward(const Matrix &input)
+{
+    if (input.cols() != width_)
+        panic("Tanh width mismatch: ", input.cols(), " != ", width_);
+    Matrix out = input;
+    out.apply([](double x) { return std::tanh(x); });
+    cachedOutput_ = out;
+    return out;
+}
+
+Matrix
+Tanh::backward(const Matrix &grad_output)
+{
+    Matrix grad = grad_output;
+    if (grad.rows() != cachedOutput_.rows() || grad.cols() != width_)
+        panic("Tanh backward shape mismatch");
+    for (std::size_t r = 0; r < grad.rows(); ++r) {
+        for (std::size_t c = 0; c < grad.cols(); ++c) {
+            const double y = cachedOutput_(r, c);
+            grad(r, c) *= 1.0 - y * y;
+        }
+    }
+    return grad;
+}
+
+} // namespace vaesa::nn

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Element-wise activation modules: LeakyReLU (the paper's choice for
+ * the VAE and predictor MLPs), Sigmoid (output head for [0,1) features)
+ * and Tanh.
+ */
+
+#ifndef VAESA_NN_ACTIVATION_HH
+#define VAESA_NN_ACTIVATION_HH
+
+#include "nn/module.hh"
+
+namespace vaesa::nn {
+
+/** LeakyReLU: x for x > 0, slope * x otherwise. */
+class LeakyReLU : public Module
+{
+  public:
+    /** @param width feature width; @param slope negative-side slope. */
+    explicit LeakyReLU(std::size_t width, double slope = 0.01);
+
+    Matrix forward(const Matrix &input) override;
+    Matrix backward(const Matrix &grad_output) override;
+
+    std::size_t inputSize() const override { return width_; }
+    std::size_t outputSize() const override { return width_; }
+
+    /** Negative-side slope. */
+    double slope() const { return slope_; }
+
+  private:
+    std::size_t width_;
+    double slope_;
+    Matrix cachedInput_;
+};
+
+/** Logistic sigmoid, 1 / (1 + e^-x). */
+class Sigmoid : public Module
+{
+  public:
+    explicit Sigmoid(std::size_t width);
+
+    Matrix forward(const Matrix &input) override;
+    Matrix backward(const Matrix &grad_output) override;
+
+    std::size_t inputSize() const override { return width_; }
+    std::size_t outputSize() const override { return width_; }
+
+  private:
+    std::size_t width_;
+    Matrix cachedOutput_;
+};
+
+/** Hyperbolic tangent. */
+class Tanh : public Module
+{
+  public:
+    explicit Tanh(std::size_t width);
+
+    Matrix forward(const Matrix &input) override;
+    Matrix backward(const Matrix &grad_output) override;
+
+    std::size_t inputSize() const override { return width_; }
+    std::size_t outputSize() const override { return width_; }
+
+  private:
+    std::size_t width_;
+    Matrix cachedOutput_;
+};
+
+} // namespace vaesa::nn
+
+#endif // VAESA_NN_ACTIVATION_HH

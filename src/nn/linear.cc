@@ -1,0 +1,59 @@
+#include "nn/linear.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace vaesa::nn {
+
+Linear::Linear(std::size_t in, std::size_t out, Rng &rng,
+               const std::string &name)
+    : in_(in), out_(out),
+      weight_(out, in, name + ".weight"),
+      bias_(1, out, name + ".bias")
+{
+    if (in == 0 || out == 0)
+        panic("Linear layer with zero dimension: ", in, " -> ", out);
+    // Kaiming-uniform bound for LeakyReLU-style stacks.
+    const double bound = std::sqrt(6.0 / static_cast<double>(in));
+    weight_.value.randomUniform(rng, -bound, bound);
+    bias_.value.fill(0.0);
+}
+
+Matrix
+Linear::forward(const Matrix &input)
+{
+    if (input.cols() != in_)
+        panic("Linear forward: input width ", input.cols(),
+              " != ", in_);
+    cachedInput_ = input;
+    Matrix out = Matrix::multiplyTransB(input, weight_.value);
+    out.addRowVector(bias_.value.row(0));
+    return out;
+}
+
+Matrix
+Linear::backward(const Matrix &grad_output)
+{
+    if (grad_output.cols() != out_ ||
+        grad_output.rows() != cachedInput_.rows()) {
+        panic("Linear backward: grad shape ", grad_output.rows(), "x",
+              grad_output.cols(), " does not match forward batch");
+    }
+    // dW = gradOut^T * input; db = column sums; dIn = gradOut * W.
+    Matrix grad_w = Matrix::multiplyTransA(grad_output, cachedInput_);
+    weight_.grad.add(grad_w);
+    const std::vector<double> grad_b = grad_output.colSums();
+    for (std::size_t c = 0; c < out_; ++c)
+        bias_.grad(0, c) += grad_b[c];
+    return Matrix::multiply(grad_output, weight_.value);
+}
+
+std::vector<Parameter *>
+Linear::parameters()
+{
+    return {&weight_, &bias_};
+}
+
+} // namespace vaesa::nn

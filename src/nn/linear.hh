@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fully-connected (affine) layer.
+ */
+
+#ifndef VAESA_NN_LINEAR_HH
+#define VAESA_NN_LINEAR_HH
+
+#include <string>
+
+#include "nn/module.hh"
+
+namespace vaesa {
+class Rng;
+} // namespace vaesa
+
+namespace vaesa::nn {
+
+/**
+ * Affine layer: output = input * W^T + b.
+ *
+ * W is stored (out x in) so each output neuron's weights are one
+ * contiguous row. Initialization is Kaiming-uniform by default (the
+ * library targets LeakyReLU stacks).
+ */
+class Linear : public Module
+{
+  public:
+    /**
+     * Construct with Kaiming-uniform init.
+     * @param in number of input features.
+     * @param out number of output features.
+     * @param rng seeded generator for the weight draw.
+     * @param name parameter-name prefix.
+     */
+    Linear(std::size_t in, std::size_t out, Rng &rng,
+           const std::string &name = "linear");
+
+    Matrix forward(const Matrix &input) override;
+    Matrix backward(const Matrix &grad_output) override;
+    std::vector<Parameter *> parameters() override;
+
+    std::size_t inputSize() const override { return in_; }
+    std::size_t outputSize() const override { return out_; }
+
+    /** Weight parameter, (out x in). */
+    Parameter &weight() { return weight_; }
+
+    /** Bias parameter, (1 x out). */
+    Parameter &bias() { return bias_; }
+
+  private:
+    std::size_t in_;
+    std::size_t out_;
+    Parameter weight_;
+    Parameter bias_;
+    Matrix cachedInput_;
+};
+
+} // namespace vaesa::nn
+
+#endif // VAESA_NN_LINEAR_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Core abstractions of the neural-network library: learnable
+ * parameters and the Module forward/backward interface.
+ *
+ * The library is deliberately small: VAESA's models are plain MLPs, so
+ * a module-based design with explicit backward passes (each module
+ * caches whatever its gradient needs) is simpler and faster than a
+ * general autodiff tape, and gradients are exact by construction.
+ */
+
+#ifndef VAESA_NN_MODULE_HH
+#define VAESA_NN_MODULE_HH
+
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.hh"
+
+namespace vaesa::nn {
+
+/**
+ * A learnable tensor with its gradient accumulator.
+ *
+ * Optimizers own no state inside Parameter; they index parameters by
+ * position in the list a model exposes, which is stable for a given
+ * architecture.
+ */
+struct Parameter
+{
+    /** Construct with a shape; value and grad are zero-initialized. */
+    Parameter(std::size_t rows, std::size_t cols, std::string name)
+        : value(rows, cols), grad(rows, cols), name(std::move(name))
+    {}
+
+    /** Current weights. */
+    Matrix value;
+
+    /** Accumulated gradient of the loss w.r.t.\ value. */
+    Matrix grad;
+
+    /** Human-readable identifier for debugging and serialization. */
+    std::string name;
+
+    /** Reset the gradient accumulator to zero. */
+    void zeroGrad() { grad.fill(0.0); }
+};
+
+/**
+ * Interface of a differentiable computation stage.
+ *
+ * forward() consumes a (batch x in) matrix and produces (batch x out);
+ * backward() consumes dL/d(output) and returns dL/d(input), adding
+ * parameter gradients into the module's Parameters. backward() must be
+ * called after the forward() whose intermediates it needs, with a
+ * matching batch size.
+ */
+class Module
+{
+  public:
+    virtual ~Module() = default;
+
+    /** Run the stage on a batch; caches intermediates for backward. */
+    virtual Matrix forward(const Matrix &input) = 0;
+
+    /**
+     * Back-propagate through the cached forward pass.
+     * @param grad_output dL/d(output), same shape as forward's result.
+     * @return dL/d(input), same shape as forward's argument.
+     */
+    virtual Matrix backward(const Matrix &grad_output) = 0;
+
+    /** Learnable parameters of this stage (possibly empty). */
+    virtual std::vector<Parameter *> parameters() { return {}; }
+
+    /** Number of input features. */
+    virtual std::size_t inputSize() const = 0;
+
+    /** Number of output features. */
+    virtual std::size_t outputSize() const = 0;
+
+    /** Zero all parameter gradients. */
+    void
+    zeroGrad()
+    {
+        for (Parameter *p : parameters())
+            p->zeroGrad();
+    }
+};
+
+} // namespace vaesa::nn
+
+#endif // VAESA_NN_MODULE_HH

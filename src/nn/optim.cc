@@ -1,0 +1,85 @@
+#include "nn/optim.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace vaesa::nn {
+
+Optimizer::Optimizer(std::vector<Parameter *> params)
+    : params_(std::move(params))
+{
+    for (Parameter *p : params_)
+        if (!p)
+            panic("Optimizer received a null parameter");
+}
+
+void
+Optimizer::zeroGrad()
+{
+    for (Parameter *p : params_)
+        p->zeroGrad();
+}
+
+Sgd::Sgd(std::vector<Parameter *> params, double lr, double momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum)
+{
+    velocity_.reserve(params_.size());
+    for (Parameter *p : params_)
+        velocity_.emplace_back(p->value.rows(), p->value.cols());
+}
+
+void
+Sgd::step()
+{
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        Parameter *p = params_[i];
+        if (momentum_ != 0.0) {
+            velocity_[i].scale(momentum_);
+            velocity_[i].addScaled(p->grad, 1.0);
+            p->value.addScaled(velocity_[i], -lr_);
+        } else {
+            p->value.addScaled(p->grad, -lr_);
+        }
+    }
+}
+
+Adam::Adam(std::vector<Parameter *> params, double lr, double beta1,
+           double beta2, double eps)
+    : Optimizer(std::move(params)), lr_(lr), beta1_(beta1),
+      beta2_(beta2), eps_(eps)
+{
+    firstMoment_.reserve(params_.size());
+    secondMoment_.reserve(params_.size());
+    for (Parameter *p : params_) {
+        firstMoment_.emplace_back(p->value.rows(), p->value.cols());
+        secondMoment_.emplace_back(p->value.rows(), p->value.cols());
+    }
+}
+
+void
+Adam::step()
+{
+    ++stepCount_;
+    const double bc1 = 1.0 - std::pow(beta1_, stepCount_);
+    const double bc2 = 1.0 - std::pow(beta2_, stepCount_);
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        Parameter *p = params_[i];
+        Matrix &m = firstMoment_[i];
+        Matrix &v = secondMoment_[i];
+        const double *g = p->grad.data();
+        double *mp = m.data();
+        double *vp = v.data();
+        double *w = p->value.data();
+        const std::size_t n = p->value.size();
+        for (std::size_t k = 0; k < n; ++k) {
+            mp[k] = beta1_ * mp[k] + (1.0 - beta1_) * g[k];
+            vp[k] = beta2_ * vp[k] + (1.0 - beta2_) * g[k] * g[k];
+            const double m_hat = mp[k] / bc1;
+            const double v_hat = vp[k] / bc2;
+            w[k] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+        }
+    }
+}
+
+} // namespace vaesa::nn

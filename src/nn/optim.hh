@@ -1,0 +1,97 @@
+/**
+ * @file
+ * First-order optimizers over Parameter lists: SGD with momentum and
+ * Adam (the trainer's default).
+ */
+
+#ifndef VAESA_NN_OPTIM_HH
+#define VAESA_NN_OPTIM_HH
+
+#include <vector>
+
+#include "nn/module.hh"
+
+namespace vaesa::nn {
+
+/** Common optimizer interface over an externally-owned parameter set. */
+class Optimizer
+{
+  public:
+    /** @param params parameters to update; must outlive the optimizer. */
+    explicit Optimizer(std::vector<Parameter *> params);
+    virtual ~Optimizer() = default;
+
+    /** Apply one update from the accumulated gradients. */
+    virtual void step() = 0;
+
+    /** Zero every parameter gradient. */
+    void zeroGrad();
+
+    /** The managed parameters. */
+    const std::vector<Parameter *> &params() const { return params_; }
+
+  protected:
+    std::vector<Parameter *> params_;
+};
+
+/** Stochastic gradient descent with classical momentum. */
+class Sgd : public Optimizer
+{
+  public:
+    /**
+     * @param params parameters to update.
+     * @param lr learning rate.
+     * @param momentum momentum coefficient (0 disables).
+     */
+    Sgd(std::vector<Parameter *> params, double lr,
+        double momentum = 0.0);
+
+    void step() override;
+
+    /** Current learning rate. */
+    double learningRate() const { return lr_; }
+
+    /** Change the learning rate (for schedules). */
+    void setLearningRate(double lr) { lr_ = lr; }
+
+  private:
+    double lr_;
+    double momentum_;
+    std::vector<Matrix> velocity_;
+};
+
+/** Adam optimizer (Kingma & Ba) with bias correction. */
+class Adam : public Optimizer
+{
+  public:
+    /**
+     * @param params parameters to update.
+     * @param lr learning rate.
+     * @param beta1 first-moment decay.
+     * @param beta2 second-moment decay.
+     * @param eps denominator stabilizer.
+     */
+    Adam(std::vector<Parameter *> params, double lr = 1e-3,
+         double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8);
+
+    void step() override;
+
+    /** Current learning rate. */
+    double learningRate() const { return lr_; }
+
+    /** Change the learning rate (for schedules). */
+    void setLearningRate(double lr) { lr_ = lr; }
+
+  private:
+    double lr_;
+    double beta1_;
+    double beta2_;
+    double eps_;
+    long stepCount_ = 0;
+    std::vector<Matrix> firstMoment_;
+    std::vector<Matrix> secondMoment_;
+};
+
+} // namespace vaesa::nn
+
+#endif // VAESA_NN_OPTIM_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Sequential container and MLP convenience builder.
+ */
+
+#ifndef VAESA_NN_SEQUENTIAL_HH
+#define VAESA_NN_SEQUENTIAL_HH
+
+#include <memory>
+#include <vector>
+
+#include "nn/module.hh"
+
+namespace vaesa {
+class Rng;
+} // namespace vaesa
+
+namespace vaesa::nn {
+
+/**
+ * A chain of modules applied in order; backward runs in reverse.
+ * Adjacent widths are validated when modules are appended.
+ */
+class Sequential : public Module
+{
+  public:
+    Sequential() = default;
+
+    /** Append a stage; its input width must match the current output. */
+    void add(std::unique_ptr<Module> module);
+
+    Matrix forward(const Matrix &input) override;
+    Matrix backward(const Matrix &grad_output) override;
+    std::vector<Parameter *> parameters() override;
+
+    std::size_t inputSize() const override;
+    std::size_t outputSize() const override;
+
+    /** Number of stages. */
+    std::size_t stageCount() const { return stages_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<Module>> stages_;
+};
+
+/** Output nonlinearity choice for makeMlp. */
+enum class OutputActivation { None, Sigmoid, Tanh };
+
+/**
+ * Build the paper's MLP shape: Linear / LeakyReLU stacks with an
+ * optional output nonlinearity.
+ *
+ * @param in input feature width.
+ * @param hidden widths of the hidden layers (may be empty).
+ * @param out output width.
+ * @param rng seeded generator for initialization.
+ * @param output_act final nonlinearity.
+ * @param leaky_slope LeakyReLU negative-side slope.
+ */
+std::unique_ptr<Sequential> makeMlp(
+    std::size_t in, const std::vector<std::size_t> &hidden,
+    std::size_t out, Rng &rng,
+    OutputActivation output_act = OutputActivation::None,
+    double leaky_slope = 0.01);
+
+} // namespace vaesa::nn
+
+#endif // VAESA_NN_SEQUENTIAL_HH

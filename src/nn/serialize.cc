@@ -1,0 +1,106 @@
+#include "nn/serialize.hh"
+
+#include <cstdint>
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace vaesa::nn {
+
+namespace {
+
+constexpr std::uint32_t magicWord = 0x56414553; // "VAES"
+
+void
+writeU64(std::ostream &out, std::uint64_t value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(value));
+}
+
+std::uint64_t
+readU64(std::istream &in)
+{
+    std::uint64_t value = 0;
+    in.read(reinterpret_cast<char *>(&value), sizeof(value));
+    return value;
+}
+
+} // namespace
+
+void
+saveParametersToStream(std::ostream &out,
+                       const std::vector<Parameter *> &params)
+{
+    writeU64(out, params.size());
+    for (const Parameter *p : params) {
+        writeU64(out, p->name.size());
+        out.write(p->name.data(),
+                  static_cast<std::streamsize>(p->name.size()));
+        writeU64(out, p->value.rows());
+        writeU64(out, p->value.cols());
+        out.write(reinterpret_cast<const char *>(p->value.data()),
+                  static_cast<std::streamsize>(
+                      p->value.size() * sizeof(double)));
+    }
+}
+
+void
+loadParametersFromStream(std::istream &in,
+                         const std::vector<Parameter *> &params)
+{
+    const std::uint64_t count = readU64(in);
+    if (count != params.size())
+        fatal("loadParameters: stream has ", count, " parameters, ",
+              "model expects ", params.size());
+    for (Parameter *p : params) {
+        const std::uint64_t name_len = readU64(in);
+        if (!in || name_len > 4096)
+            fatal("loadParameters: corrupt parameter stream");
+        std::string name(name_len, '\0');
+        in.read(name.data(), static_cast<std::streamsize>(name_len));
+        if (name != p->name)
+            fatal("loadParameters: parameter name mismatch: stream '",
+                  name, "' vs model '", p->name, "'");
+        const std::uint64_t rows = readU64(in);
+        const std::uint64_t cols = readU64(in);
+        if (rows != p->value.rows() || cols != p->value.cols())
+            fatal("loadParameters: shape mismatch for '", name, "'");
+        in.read(reinterpret_cast<char *>(p->value.data()),
+                static_cast<std::streamsize>(
+                    p->value.size() * sizeof(double)));
+    }
+    if (!in)
+        fatal("loadParameters: truncated parameter stream");
+}
+
+bool
+saveParameters(const std::string &path,
+               const std::vector<Parameter *> &params)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        warn("saveParameters: cannot open '", path, "'");
+        return false;
+    }
+    out.write(reinterpret_cast<const char *>(&magicWord),
+              sizeof(magicWord));
+    saveParametersToStream(out, params);
+    return static_cast<bool>(out);
+}
+
+bool
+loadParameters(const std::string &path,
+               const std::vector<Parameter *> &params)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::uint32_t magic = 0;
+    in.read(reinterpret_cast<char *>(&magic), sizeof(magic));
+    if (magic != magicWord)
+        fatal("loadParameters: '", path, "' is not a VAESA model file");
+    loadParametersFromStream(in, params);
+    return true;
+}
+
+} // namespace vaesa::nn

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Binary save/load of parameter sets so trained VAESA models can be
+ * reused across processes (train once, search many times).
+ */
+
+#ifndef VAESA_NN_SERIALIZE_HH
+#define VAESA_NN_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/module.hh"
+
+namespace vaesa::nn {
+
+/** Stream-based variant of saveParameters (no magic header). */
+void saveParametersToStream(std::ostream &out,
+                            const std::vector<Parameter *> &params);
+
+/**
+ * Stream-based variant of loadParameters (no magic header). Names
+ * and shapes must match exactly; fatal() otherwise.
+ */
+void loadParametersFromStream(std::istream &in,
+                              const std::vector<Parameter *> &params);
+
+/**
+ * Save parameter values to a binary file. The format records name,
+ * shape, and row-major payload per parameter, with a magic header.
+ * @return true on success.
+ */
+bool saveParameters(const std::string &path,
+                    const std::vector<Parameter *> &params);
+
+/**
+ * Load parameter values saved by saveParameters(). Names and shapes
+ * must match the current parameter list exactly; fatal() otherwise.
+ * @return true on success, false if the file cannot be opened.
+ */
+bool loadParameters(const std::string &path,
+                    const std::vector<Parameter *> &params);
+
+} // namespace vaesa::nn
+
+#endif // VAESA_NN_SERIALIZE_HH

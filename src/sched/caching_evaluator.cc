@@ -1,0 +1,103 @@
+#include "sched/caching_evaluator.hh"
+
+#include "util/logging.hh"
+
+namespace vaesa {
+
+CachingEvaluator::CachingEvaluator(const Evaluator &inner)
+    : inner_(inner)
+{
+}
+
+std::uint64_t
+CachingEvaluator::configKey(const AcceleratorConfig &arch) const
+{
+    // Pack the six grid indices into 59 bits (3+6+7+15+11+17).
+    const auto idx = designSpace().toIndices(arch);
+    std::uint64_t key = 0;
+    const int bits[numHwParams] = {3, 6, 7, 15, 11, 17};
+    for (int p = 0; p < numHwParams; ++p) {
+        key = (key << bits[p]) |
+              static_cast<std::uint64_t>(idx[p]);
+    }
+    return key;
+}
+
+std::uint32_t
+CachingEvaluator::layerId(const LayerShape &layer) const
+{
+    for (std::uint32_t i = 0; i < layerRegistry_.size(); ++i)
+        if (layerRegistry_[i].sameShape(layer))
+            return i;
+    layerRegistry_.push_back(layer);
+    return static_cast<std::uint32_t>(layerRegistry_.size() - 1);
+}
+
+EvalResult
+CachingEvaluator::evaluateLayer(const AcceleratorConfig &arch,
+                                const LayerShape &layer) const
+{
+    // Snap to the grid first: the cache key is the grid index, and
+    // evaluation of off-grid values would alias the snapped point.
+    AcceleratorConfig snapped = arch;
+    const DesignSpace &ds = designSpace();
+    for (int p = 0; p < numHwParams; ++p) {
+        const auto param = static_cast<HwParam>(p);
+        snapped.setValue(param,
+                         ds.snapValue(param, arch.value(param)));
+    }
+
+    const std::uint32_t lid = layerId(layer);
+    // 59 config bits + layer id; combine with a 64-bit multiply mix
+    // into a two-level map-free key. Equality is guaranteed because
+    // the config key is a *perfect* (collision-free) packing and the
+    // per-layer maps are separated below.
+    const std::uint64_t key = configKey(snapped);
+
+    if (perLayer_.size() <= lid)
+        perLayer_.resize(lid + 1);
+    auto &cache = perLayer_[lid];
+    const auto it = cache.find(key);
+    if (it != cache.end()) {
+        ++hits_;
+        return it->second;
+    }
+    ++misses_;
+    const EvalResult result = inner_.evaluateLayer(snapped, layer);
+    cache.emplace(key, result);
+    return result;
+}
+
+EvalResult
+CachingEvaluator::evaluateWorkload(
+    const AcceleratorConfig &arch,
+    const std::vector<LayerShape> &layers) const
+{
+    EvalResult total;
+    total.valid = true;
+    for (const LayerShape &layer : layers) {
+        const EvalResult r = evaluateLayer(arch, layer);
+        if (!r.valid) {
+            total.valid = false;
+            total.latencyCycles = 0.0;
+            total.energyPj = 0.0;
+            total.edp = 0.0;
+            return total;
+        }
+        total.latencyCycles += r.latencyCycles;
+        total.energyPj += r.energyPj;
+    }
+    total.edp = total.latencyCycles * total.energyPj;
+    return total;
+}
+
+void
+CachingEvaluator::clear()
+{
+    perLayer_.clear();
+    layerRegistry_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace vaesa

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Memoizing wrapper around the Evaluator. Searches over the discrete
+ * design space repeatedly decode to the same snapped configuration
+ * (BO exploitation, GA elites, dense latent grids), and the
+ * scheduler + cost model evaluation is deterministic -- so caching
+ * (config, layer) results is lossless and saves a large fraction of
+ * evaluation work at scale.
+ */
+
+#ifndef VAESA_SCHED_CACHING_EVALUATOR_HH
+#define VAESA_SCHED_CACHING_EVALUATOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sched/evaluator.hh"
+
+namespace vaesa {
+
+/**
+ * Evaluator with a per-(config, layer) memo table. The cache key
+ * combines the six grid indices with the layer's index in an
+ * internal registry, so any layer object with the same shape hits
+ * the same entry. Not thread-safe (like the rest of the framework).
+ */
+class CachingEvaluator
+{
+  public:
+    /** Wrap a default-constructed Evaluator. */
+    CachingEvaluator() = default;
+
+    /** Wrap an evaluator with explicit cost-model parameters. */
+    explicit CachingEvaluator(const Evaluator &inner);
+
+    /** Memoized variant of Evaluator::evaluateLayer. */
+    EvalResult evaluateLayer(const AcceleratorConfig &arch,
+                             const LayerShape &layer) const;
+
+    /** Memoized per-layer sum, like Evaluator::evaluateWorkload. */
+    EvalResult evaluateWorkload(const AcceleratorConfig &arch,
+                                const std::vector<LayerShape>
+                                    &layers) const;
+
+    /** Number of cache hits so far. */
+    std::uint64_t hits() const { return hits_; }
+
+    /** Number of cache misses (real evaluations) so far. */
+    std::uint64_t misses() const { return misses_; }
+
+    /** Drop all cached entries and counters. */
+    void clear();
+
+    /** The wrapped evaluator. */
+    const Evaluator &inner() const { return inner_; }
+
+  private:
+    std::uint64_t configKey(const AcceleratorConfig &arch) const;
+    std::uint32_t layerId(const LayerShape &layer) const;
+
+    Evaluator inner_;
+    mutable std::vector<LayerShape> layerRegistry_;
+    /** One collision-free memo table per registered layer, keyed by
+     *  the perfect 59-bit packing of the six grid indices. */
+    mutable std::vector<std::unordered_map<std::uint64_t, EvalResult>>
+        perLayer_;
+    mutable std::uint64_t hits_ = 0;
+    mutable std::uint64_t misses_ = 0;
+};
+
+} // namespace vaesa
+
+#endif // VAESA_SCHED_CACHING_EVALUATOR_HH

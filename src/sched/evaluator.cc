@@ -1,0 +1,74 @@
+#include "sched/evaluator.hh"
+
+namespace vaesa {
+
+Evaluator::Evaluator()
+    : model_(), scheduler_(model_)
+{
+}
+
+Evaluator::Evaluator(const CostModel &model)
+    : model_(model), scheduler_(model_)
+{
+}
+
+EvalResult
+Evaluator::evaluateLayer(const AcceleratorConfig &arch,
+                         const LayerShape &layer) const
+{
+    ++evalCount_;
+    EvalResult result;
+    const auto mapping = scheduler_.schedule(arch, layer);
+    if (!mapping)
+        return result;
+    const CostResult cost = model_.evaluate(arch, layer, *mapping);
+    if (!cost.valid)
+        return result;
+    result.valid = true;
+    result.latencyCycles = cost.latencyCycles;
+    result.energyPj = cost.energyPj;
+    result.edp = cost.edp();
+    return result;
+}
+
+EvalResult
+Evaluator::evaluateWorkload(const AcceleratorConfig &arch,
+                            const std::vector<LayerShape> &layers) const
+{
+    EvalResult total;
+    total.valid = true;
+    for (const LayerShape &layer : layers) {
+        const EvalResult r = evaluateLayer(arch, layer);
+        if (!r.valid) {
+            total.valid = false;
+            total.latencyCycles = 0.0;
+            total.energyPj = 0.0;
+            total.edp = 0.0;
+            return total;
+        }
+        total.latencyCycles += r.latencyCycles;
+        total.energyPj += r.energyPj;
+    }
+    total.edp = total.latencyCycles * total.energyPj;
+    return total;
+}
+
+CostResult
+Evaluator::detailedLayer(const AcceleratorConfig &arch,
+                         const LayerShape &layer,
+                         Mapping *mapping_out) const
+{
+    ++evalCount_;
+    const auto mapping = scheduler_.schedule(arch, layer);
+    if (!mapping) {
+        CostResult invalid;
+        invalid.valid = false;
+        invalid.invalidReason = "no legal mapping";
+        return invalid;
+    }
+    if (mapping_out)
+        *mapping_out = *mapping;
+    return model_.evaluate(arch, layer, *mapping);
+}
+
+} // namespace vaesa

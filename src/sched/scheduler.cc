@@ -1,0 +1,221 @@
+#include "sched/scheduler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/numeric.hh"
+
+namespace vaesa {
+
+namespace {
+
+/** True when the per-PE tile of m fits every PE buffer. */
+bool
+peTileFits(const CostModel &model, const AcceleratorConfig &arch,
+           const LayerShape &layer, const Mapping &m)
+{
+    const double bpw = model.params().bytesPerWord;
+    if (static_cast<double>(m.weightTileWords()) * bpw >
+        static_cast<double>(arch.weightBufBytes))
+        return false;
+    if (static_cast<double>(m.inputTileWords(layer)) * bpw >
+        static_cast<double>(arch.inputBufBytes))
+        return false;
+    if (static_cast<double>(m.psumTileWords()) *
+            model.params().bytesPerPsum >
+        static_cast<double>(arch.accumBufBytes))
+        return false;
+    return true;
+}
+
+/** True when the global-buffer tile of m fits the global buffer. */
+bool
+gbTileFits(const CostModel &model, const AcceleratorConfig &arch,
+           const LayerShape &layer, const Mapping &m)
+{
+    const double words =
+        static_cast<double>(m.inputGbTileWords(layer)) +
+        static_cast<double>(m.outputGbTileWords());
+    return words * model.params().bytesPerWord <=
+           static_cast<double>(arch.globalBufBytes);
+}
+
+} // namespace
+
+Scheduler::Scheduler(const CostModel &model)
+    : model_(model)
+{
+}
+
+double
+Scheduler::peTrafficProxy(const LayerShape &layer, const Mapping &m) const
+{
+    const auto dims = layerDims(layer);
+    // Weight re-fetches scale with the outer (P, Q) iteration count;
+    // input re-reads from the global buffer scale with the number of
+    // array-level K tiles (and the per-tile halo overhead).
+    const double n_pq =
+        static_cast<double>(ceilDiv(dims[DimP], m.tilePe[DimP])) *
+        static_cast<double>(ceilDiv(dims[DimQ], m.tilePe[DimQ]));
+    const double weight_traffic =
+        static_cast<double>(layer.weightWords()) * n_pq;
+
+    double n_tiles = 1.0;
+    for (int d = 0; d < numDims; ++d)
+        n_tiles *= static_cast<double>(
+            ceilDiv(dims[d], m.arrayTilePe(d)));
+    const double input_traffic =
+        n_tiles * static_cast<double>(m.inputTileWords(layer));
+
+    return weight_traffic + input_traffic +
+           static_cast<double>(layer.outputWords());
+}
+
+double
+Scheduler::gbTrafficProxy(const LayerShape &layer, const Mapping &m) const
+{
+    const auto dims = layerDims(layer);
+    double n_gb = 1.0;
+    for (int d = 0; d < numDims; ++d)
+        n_gb *= static_cast<double>(ceilDiv(dims[d], m.tileGb[d]));
+    return n_gb * static_cast<double>(m.inputGbTileWords(layer));
+}
+
+std::optional<Mapping>
+Scheduler::schedule(const AcceleratorConfig &arch,
+                    const LayerShape &layer) const
+{
+    if (!designSpace().isValid(arch) || !layer.isSane())
+        return std::nullopt;
+
+    const auto dims = layerDims(layer);
+    Mapping m;
+    m.spatialK = std::min<std::int64_t>(arch.numPes, dims[DimK]);
+    m.spatialC = std::min<std::int64_t>(arch.lanesPerPe(), dims[DimC]);
+    m.tilePe = {dims[DimR], dims[DimS], 1, 1, m.spatialC, 1};
+
+    // Shrink the spatial C split, then the filter window, until the
+    // minimal per-PE tile fits. A fully minimal tile is 1 word per
+    // buffer; if even that fails the architecture cannot map the layer.
+    while (!peTileFits(model_, arch, layer, m) && m.spatialC > 1) {
+        m.spatialC = std::max<std::int64_t>(1, m.spatialC / 2);
+        m.tilePe[DimC] = m.spatialC;
+    }
+    while (!peTileFits(model_, arch, layer, m) &&
+           (m.tilePe[DimR] > 1 || m.tilePe[DimS] > 1)) {
+        if (m.tilePe[DimR] >= m.tilePe[DimS])
+            m.tilePe[DimR] = std::max<std::int64_t>(
+                1, m.tilePe[DimR] / 2);
+        else
+            m.tilePe[DimS] = std::max<std::int64_t>(
+                1, m.tilePe[DimS] / 2);
+    }
+    if (!peTileFits(model_, arch, layer, m))
+        return std::nullopt;
+
+    // Greedy per-PE tile growth: take the feasible doubling that most
+    // reduces the DRAM-traffic proxy. Growth is monotone and bounded,
+    // so the loop terminates.
+    const std::int64_t max_k_tile = ceilDiv(dims[DimK], m.spatialK);
+    while (true) {
+        double best_score = peTrafficProxy(layer, m);
+        int best_dim = -1;
+        std::int64_t best_value = 0;
+        for (int d : {DimR, DimS, DimP, DimQ, DimC, DimK}) {
+            const std::int64_t cap =
+                (d == DimK) ? max_k_tile : dims[d];
+            if (m.tilePe[d] >= cap)
+                continue;
+            Mapping grown = m;
+            grown.tilePe[d] = std::min(cap, m.tilePe[d] * 2);
+            if (!peTileFits(model_, arch, layer, grown))
+                continue;
+            const double score = peTrafficProxy(layer, grown);
+            if (score < best_score) {
+                best_score = score;
+                best_dim = d;
+                best_value = grown.tilePe[d];
+            }
+        }
+        if (best_dim < 0)
+            break;
+        m.tilePe[best_dim] = best_value;
+    }
+
+    // Global-buffer tile starts at the concurrent array tile and grows
+    // under the global-buffer capacity, minimizing DRAM input traffic.
+    for (int d = 0; d < numDims; ++d)
+        m.tileGb[d] = std::min(dims[d], m.arrayTilePe(d));
+    if (!gbTileFits(model_, arch, layer, m)) {
+        // Shrink the global-buffer tile toward the per-PE tile in
+        // C/Q/P; for K the buffer must cover the concurrent array
+        // tile, so shrink the K split itself (temporal first, then
+        // spatial, giving up PE parallelism last).
+        for (int d : {DimC, DimQ, DimP}) {
+            while (!gbTileFits(model_, arch, layer, m) &&
+                   m.tileGb[d] > m.tilePe[d]) {
+                m.tileGb[d] = std::max(m.tilePe[d], m.tileGb[d] / 2);
+            }
+        }
+        while (!gbTileFits(model_, arch, layer, m) &&
+               (m.spatialK > 1 || m.tilePe[DimK] > 1)) {
+            if (m.tilePe[DimK] > 1)
+                m.tilePe[DimK] = std::max<std::int64_t>(
+                    1, m.tilePe[DimK] / 2);
+            else
+                m.spatialK = std::max<std::int64_t>(
+                    1, m.spatialK / 2);
+            m.tileGb[DimK] =
+                std::min(dims[DimK], m.arrayTilePe(DimK));
+        }
+        // Last resort: a global buffer smaller than the per-PE tile.
+        // Shrink the per-PE tile itself (giving up PE-buffer reuse)
+        // so the tile can stream through the small global buffer.
+        for (int d : {DimC, DimQ, DimP, DimS, DimR}) {
+            while (!gbTileFits(model_, arch, layer, m) &&
+                   m.tilePe[d] > 1) {
+                m.tilePe[d] = std::max<std::int64_t>(
+                    1, m.tilePe[d] / 2);
+                if (d == DimC) {
+                    m.spatialC = std::min(m.spatialC, m.tilePe[DimC]);
+                }
+                m.tileGb[d] = std::min(dims[d], m.tilePe[d]);
+            }
+        }
+        if (!gbTileFits(model_, arch, layer, m))
+            return std::nullopt;
+    }
+    while (true) {
+        double best_score = gbTrafficProxy(layer, m);
+        int best_dim = -1;
+        std::int64_t best_value = 0;
+        for (int d : {DimP, DimQ, DimC, DimK}) {
+            if (m.tileGb[d] >= dims[d])
+                continue;
+            Mapping grown = m;
+            grown.tileGb[d] = std::min(dims[d], m.tileGb[d] * 2);
+            if (!gbTileFits(model_, arch, layer, grown))
+                continue;
+            const double score = gbTrafficProxy(layer, grown);
+            if (score < best_score) {
+                best_score = score;
+                best_dim = d;
+                best_value = grown.tileGb[d];
+            }
+        }
+        if (best_dim < 0)
+            break;
+        m.tileGb[best_dim] = best_value;
+    }
+
+    std::string reason;
+    if (!model_.checkMapping(arch, layer, m, &reason)) {
+        debugLog("scheduler produced an illegal mapping (", reason,
+                 ") for ", layer.describe(), " on ", arch.describe());
+        return std::nullopt;
+    }
+    return m;
+}
+
+} // namespace vaesa

@@ -1,0 +1,124 @@
+#include "tensor/linalg.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace vaesa {
+
+bool
+cholesky(const Matrix &a, Matrix &lower)
+{
+    if (a.rows() != a.cols())
+        panic("cholesky requires a square matrix");
+    const std::size_t n = a.rows();
+    lower = Matrix(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            double acc = a(i, j);
+            for (std::size_t k = 0; k < j; ++k)
+                acc -= lower(i, k) * lower(j, k);
+            if (i == j) {
+                if (acc <= 0.0 || !std::isfinite(acc))
+                    return false;
+                lower(i, i) = std::sqrt(acc);
+            } else {
+                lower(i, j) = acc / lower(j, j);
+            }
+        }
+    }
+    return true;
+}
+
+std::vector<double>
+solveLower(const Matrix &lower, const std::vector<double> &b)
+{
+    const std::size_t n = lower.rows();
+    if (b.size() != n)
+        panic("solveLower dimension mismatch");
+    std::vector<double> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = b[i];
+        for (std::size_t k = 0; k < i; ++k)
+            acc -= lower(i, k) * y[k];
+        y[i] = acc / lower(i, i);
+    }
+    return y;
+}
+
+std::vector<double>
+solveLowerTransposed(const Matrix &lower, const std::vector<double> &y)
+{
+    const std::size_t n = lower.rows();
+    if (y.size() != n)
+        panic("solveLowerTransposed dimension mismatch");
+    std::vector<double> x(n);
+    for (std::size_t ii = n; ii > 0; --ii) {
+        const std::size_t i = ii - 1;
+        double acc = y[i];
+        for (std::size_t k = i + 1; k < n; ++k)
+            acc -= lower(k, i) * x[k];
+        x[i] = acc / lower(i, i);
+    }
+    return x;
+}
+
+double
+choleskyJittered(const Matrix &a, Matrix &lower)
+{
+    const std::size_t n = a.rows();
+    double diag_mean = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        diag_mean += a(i, i);
+    diag_mean = n ? diag_mean / static_cast<double>(n) : 1.0;
+    if (diag_mean <= 0.0)
+        diag_mean = 1.0;
+
+    double jitter = 0.0;
+    for (int attempt = 0; attempt < 12; ++attempt) {
+        Matrix work = a;
+        if (jitter > 0.0)
+            for (std::size_t i = 0; i < n; ++i)
+                work(i, i) += jitter;
+        if (cholesky(work, lower))
+            return jitter;
+        jitter = (jitter == 0.0) ? 1e-10 * diag_mean : jitter * 10.0;
+    }
+    panic("choleskyJittered: matrix not SPD even with jitter ", jitter);
+}
+
+std::vector<double>
+solveSpd(const Matrix &a, const std::vector<double> &b, double *jitter_out)
+{
+    Matrix lower;
+    const double jitter = choleskyJittered(a, lower);
+    if (jitter_out)
+        *jitter_out = jitter;
+    return solveLowerTransposed(lower, solveLower(lower, b));
+}
+
+double
+dot(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size())
+        panic("dot dimension mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+double
+squaredDistance(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size())
+        panic("squaredDistance dimension mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+} // namespace vaesa

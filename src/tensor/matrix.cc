@@ -1,0 +1,261 @@
+#include "tensor/matrix.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace vaesa {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+{
+}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data))
+{
+    if (data_.size() != rows * cols)
+        panic("Matrix init payload size ", data_.size(),
+              " != ", rows, "x", cols);
+}
+
+double &
+Matrix::operator()(std::size_t r, std::size_t c)
+{
+    if (r >= rows_ || c >= cols_)
+        panic("Matrix index (", r, ",", c, ") out of ",
+              rows_, "x", cols_);
+    return data_[r * cols_ + c];
+}
+
+double
+Matrix::operator()(std::size_t r, std::size_t c) const
+{
+    if (r >= rows_ || c >= cols_)
+        panic("Matrix index (", r, ",", c, ") out of ",
+              rows_, "x", cols_);
+    return data_[r * cols_ + c];
+}
+
+std::vector<double>
+Matrix::row(std::size_t r) const
+{
+    if (r >= rows_)
+        panic("Matrix row ", r, " out of ", rows_);
+    return std::vector<double>(data_.begin() + r * cols_,
+                               data_.begin() + (r + 1) * cols_);
+}
+
+void
+Matrix::setRow(std::size_t r, const std::vector<double> &values)
+{
+    if (r >= rows_)
+        panic("Matrix row ", r, " out of ", rows_);
+    if (values.size() != cols_)
+        panic("Matrix setRow length ", values.size(), " != ", cols_);
+    std::copy(values.begin(), values.end(), data_.begin() + r * cols_);
+}
+
+void
+Matrix::fill(double value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+void
+Matrix::apply(const std::function<double(double)> &f)
+{
+    for (double &x : data_)
+        x = f(x);
+}
+
+void
+Matrix::add(const Matrix &other)
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        panic("Matrix add shape mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] += other.data_[i];
+}
+
+void
+Matrix::sub(const Matrix &other)
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        panic("Matrix sub shape mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] -= other.data_[i];
+}
+
+void
+Matrix::scale(double factor)
+{
+    for (double &x : data_)
+        x *= factor;
+}
+
+void
+Matrix::addScaled(const Matrix &other, double factor)
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        panic("Matrix addScaled shape mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] += factor * other.data_[i];
+}
+
+void
+Matrix::hadamard(const Matrix &other)
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        panic("Matrix hadamard shape mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] *= other.data_[i];
+}
+
+void
+Matrix::addRowVector(const std::vector<double> &bias)
+{
+    if (bias.size() != cols_)
+        panic("Matrix addRowVector length ", bias.size(), " != ", cols_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double *row_ptr = data_.data() + r * cols_;
+        for (std::size_t c = 0; c < cols_; ++c)
+            row_ptr[c] += bias[c];
+    }
+}
+
+std::vector<double>
+Matrix::colSums() const
+{
+    std::vector<double> sums(cols_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const double *row_ptr = data_.data() + r * cols_;
+        for (std::size_t c = 0; c < cols_; ++c)
+            sums[c] += row_ptr[c];
+    }
+    return sums;
+}
+
+double
+Matrix::maxAbs() const
+{
+    double best = 0.0;
+    for (double x : data_)
+        best = std::max(best, std::fabs(x));
+    return best;
+}
+
+double
+Matrix::sum() const
+{
+    double acc = 0.0;
+    for (double x : data_)
+        acc += x;
+    return acc;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            out.data_[c * rows_ + r] = data_[r * cols_ + c];
+    return out;
+}
+
+Matrix
+Matrix::multiply(const Matrix &a, const Matrix &b)
+{
+    if (a.cols_ != b.rows_)
+        panic("Matrix multiply shape mismatch: ", a.rows_, "x", a.cols_,
+              " * ", b.rows_, "x", b.cols_);
+    Matrix c(a.rows_, b.cols_);
+    // i-k-j loop order keeps the inner loop contiguous in both b and c.
+    for (std::size_t i = 0; i < a.rows_; ++i) {
+        const double *a_row = a.data_.data() + i * a.cols_;
+        double *c_row = c.data_.data() + i * c.cols_;
+        for (std::size_t k = 0; k < a.cols_; ++k) {
+            const double aik = a_row[k];
+            if (aik == 0.0)
+                continue;
+            const double *b_row = b.data_.data() + k * b.cols_;
+            for (std::size_t j = 0; j < b.cols_; ++j)
+                c_row[j] += aik * b_row[j];
+        }
+    }
+    return c;
+}
+
+Matrix
+Matrix::multiplyTransB(const Matrix &a, const Matrix &b)
+{
+    if (a.cols_ != b.cols_)
+        panic("Matrix multiplyTransB shape mismatch: ", a.rows_, "x",
+              a.cols_, " * (", b.rows_, "x", b.cols_, ")^T");
+    Matrix c(a.rows_, b.rows_);
+    for (std::size_t i = 0; i < a.rows_; ++i) {
+        const double *a_row = a.data_.data() + i * a.cols_;
+        double *c_row = c.data_.data() + i * c.cols_;
+        for (std::size_t j = 0; j < b.rows_; ++j) {
+            const double *b_row = b.data_.data() + j * b.cols_;
+            double acc = 0.0;
+            for (std::size_t k = 0; k < a.cols_; ++k)
+                acc += a_row[k] * b_row[k];
+            c_row[j] = acc;
+        }
+    }
+    return c;
+}
+
+Matrix
+Matrix::multiplyTransA(const Matrix &a, const Matrix &b)
+{
+    if (a.rows_ != b.rows_)
+        panic("Matrix multiplyTransA shape mismatch: (", a.rows_, "x",
+              a.cols_, ")^T * ", b.rows_, "x", b.cols_);
+    Matrix c(a.cols_, b.cols_);
+    for (std::size_t k = 0; k < a.rows_; ++k) {
+        const double *a_row = a.data_.data() + k * a.cols_;
+        const double *b_row = b.data_.data() + k * b.cols_;
+        for (std::size_t i = 0; i < a.cols_; ++i) {
+            const double aki = a_row[i];
+            if (aki == 0.0)
+                continue;
+            double *c_row = c.data_.data() + i * c.cols_;
+            for (std::size_t j = 0; j < b.cols_; ++j)
+                c_row[j] += aki * b_row[j];
+        }
+    }
+    return c;
+}
+
+void
+Matrix::randomNormal(Rng &rng, double mean, double stddev)
+{
+    for (double &x : data_)
+        x = rng.normal(mean, stddev);
+}
+
+void
+Matrix::randomUniform(Rng &rng, double lo, double hi)
+{
+    for (double &x : data_)
+        x = rng.uniform(lo, hi);
+}
+
+bool
+Matrix::operator==(const Matrix &other) const
+{
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+}
+
+} // namespace vaesa

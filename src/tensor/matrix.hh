@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Dense row-major matrix used throughout the NN and GP code.
+ *
+ * Double precision everywhere: the matrices in VAESA are small (a few
+ * hundred by a few hundred), so the 2x bandwidth cost of double over
+ * float is irrelevant, while GP Cholesky factorizations and
+ * finite-difference gradient checks benefit from the extra precision.
+ */
+
+#ifndef VAESA_TENSOR_MATRIX_HH
+#define VAESA_TENSOR_MATRIX_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace vaesa {
+
+class Rng;
+
+/**
+ * A dense, row-major, heap-backed matrix of doubles.
+ *
+ * Shapes are checked on every operation; mismatches are programming
+ * errors and panic(). Vectors are represented as 1-by-n or n-by-1
+ * matrices where convenient, or as std::vector<double> at module
+ * boundaries.
+ */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** Zero-initialized rows x cols matrix. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    /** rows x cols matrix filled with a constant. */
+    Matrix(std::size_t rows, std::size_t cols, double fill);
+
+    /** Build from a row-major initializer payload; size must match. */
+    Matrix(std::size_t rows, std::size_t cols,
+           std::vector<double> data);
+
+    /** Number of rows. */
+    std::size_t rows() const { return rows_; }
+
+    /** Number of columns. */
+    std::size_t cols() const { return cols_; }
+
+    /** Total element count. */
+    std::size_t size() const { return data_.size(); }
+
+    /** Element access (checked in debug via panic on OOB). */
+    double &operator()(std::size_t r, std::size_t c);
+
+    /** Element access, const. */
+    double operator()(std::size_t r, std::size_t c) const;
+
+    /** Raw row-major storage. */
+    double *data() { return data_.data(); }
+
+    /** Raw row-major storage, const. */
+    const double *data() const { return data_.data(); }
+
+    /** One row as a copied vector. */
+    std::vector<double> row(std::size_t r) const;
+
+    /** Overwrite one row from a vector of length cols(). */
+    void setRow(std::size_t r, const std::vector<double> &values);
+
+    /** Set every element to a constant. */
+    void fill(double value);
+
+    /** Apply f element-wise in place. */
+    void apply(const std::function<double(double)> &f);
+
+    /** this += other (same shape). */
+    void add(const Matrix &other);
+
+    /** this -= other (same shape). */
+    void sub(const Matrix &other);
+
+    /** this *= scalar. */
+    void scale(double factor);
+
+    /** this += scalar * other (axpy, same shape). */
+    void addScaled(const Matrix &other, double factor);
+
+    /** Element-wise product in place: this[i] *= other[i]. */
+    void hadamard(const Matrix &other);
+
+    /** Add a length-cols() bias vector to every row. */
+    void addRowVector(const std::vector<double> &bias);
+
+    /** Sum over rows, yielding a length-cols() vector. */
+    std::vector<double> colSums() const;
+
+    /** Largest absolute element (0 for empty). */
+    double maxAbs() const;
+
+    /** Sum of all elements. */
+    double sum() const;
+
+    /** Transposed copy. */
+    Matrix transposed() const;
+
+    /** C = A * B. */
+    static Matrix multiply(const Matrix &a, const Matrix &b);
+
+    /** C = A * B^T (B given untransposed). */
+    static Matrix multiplyTransB(const Matrix &a, const Matrix &b);
+
+    /** C = A^T * B (A given untransposed). */
+    static Matrix multiplyTransA(const Matrix &a, const Matrix &b);
+
+    /** Fill with i.i.d. N(mean, stddev) draws. */
+    void randomNormal(Rng &rng, double mean, double stddev);
+
+    /** Fill with i.i.d. U[lo, hi) draws. */
+    void randomUniform(Rng &rng, double lo, double hi);
+
+    /** Exact element-wise equality (for serialization round-trips). */
+    bool operator==(const Matrix &other) const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+} // namespace vaesa
+
+#endif // VAESA_TENSOR_MATRIX_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component in VAESA (dataset sampling, weight init,
+ * reparameterization noise, BO candidate generation, GD restarts) draws
+ * from an explicitly seeded Rng so experiments are reproducible and can
+ * be averaged over seeds, matching the paper's methodology.
+ */
+
+#ifndef VAESA_UTIL_RNG_HH
+#define VAESA_UTIL_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace vaesa {
+
+/**
+ * A small, fast, explicitly-seeded random number generator.
+ *
+ * Implements xoshiro256++ with splitmix64 seeding. Provides the handful
+ * of distributions the framework needs: uniform doubles, uniform
+ * integers, standard normals (Box-Muller with caching), and Fisher-Yates
+ * shuffles.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; equal seeds give equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t index(std::uint64_t n);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Standard normal sample, N(0, 1). */
+    double normal();
+
+    /** Normal sample with given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Fisher-Yates shuffle of an index permutation [0, n). */
+    std::vector<std::size_t> permutation(std::size_t n);
+
+    /** Spawn an independent child generator (for parallel streams). */
+    Rng split();
+
+  private:
+    std::uint64_t state_[4];
+    bool hasCachedNormal_ = false;
+    double cachedNormal_ = 0.0;
+};
+
+} // namespace vaesa
+
+#endif // VAESA_UTIL_RNG_HH

@@ -1,0 +1,144 @@
+#include "vaesa/dataset_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hh"
+#include "util/logging.hh"
+
+namespace vaesa {
+
+namespace {
+
+/** Rebuild a LayerShape from the 8 stored dimensions. */
+LayerShape
+layerFromFields(const std::string &name,
+                const std::array<std::int64_t, 8> &dims)
+{
+    LayerShape layer;
+    layer.name = name;
+    layer.r = dims[0];
+    layer.s = dims[1];
+    layer.p = dims[2];
+    layer.q = dims[3];
+    layer.c = dims[4];
+    layer.k = dims[5];
+    layer.strideW = dims[6];
+    layer.strideH = dims[7];
+    return layer;
+}
+
+} // namespace
+
+bool
+saveDatasetCsv(const std::string &path, const Dataset &data)
+{
+    std::ofstream probe(path);
+    if (!probe)
+        return false;
+    probe.close();
+
+    CsvWriter csv(path);
+    csv.header({"kind", "name_or_index", "f0", "f1", "f2", "f3",
+                "f4", "f5", "f6", "f7"});
+    for (const LayerShape &layer : data.layerPool()) {
+        csv.row({"layer", layer.name, std::to_string(layer.r),
+                 std::to_string(layer.s), std::to_string(layer.p),
+                 std::to_string(layer.q), std::to_string(layer.c),
+                 std::to_string(layer.k),
+                 std::to_string(layer.strideW),
+                 std::to_string(layer.strideH)});
+    }
+    for (const DataSample &s : data.samples()) {
+        csv.row({"sample", std::to_string(s.layerIndex),
+                 std::to_string(s.config.numPes),
+                 std::to_string(s.config.numMacs),
+                 std::to_string(s.config.accumBufBytes),
+                 std::to_string(s.config.weightBufBytes),
+                 std::to_string(s.config.inputBufBytes),
+                 std::to_string(s.config.globalBufBytes),
+                 CsvWriter::cell(s.logLatency),
+                 CsvWriter::cell(s.logEnergy)});
+    }
+    return true;
+}
+
+std::optional<Dataset>
+loadDatasetCsv(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return std::nullopt;
+
+    std::vector<LayerShape> pool;
+    std::vector<DataSample> samples;
+
+    std::string line;
+    std::getline(in, line); // header
+    std::size_t line_no = 1;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        std::istringstream iss(line);
+        std::vector<std::string> cells;
+        std::string cell;
+        while (std::getline(iss, cell, ','))
+            cells.push_back(cell);
+        if (cells.size() != 10)
+            fatal("loadDatasetCsv: malformed row at line ", line_no,
+                  " of '", path, "'");
+        if (cells[0] == "layer") {
+            std::array<std::int64_t, 8> dims{};
+            for (int i = 0; i < 8; ++i)
+                dims[i] = std::stoll(cells[2 + i]);
+            pool.push_back(layerFromFields(cells[1], dims));
+        } else if (cells[0] == "sample") {
+            DataSample s;
+            s.layerIndex =
+                static_cast<std::size_t>(std::stoull(cells[1]));
+            s.config.numPes = std::stoll(cells[2]);
+            s.config.numMacs = std::stoll(cells[3]);
+            s.config.accumBufBytes = std::stoll(cells[4]);
+            s.config.weightBufBytes = std::stoll(cells[5]);
+            s.config.inputBufBytes = std::stoll(cells[6]);
+            s.config.globalBufBytes = std::stoll(cells[7]);
+            s.logLatency = std::stod(cells[8]);
+            s.logEnergy = std::stod(cells[9]);
+            samples.push_back(std::move(s));
+        } else {
+            fatal("loadDatasetCsv: unknown row kind '", cells[0],
+                  "' at line ", line_no);
+        }
+    }
+    if (pool.empty() || samples.empty())
+        fatal("loadDatasetCsv: '", path,
+              "' contains no layers or no samples");
+
+    // Recompute the feature vectors from the loaded configs/layers.
+    for (DataSample &s : samples) {
+        if (s.layerIndex >= pool.size())
+            fatal("loadDatasetCsv: sample references layer ",
+                  s.layerIndex, " of ", pool.size());
+        s.hwFeatures = designSpace().toFeatures(s.config);
+        s.layerFeatures = pool[s.layerIndex].toFeatures();
+    }
+    return Dataset(std::move(samples), std::move(pool));
+}
+
+Dataset
+mergeDatasets(const Dataset &a, const Dataset &b)
+{
+    if (a.layerPool().size() != b.layerPool().size())
+        fatal("mergeDatasets: layer pools differ in size");
+    for (std::size_t i = 0; i < a.layerPool().size(); ++i) {
+        if (!a.layerPool()[i].sameShape(b.layerPool()[i]))
+            fatal("mergeDatasets: layer pools differ at index ", i);
+    }
+    std::vector<DataSample> merged = a.samples();
+    merged.insert(merged.end(), b.samples().begin(),
+                  b.samples().end());
+    return Dataset(std::move(merged), a.layerPool());
+}
+
+} // namespace vaesa

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Dataset persistence. The paper's flow grows the training set as
+ * DSE explores more designs and retrains or fine-tunes the VAE
+ * (Section III-B3); saving/loading datasets makes that workflow
+ * possible across processes, and the CSV form doubles as an export
+ * for external analysis.
+ */
+
+#ifndef VAESA_VAESA_DATASET_IO_HH
+#define VAESA_VAESA_DATASET_IO_HH
+
+#include <optional>
+#include <string>
+
+#include "vaesa/dataset.hh"
+
+namespace vaesa {
+
+/**
+ * Write a dataset to CSV: one row per sample with the configuration
+ * (6 raw parameter values), the layer-pool index, and the log2
+ * latency/energy labels. The layer pool itself is written as a
+ * sibling header block (rows starting with "layer").
+ * @return true on success.
+ */
+bool saveDatasetCsv(const std::string &path, const Dataset &data);
+
+/**
+ * Read a dataset written by saveDatasetCsv(). Normalizers are
+ * re-fitted from the loaded samples exactly as the builder would.
+ * @return nullopt when the file cannot be opened; fatal() on
+ * malformed content.
+ */
+std::optional<Dataset> loadDatasetCsv(const std::string &path);
+
+/**
+ * Merge two datasets over the same layer pool (the grow-and-retrain
+ * flow). Normalizers are re-fitted over the union.
+ */
+Dataset mergeDatasets(const Dataset &a, const Dataset &b);
+
+} // namespace vaesa
+
+#endif // VAESA_VAESA_DATASET_IO_HH

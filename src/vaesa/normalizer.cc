@@ -1,0 +1,147 @@
+#include "vaesa/normalizer.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace vaesa {
+
+namespace {
+
+// Keeps scaled values strictly below 1 and guards constant columns.
+constexpr double spanPad = 1e-9;
+
+} // namespace
+
+void
+Normalizer::fit(const Matrix &data)
+{
+    if (data.rows() == 0 || data.cols() == 0)
+        panic("Normalizer::fit on empty data");
+    const std::size_t d = data.cols();
+    lo_.assign(d, 0.0);
+    span_.assign(d, 1.0);
+    for (std::size_t c = 0; c < d; ++c) {
+        double mn = data(0, c);
+        double mx = data(0, c);
+        for (std::size_t r = 1; r < data.rows(); ++r) {
+            mn = std::min(mn, data(r, c));
+            mx = std::max(mx, data(r, c));
+        }
+        lo_[c] = mn;
+        span_[c] = std::max(mx - mn, spanPad) * (1.0 + spanPad);
+    }
+}
+
+std::vector<double>
+Normalizer::transform(const std::vector<double> &row) const
+{
+    if (row.size() != lo_.size())
+        panic("Normalizer::transform: width ", row.size(), " != ",
+              lo_.size());
+    std::vector<double> out(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c)
+        out[c] = (row[c] - lo_[c]) / span_[c];
+    return out;
+}
+
+Matrix
+Normalizer::transform(const Matrix &data) const
+{
+    if (data.cols() != lo_.size())
+        panic("Normalizer::transform: width mismatch");
+    Matrix out = data;
+    for (std::size_t r = 0; r < out.rows(); ++r)
+        for (std::size_t c = 0; c < out.cols(); ++c)
+            out(r, c) = (out(r, c) - lo_[c]) / span_[c];
+    return out;
+}
+
+std::vector<double>
+Normalizer::inverse(const std::vector<double> &row) const
+{
+    if (row.size() != lo_.size())
+        panic("Normalizer::inverse: width mismatch");
+    std::vector<double> out(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c)
+        out[c] = row[c] * span_[c] + lo_[c];
+    return out;
+}
+
+Matrix
+Normalizer::inverse(const Matrix &data) const
+{
+    if (data.cols() != lo_.size())
+        panic("Normalizer::inverse: width mismatch");
+    Matrix out = data;
+    for (std::size_t r = 0; r < out.rows(); ++r)
+        for (std::size_t c = 0; c < out.cols(); ++c)
+            out(r, c) = out(r, c) * span_[c] + lo_[c];
+    return out;
+}
+
+double
+Normalizer::lower(std::size_t col) const
+{
+    if (col >= lo_.size())
+        panic("Normalizer::lower: column out of range");
+    return lo_[col];
+}
+
+double
+Normalizer::upper(std::size_t col) const
+{
+    if (col >= lo_.size())
+        panic("Normalizer::upper: column out of range");
+    return lo_[col] + span_[col];
+}
+
+void
+Normalizer::setBounds(const std::vector<double> &lo,
+                      const std::vector<double> &hi)
+{
+    if (lo.size() != hi.size() || lo.empty())
+        panic("Normalizer::setBounds: bad bound vectors");
+    lo_ = lo;
+    span_.resize(lo.size());
+    for (std::size_t c = 0; c < lo.size(); ++c) {
+        if (hi[c] < lo[c])
+            panic("Normalizer::setBounds: hi < lo in column ", c);
+        span_[c] = std::max(hi[c] - lo[c], spanPad) * (1.0 + spanPad);
+    }
+}
+
+void
+Normalizer::serialize(std::ostream &out) const
+{
+    const std::uint64_t d = lo_.size();
+    out.write(reinterpret_cast<const char *>(&d), sizeof(d));
+    out.write(reinterpret_cast<const char *>(lo_.data()),
+              static_cast<std::streamsize>(d * sizeof(double)));
+    out.write(reinterpret_cast<const char *>(span_.data()),
+              static_cast<std::streamsize>(d * sizeof(double)));
+}
+
+Normalizer
+Normalizer::deserialize(std::istream &in)
+{
+    std::uint64_t d = 0;
+    in.read(reinterpret_cast<char *>(&d), sizeof(d));
+    if (!in || d > (1u << 20))
+        fatal("Normalizer::deserialize: corrupt stream");
+    Normalizer norm;
+    norm.lo_.resize(d);
+    norm.span_.resize(d);
+    in.read(reinterpret_cast<char *>(norm.lo_.data()),
+            static_cast<std::streamsize>(d * sizeof(double)));
+    in.read(reinterpret_cast<char *>(norm.span_.data()),
+            static_cast<std::streamsize>(d * sizeof(double)));
+    if (!in)
+        fatal("Normalizer::deserialize: truncated stream");
+    return norm;
+}
+
+} // namespace vaesa

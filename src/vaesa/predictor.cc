@@ -1,0 +1,58 @@
+#include "vaesa/predictor.hh"
+
+#include "util/logging.hh"
+
+namespace vaesa {
+
+Predictor::Predictor(const PredictorOptions &options, Rng &rng,
+                     const std::string &name)
+    : options_(options)
+{
+    net_ = nn::makeMlp(options_.designDim + options_.layerDim,
+                       options_.hiddenDims, 1, rng,
+                       nn::OutputActivation::None,
+                       options_.leakySlope);
+    // Prefix parameter names for serialization uniqueness.
+    for (nn::Parameter *p : net_->parameters())
+        p->name = name + "." + p->name;
+}
+
+Matrix
+Predictor::forward(const Matrix &design, const Matrix &layer_feats)
+{
+    if (design.rows() != layer_feats.rows())
+        panic("Predictor::forward: batch mismatch (", design.rows(),
+              " vs ", layer_feats.rows(), ")");
+    if (design.cols() != options_.designDim ||
+        layer_feats.cols() != options_.layerDim) {
+        panic("Predictor::forward: feature width mismatch");
+    }
+    Matrix joint(design.rows(),
+                 options_.designDim + options_.layerDim);
+    for (std::size_t r = 0; r < design.rows(); ++r) {
+        for (std::size_t c = 0; c < options_.designDim; ++c)
+            joint(r, c) = design(r, c);
+        for (std::size_t c = 0; c < options_.layerDim; ++c)
+            joint(r, options_.designDim + c) = layer_feats(r, c);
+    }
+    return net_->forward(joint);
+}
+
+Matrix
+Predictor::backward(const Matrix &grad_out)
+{
+    const Matrix grad_joint = net_->backward(grad_out);
+    Matrix grad_design(grad_joint.rows(), options_.designDim);
+    for (std::size_t r = 0; r < grad_joint.rows(); ++r)
+        for (std::size_t c = 0; c < options_.designDim; ++c)
+            grad_design(r, c) = grad_joint(r, c);
+    return grad_design;
+}
+
+std::vector<nn::Parameter *>
+Predictor::parameters()
+{
+    return net_->parameters();
+}
+
+} // namespace vaesa

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Performance predictor heads (Figure 3): MLPs that estimate one
+ * normalized log-scale label (latency or energy) from a design
+ * representation concatenated with the layer features. With the
+ * latent z as the design representation they structure the latent
+ * space and drive vae_gd; with the normalized input features they
+ * form the paper's input-space gd baseline.
+ */
+
+#ifndef VAESA_VAESA_PREDICTOR_HH
+#define VAESA_VAESA_PREDICTOR_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/sequential.hh"
+#include "tensor/matrix.hh"
+#include "util/rng.hh"
+
+namespace vaesa {
+
+/** Architecture hyperparameters of a predictor head. */
+struct PredictorOptions
+{
+    /** Width of the design representation (latent or input dims). */
+    std::size_t designDim = 4;
+
+    /** Width of the layer-feature vector. */
+    std::size_t layerDim = 8;
+
+    /** Hidden widths. */
+    std::vector<std::size_t> hiddenDims = {64, 64};
+
+    /** LeakyReLU negative-side slope. */
+    double leakySlope = 0.01;
+};
+
+/** One scalar-output predictor MLP over (design, layer) features. */
+class Predictor
+{
+  public:
+    /**
+     * Construct with randomly initialized weights.
+     * @param name parameter-name prefix (e.g.\ "latency").
+     */
+    Predictor(const PredictorOptions &options, Rng &rng,
+              const std::string &name);
+
+    /**
+     * Predict a (batch x 1) label from design and layer batches of
+     * equal row counts.
+     */
+    Matrix forward(const Matrix &design, const Matrix &layer_feats);
+
+    /**
+     * Back-propagate through the cached forward pass; accumulates
+     * parameter gradients.
+     * @param grad_out dL/d(prediction), (batch x 1).
+     * @return dL/d(design), (batch x designDim) -- layer-feature
+     *         gradients are discarded (layer features are inputs).
+     */
+    Matrix backward(const Matrix &grad_out);
+
+    /** Learnable parameters. */
+    std::vector<nn::Parameter *> parameters();
+
+    /** Options of this head. */
+    const PredictorOptions &options() const { return options_; }
+
+  private:
+    PredictorOptions options_;
+    std::unique_ptr<nn::Sequential> net_;
+};
+
+} // namespace vaesa
+
+#endif // VAESA_VAESA_PREDICTOR_HH

@@ -1,0 +1,132 @@
+#include "vaesa/serialize.hh"
+
+#include <cstdint>
+#include <fstream>
+
+#include "nn/serialize.hh"
+#include "util/logging.hh"
+
+namespace vaesa {
+
+namespace {
+
+constexpr std::uint32_t frameworkMagic = 0x56534657; // "VSFW"
+constexpr std::uint32_t frameworkVersion = 1;
+
+void
+writeU64(std::ostream &out, std::uint64_t value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(value));
+}
+
+std::uint64_t
+readU64(std::istream &in)
+{
+    std::uint64_t value = 0;
+    in.read(reinterpret_cast<char *>(&value), sizeof(value));
+    return value;
+}
+
+void
+writeF64(std::ostream &out, double value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(value));
+}
+
+double
+readF64(std::istream &in)
+{
+    double value = 0.0;
+    in.read(reinterpret_cast<char *>(&value), sizeof(value));
+    return value;
+}
+
+void
+writeSizes(std::ostream &out, const std::vector<std::size_t> &sizes)
+{
+    writeU64(out, sizes.size());
+    for (std::size_t s : sizes)
+        writeU64(out, s);
+}
+
+std::vector<std::size_t>
+readSizes(std::istream &in)
+{
+    const std::uint64_t n = readU64(in);
+    if (n > 64)
+        fatal("loadFramework: corrupt layer-size list");
+    std::vector<std::size_t> sizes(n);
+    for (auto &s : sizes)
+        s = static_cast<std::size_t>(readU64(in));
+    return sizes;
+}
+
+} // namespace
+
+bool
+saveFramework(const std::string &path, VaesaFramework &framework)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        warn("saveFramework: cannot open '", path, "'");
+        return false;
+    }
+    out.write(reinterpret_cast<const char *>(&frameworkMagic),
+              sizeof(frameworkMagic));
+    out.write(reinterpret_cast<const char *>(&frameworkVersion),
+              sizeof(frameworkVersion));
+
+    const FrameworkOptions &options = framework.frameworkOptions();
+    writeU64(out, options.vae.inputDim);
+    writeSizes(out, options.vae.hiddenDims);
+    writeU64(out, options.vae.latentDim);
+    writeF64(out, options.vae.leakySlope);
+    writeSizes(out, options.predictorHidden);
+
+    framework.hwNormalizer().serialize(out);
+    framework.layerNormalizer().serialize(out);
+    framework.latencyNormalizer().serialize(out);
+    framework.energyNormalizer().serialize(out);
+
+    nn::saveParametersToStream(out, framework.parameters());
+    return static_cast<bool>(out);
+}
+
+std::unique_ptr<VaesaFramework>
+loadFramework(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return nullptr;
+    std::uint32_t magic = 0;
+    std::uint32_t version = 0;
+    in.read(reinterpret_cast<char *>(&magic), sizeof(magic));
+    in.read(reinterpret_cast<char *>(&version), sizeof(version));
+    if (magic != frameworkMagic)
+        fatal("loadFramework: '", path,
+              "' is not a VAESA framework snapshot");
+    if (version != frameworkVersion)
+        fatal("loadFramework: unsupported snapshot version ",
+              version);
+
+    FrameworkOptions options;
+    options.vae.inputDim = static_cast<std::size_t>(readU64(in));
+    options.vae.hiddenDims = readSizes(in);
+    options.vae.latentDim = static_cast<std::size_t>(readU64(in));
+    options.vae.leakySlope = readF64(in);
+    options.predictorHidden = readSizes(in);
+    if (!in)
+        fatal("loadFramework: truncated snapshot header");
+
+    const Normalizer hw = Normalizer::deserialize(in);
+    const Normalizer layer = Normalizer::deserialize(in);
+    const Normalizer lat = Normalizer::deserialize(in);
+    const Normalizer en = Normalizer::deserialize(in);
+
+    auto framework = std::make_unique<VaesaFramework>(
+        options, /*seed=*/0, hw, layer, lat, en);
+    nn::loadParametersFromStream(in, framework->parameters());
+    return framework;
+}
+
+} // namespace vaesa

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Whole-framework snapshots: hyperparameters, the four normalizers,
+ * and every learnable parameter in one file, so a trained VAESA
+ * instance can be restored in a fresh process without the training
+ * dataset (train once, search many times).
+ */
+
+#ifndef VAESA_VAESA_SERIALIZE_HH
+#define VAESA_VAESA_SERIALIZE_HH
+
+#include <memory>
+#include <string>
+
+#include "vaesa/framework.hh"
+
+namespace vaesa {
+
+/**
+ * Save a complete framework snapshot.
+ * @return true on success (false when the file cannot be written).
+ */
+bool saveFramework(const std::string &path, VaesaFramework &framework);
+
+/**
+ * Restore a snapshot written by saveFramework().
+ * @return the restored instance, or nullptr when the file cannot be
+ * opened; fatal() on a corrupt or incompatible snapshot.
+ */
+std::unique_ptr<VaesaFramework>
+loadFramework(const std::string &path);
+
+} // namespace vaesa
+
+#endif // VAESA_VAESA_SERIALIZE_HH

@@ -1,0 +1,208 @@
+#include "vaesa/trainer.hh"
+
+#include <algorithm>
+
+#include "nn/loss.hh"
+#include "nn/optim.hh"
+#include "util/logging.hh"
+
+namespace vaesa {
+
+namespace {
+
+/** Gather the rows of src listed in idx[begin, end). */
+Matrix
+gatherRows(const Matrix &src, const std::vector<std::size_t> &idx,
+           std::size_t begin, std::size_t end)
+{
+    Matrix out(end - begin, src.cols());
+    for (std::size_t i = begin; i < end; ++i)
+        out.setRow(i - begin, src.row(idx[i]));
+    return out;
+}
+
+} // namespace
+
+Trainer::Trainer(Vae &vae, Predictor &latency, Predictor &energy,
+                 const TrainOptions &options)
+    : vae_(vae), latency_(latency), energy_(energy), options_(options)
+{
+    if (latency_.options().designDim != vae_.latentDim() ||
+        energy_.options().designDim != vae_.latentDim()) {
+        fatal("Trainer: predictor designDim must equal the VAE latent "
+              "dimensionality");
+    }
+    std::vector<nn::Parameter *> params = vae_.parameters();
+    for (nn::Parameter *p : latency_.parameters())
+        params.push_back(p);
+    for (nn::Parameter *p : energy_.parameters())
+        params.push_back(p);
+    optimizer_ = std::make_unique<nn::Adam>(std::move(params),
+                                            options_.learningRate);
+}
+
+EpochStats
+Trainer::runEpoch(const Matrix &hw, const Matrix &layer,
+                  const Matrix &lat_labels, const Matrix &en_labels,
+                  Rng &rng, bool update)
+{
+    const std::size_t n = hw.rows();
+    if (layer.rows() != n || lat_labels.rows() != n ||
+        en_labels.rows() != n) {
+        fatal("Trainer: inconsistent row counts across matrices");
+    }
+    std::vector<std::size_t> order =
+        update ? rng.permutation(n) : [&] {
+            std::vector<std::size_t> ident(n);
+            for (std::size_t i = 0; i < n; ++i)
+                ident[i] = i;
+            return ident;
+        }();
+
+    EpochStats stats;
+    std::size_t batches = 0;
+    for (std::size_t begin = 0; begin < n;
+         begin += options_.batchSize) {
+        const std::size_t end =
+            std::min(n, begin + options_.batchSize);
+        const Matrix x = gatherRows(hw, order, begin, end);
+        const Matrix feats = gatherRows(layer, order, begin, end);
+        const Matrix y_lat =
+            gatherRows(lat_labels, order, begin, end);
+        const Matrix y_en = gatherRows(en_labels, order, begin, end);
+
+        Vae::ForwardResult fr = vae_.forward(x, rng, update);
+        const Matrix pred_lat = latency_.forward(fr.z, feats);
+        const Matrix pred_en = energy_.forward(fr.z, feats);
+
+        const nn::LossResult recon = nn::mseLoss(fr.recon, x);
+        const nn::KldResult kld = nn::gaussianKld(fr.mu, fr.logvar);
+        const nn::LossResult lat = nn::mseLoss(pred_lat, y_lat);
+        const nn::LossResult en = nn::mseLoss(pred_en, y_en);
+
+        stats.reconLoss += recon.value;
+        stats.kldLoss += kld.value;
+        stats.latencyLoss += lat.value;
+        stats.energyLoss += en.value;
+        ++batches;
+
+        if (update) {
+            optimizer_->zeroGrad();
+
+            Matrix grad_lat = lat.grad;
+            grad_lat.scale(options_.predictorWeight);
+            Matrix grad_en = en.grad;
+            grad_en.scale(options_.predictorWeight);
+            Matrix grad_z = latency_.backward(grad_lat);
+            grad_z.add(energy_.backward(grad_en));
+
+            Matrix grad_mu = kld.gradMu;
+            grad_mu.scale(options_.kldWeight);
+            Matrix grad_logvar = kld.gradLogvar;
+            grad_logvar.scale(options_.kldWeight);
+
+            vae_.backward(fr, recon.grad, grad_mu, grad_logvar,
+                          grad_z);
+            optimizer_->step();
+        }
+    }
+
+    if (batches > 0) {
+        const double inv = 1.0 / static_cast<double>(batches);
+        stats.reconLoss *= inv;
+        stats.kldLoss *= inv;
+        stats.latencyLoss *= inv;
+        stats.energyLoss *= inv;
+    }
+    stats.totalLoss = stats.reconLoss +
+                      options_.kldWeight * stats.kldLoss +
+                      options_.predictorWeight *
+                          (stats.latencyLoss + stats.energyLoss);
+    return stats;
+}
+
+std::vector<EpochStats>
+Trainer::train(const Dataset &data, Rng &rng)
+{
+    return train(data.hwFeatures(), data.layerFeatures(),
+                 data.latencyLabels(), data.energyLabels(), rng);
+}
+
+std::vector<EpochStats>
+Trainer::train(const Matrix &hw_features, const Matrix &layer_features,
+               const Matrix &latency_labels,
+               const Matrix &energy_labels, Rng &rng)
+{
+    std::vector<EpochStats> history;
+    history.reserve(options_.epochs);
+    for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+        history.push_back(runEpoch(hw_features, layer_features,
+                                   latency_labels, energy_labels,
+                                   rng, true));
+        debugLog("epoch ", epoch, " recon=",
+                 history.back().reconLoss, " kld=",
+                 history.back().kldLoss, " lat=",
+                 history.back().latencyLoss, " en=",
+                 history.back().energyLoss);
+    }
+    return history;
+}
+
+EpochStats
+Trainer::evaluate(const Dataset &data, Rng &rng)
+{
+    return runEpoch(data.hwFeatures(), data.layerFeatures(),
+                    data.latencyLabels(), data.energyLabels(), rng,
+                    false);
+}
+
+PredictorTrainer::PredictorTrainer(Predictor &predictor,
+                                   const TrainOptions &options)
+    : predictor_(predictor), options_(options)
+{
+    optimizer_ = std::make_unique<nn::Adam>(predictor_.parameters(),
+                                            options_.learningRate);
+}
+
+std::vector<double>
+PredictorTrainer::train(const Matrix &design, const Matrix &layer_feats,
+                        const Matrix &labels, Rng &rng)
+{
+    if (design.rows() != layer_feats.rows() ||
+        design.rows() != labels.rows()) {
+        fatal("PredictorTrainer: inconsistent row counts");
+    }
+    const std::size_t n = design.rows();
+    std::vector<double> history;
+    history.reserve(options_.epochs);
+
+    for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+        const std::vector<std::size_t> order = rng.permutation(n);
+        double epoch_loss = 0.0;
+        std::size_t batches = 0;
+        for (std::size_t begin = 0; begin < n;
+             begin += options_.batchSize) {
+            const std::size_t end =
+                std::min(n, begin + options_.batchSize);
+            const Matrix xb = gatherRows(design, order, begin, end);
+            const Matrix fb = gatherRows(layer_feats, order, begin,
+                                         end);
+            const Matrix yb = gatherRows(labels, order, begin, end);
+
+            const Matrix pred = predictor_.forward(xb, fb);
+            const nn::LossResult loss = nn::mseLoss(pred, yb);
+            epoch_loss += loss.value;
+            ++batches;
+
+            optimizer_->zeroGrad();
+            predictor_.backward(loss.grad);
+            optimizer_->step();
+        }
+        history.push_back(batches ? epoch_loss /
+                                        static_cast<double>(batches)
+                                  : 0.0);
+    }
+    return history;
+}
+
+} // namespace vaesa

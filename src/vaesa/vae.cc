@@ -1,0 +1,124 @@
+#include "vaesa/vae.hh"
+
+#include <cmath>
+
+#include "nn/activation.hh"
+#include "util/logging.hh"
+
+namespace vaesa {
+
+Vae::Vae(const VaeOptions &options, Rng &rng)
+    : options_(options)
+{
+    if (options_.latentDim == 0 || options_.inputDim == 0)
+        fatal("Vae: zero input or latent dimensionality");
+
+    // Encoder trunk: input -> hidden dims, LeakyReLU throughout
+    // (including after the last hidden layer, before the heads).
+    encoderTrunk_ = std::make_unique<nn::Sequential>();
+    std::size_t prev = options_.inputDim;
+    int index = 0;
+    for (std::size_t width : options_.hiddenDims) {
+        encoderTrunk_->add(std::make_unique<nn::Linear>(
+            prev, width, rng, "enc" + std::to_string(index++)));
+        encoderTrunk_->add(std::make_unique<nn::LeakyReLU>(
+            width, options_.leakySlope));
+        prev = width;
+    }
+    if (options_.hiddenDims.empty())
+        fatal("Vae: encoder needs at least one hidden layer");
+
+    muHead_ = std::make_unique<nn::Linear>(
+        prev, options_.latentDim, rng, "mu");
+    logvarHead_ = std::make_unique<nn::Linear>(
+        prev, options_.latentDim, rng, "logvar");
+
+    // Decoder mirrors the encoder; sigmoid output keeps features in
+    // (0, 1), matching the normalized input domain.
+    std::vector<std::size_t> reversed(options_.hiddenDims.rbegin(),
+                                      options_.hiddenDims.rend());
+    decoder_ = nn::makeMlp(options_.latentDim, reversed,
+                           options_.inputDim, rng,
+                           nn::OutputActivation::Sigmoid,
+                           options_.leakySlope);
+}
+
+Vae::ForwardResult
+Vae::forward(const Matrix &x, Rng &rng, bool sample_latent)
+{
+    ForwardResult fr;
+    trunkOut_ = encoderTrunk_->forward(x);
+    fr.mu = muHead_->forward(trunkOut_);
+    fr.logvar = logvarHead_->forward(trunkOut_);
+
+    fr.eps = Matrix(fr.mu.rows(), fr.mu.cols());
+    if (sample_latent)
+        fr.eps.randomNormal(rng, 0.0, 1.0);
+
+    fr.z = fr.mu;
+    for (std::size_t r = 0; r < fr.z.rows(); ++r) {
+        for (std::size_t c = 0; c < fr.z.cols(); ++c) {
+            fr.z(r, c) += std::exp(0.5 * fr.logvar(r, c)) *
+                          fr.eps(r, c);
+        }
+    }
+    fr.recon = decoder_->forward(fr.z);
+    return fr;
+}
+
+void
+Vae::backward(const ForwardResult &fr, const Matrix &grad_recon,
+              const Matrix &grad_mu_kld, const Matrix &grad_logvar_kld,
+              const Matrix &grad_z_extra)
+{
+    // Through the decoder into z.
+    Matrix grad_z = decoder_->backward(grad_recon);
+    if (grad_z_extra.size() > 0)
+        grad_z.add(grad_z_extra);
+
+    // Through reparameterization: z = mu + exp(logvar/2) * eps.
+    Matrix grad_mu = grad_z;
+    grad_mu.add(grad_mu_kld);
+    Matrix grad_logvar = grad_logvar_kld;
+    for (std::size_t r = 0; r < grad_z.rows(); ++r) {
+        for (std::size_t c = 0; c < grad_z.cols(); ++c) {
+            grad_logvar(r, c) +=
+                grad_z(r, c) * fr.eps(r, c) * 0.5 *
+                std::exp(0.5 * fr.logvar(r, c));
+        }
+    }
+
+    // Through the heads into the shared trunk.
+    Matrix grad_trunk = muHead_->backward(grad_mu);
+    grad_trunk.add(logvarHead_->backward(grad_logvar));
+    encoderTrunk_->backward(grad_trunk);
+}
+
+Matrix
+Vae::encodeMean(const Matrix &x)
+{
+    return muHead_->forward(encoderTrunk_->forward(x));
+}
+
+Matrix
+Vae::decode(const Matrix &z)
+{
+    return decoder_->forward(z);
+}
+
+std::vector<nn::Parameter *>
+Vae::parameters()
+{
+    std::vector<nn::Parameter *> params;
+    for (nn::Parameter *p : encoderTrunk_->parameters())
+        params.push_back(p);
+    for (nn::Parameter *p : muHead_->parameters())
+        params.push_back(p);
+    for (nn::Parameter *p : logvarHead_->parameters())
+        params.push_back(p);
+    for (nn::Parameter *p : decoder_->parameters())
+        params.push_back(p);
+    return params;
+}
+
+} // namespace vaesa

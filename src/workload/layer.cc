@@ -1,0 +1,86 @@
+#include "workload/layer.hh"
+
+#include <sstream>
+
+#include "util/numeric.hh"
+
+namespace vaesa {
+
+double
+LayerShape::macs() const
+{
+    return static_cast<double>(r) * static_cast<double>(s) *
+           static_cast<double>(p) * static_cast<double>(q) *
+           static_cast<double>(c) * static_cast<double>(k);
+}
+
+std::int64_t
+LayerShape::weightWords() const
+{
+    return r * s * c * k;
+}
+
+std::int64_t
+LayerShape::outputWords() const
+{
+    return p * q * k;
+}
+
+std::int64_t
+LayerShape::inputW() const
+{
+    return (p - 1) * strideW + r;
+}
+
+std::int64_t
+LayerShape::inputH() const
+{
+    return (q - 1) * strideH + s;
+}
+
+std::int64_t
+LayerShape::inputWords() const
+{
+    return inputW() * inputH() * c;
+}
+
+bool
+LayerShape::isSane() const
+{
+    return r >= 1 && s >= 1 && p >= 1 && q >= 1 && c >= 1 && k >= 1 &&
+           strideW >= 1 && strideH >= 1;
+}
+
+std::vector<double>
+LayerShape::toFeatures() const
+{
+    return {
+        log2d(static_cast<double>(r)),
+        log2d(static_cast<double>(s)),
+        log2d(static_cast<double>(p)),
+        log2d(static_cast<double>(q)),
+        log2d(static_cast<double>(c)),
+        log2d(static_cast<double>(k)),
+        log2d(static_cast<double>(strideW)),
+        log2d(static_cast<double>(strideH)),
+    };
+}
+
+std::string
+LayerShape::describe() const
+{
+    std::ostringstream oss;
+    oss << name << " [" << r << "," << s << "," << p << "," << q << ","
+        << c << "," << k << "," << strideW << "," << strideH << "]";
+    return oss.str();
+}
+
+bool
+LayerShape::sameShape(const LayerShape &other) const
+{
+    return r == other.r && s == other.s && p == other.p &&
+           q == other.q && c == other.c && k == other.k &&
+           strideW == other.strideW && strideH == other.strideH;
+}
+
+} // namespace vaesa

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Built-in DNN workloads (Table III) and the 12 unseen test layers of
+ * Table IV. Each network is reduced to its *unique* layer shapes, as
+ * in the paper: AlexNet 8, ResNet-50 24, ResNeXt-50-32x4d 25,
+ * DeepBench (OCR + face recognition) 9.
+ */
+
+#ifndef VAESA_WORKLOAD_NETWORKS_HH
+#define VAESA_WORKLOAD_NETWORKS_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/layer.hh"
+
+namespace vaesa {
+
+/** A named set of unique layers optimized as one workload. */
+struct Workload
+{
+    /** Workload name, e.g. "resnet50". */
+    std::string name;
+
+    /** Unique layer shapes of the network. */
+    std::vector<LayerShape> layers;
+};
+
+/** AlexNet's 8 unique layers (5 conv + 3 FC). */
+std::vector<LayerShape> alexNetLayers();
+
+/** ResNet-50's 24 unique layers (torchvision topology + FC). */
+std::vector<LayerShape> resNet50Layers();
+
+/** ResNeXt-50-32x4d's 25 unique layers (grouped 3x3 as per-group C). */
+std::vector<LayerShape> resNext50Layers();
+
+/** DeepBench OCR + face-recognition set, 9 unique layers. */
+std::vector<LayerShape> deepBenchLayers();
+
+/** The 12 unseen conv/FC layers of Table IV used in the GD study. */
+std::vector<LayerShape> gdTestLayers();
+
+/** The four training/BO workloads of Table III. */
+std::vector<Workload> trainingWorkloads();
+
+/** Look up one training workload by name; fatal() if unknown. */
+Workload workloadByName(const std::string &name);
+
+/** Remove duplicate shapes, keeping first occurrences (order stable). */
+std::vector<LayerShape> uniqueLayers(const std::vector<LayerShape> &in);
+
+} // namespace vaesa
+
+#endif // VAESA_WORKLOAD_NETWORKS_HH

@@ -1,0 +1,87 @@
+#include "workload/parse.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace vaesa {
+
+std::optional<LayerShape>
+parseLayerLine(const std::string &line, const std::string &default_name)
+{
+    // Strip comments and whitespace-only lines.
+    std::string body = line;
+    const std::size_t hash = body.find('#');
+    if (hash != std::string::npos)
+        body.erase(hash);
+    std::istringstream iss(body);
+
+    std::vector<std::string> tokens;
+    std::string token;
+    while (iss >> token)
+        tokens.push_back(token);
+    if (tokens.empty())
+        return std::nullopt;
+
+    std::string name = default_name;
+    std::size_t first = 0;
+    // A leading non-numeric token is the layer name.
+    if (!std::isdigit(static_cast<unsigned char>(tokens[0][0]))) {
+        name = tokens[0];
+        first = 1;
+    }
+    if (tokens.size() - first != 8)
+        fatal("parseLayerLine: expected 8 dimensions (R S P Q C K "
+              "strideW strideH), got ",
+              tokens.size() - first, " in '", line, "'");
+
+    std::int64_t dims[8];
+    for (int i = 0; i < 8; ++i) {
+        const std::string &t = tokens[first + i];
+        char *end = nullptr;
+        dims[i] = std::strtoll(t.c_str(), &end, 10);
+        if (end == t.c_str() || *end)
+            fatal("parseLayerLine: '", t, "' is not an integer in '",
+                  line, "'");
+    }
+
+    LayerShape layer;
+    layer.name = name;
+    layer.r = dims[0];
+    layer.s = dims[1];
+    layer.p = dims[2];
+    layer.q = dims[3];
+    layer.c = dims[4];
+    layer.k = dims[5];
+    layer.strideW = dims[6];
+    layer.strideH = dims[7];
+    if (!layer.isSane())
+        fatal("parseLayerLine: non-positive dimension in '", line,
+              "'");
+    return layer;
+}
+
+std::optional<std::vector<LayerShape>>
+parseLayerFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return std::nullopt;
+    std::vector<LayerShape> layers;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const auto layer = parseLayerLine(
+            line, "custom.layer" + std::to_string(layers.size() + 1));
+        if (layer)
+            layers.push_back(*layer);
+    }
+    if (layers.empty())
+        fatal("parseLayerFile: no layers found in '", path, "'");
+    return layers;
+}
+
+} // namespace vaesa

@@ -1,0 +1,101 @@
+/** @file Unit tests for the area model. */
+
+#include <gtest/gtest.h>
+
+#include "arch/area_model.hh"
+
+namespace vaesa {
+namespace {
+
+AcceleratorConfig
+midConfig()
+{
+    AcceleratorConfig c;
+    c.numPes = 16;
+    c.numMacs = 1024;
+    c.accumBufBytes = 24 * 1024;
+    c.weightBufBytes = 512 * 1024;
+    c.inputBufBytes = 64 * 1024;
+    c.globalBufBytes = 128 * 1024;
+    return c;
+}
+
+TEST(AreaModel, ComponentAreasPositive)
+{
+    AreaModel am;
+    EXPECT_GT(am.macUm2(), 0.0);
+    EXPECT_GT(am.sramUm2(1024), 0.0);
+    EXPECT_GT(am.routerUm2(), 0.0);
+}
+
+TEST(AreaModel, SramAreaScalesLinearlyWithCapacity)
+{
+    AreaModel am;
+    const double marginal =
+        am.sramUm2(128 * 1024) - am.sramUm2(64 * 1024);
+    const double marginal2 =
+        am.sramUm2(256 * 1024) - am.sramUm2(128 * 1024);
+    EXPECT_NEAR(marginal2 / marginal, 2.0, 1e-9);
+}
+
+TEST(AreaModel, TotalIsSumOfComponents)
+{
+    AreaModel am;
+    const AcceleratorConfig c = midConfig();
+    const double per_pe =
+        64.0 * am.macUm2() + am.sramUm2(c.accumBufBytes) +
+        am.sramUm2(c.weightBufBytes) + am.sramUm2(c.inputBufBytes) +
+        am.routerUm2();
+    EXPECT_NEAR(am.totalUm2(c),
+                16.0 * per_pe + am.sramUm2(c.globalBufBytes),
+                1e-6);
+}
+
+TEST(AreaModel, TotalGrowsWithEveryResource)
+{
+    AreaModel am;
+    const AcceleratorConfig base = midConfig();
+    const double base_area = am.totalUm2(base);
+    for (int p = 0; p < numHwParams; ++p) {
+        AcceleratorConfig bigger = base;
+        const auto param = static_cast<HwParam>(p);
+        bigger.setValue(param, 2 * base.value(param));
+        if (param == HwParam::NumPes) {
+            // Keep lanes >= 1 when doubling PEs.
+            bigger.numMacs = 2 * base.numMacs;
+        }
+        EXPECT_GT(am.totalUm2(bigger), base_area)
+            << "parameter " << p;
+    }
+}
+
+TEST(AreaModel, RealisticMagnitudeForSimbaLikeDesign)
+{
+    // A 16-PE, 1024-MAC design with ~10 MB of SRAM should land in
+    // the tens of mm^2 at 40 nm -- the Simba chiplet ballpark.
+    AreaModel am;
+    const double mm2 = am.totalMm2(midConfig());
+    EXPECT_GT(mm2, 1.0);
+    EXPECT_LT(mm2, 100.0);
+}
+
+TEST(AreaModel, TechnologyScaleIsUniform)
+{
+    AreaModel base;
+    AreaModel scaled(0.25);
+    EXPECT_DOUBLE_EQ(scaled.totalUm2(midConfig()),
+                     0.25 * base.totalUm2(midConfig()));
+}
+
+TEST(AreaModel, RejectsBadInputs)
+{
+    EXPECT_DEATH(AreaModel(-1.0), "positive");
+    AreaModel am;
+    EXPECT_DEATH(am.sramUm2(0), "capacity");
+    AcceleratorConfig bad = midConfig();
+    bad.numMacs = 4; // fewer MACs than PEs
+    EXPECT_DEATH(am.totalUm2(bad), "invalid");
+}
+
+} // namespace
+} // namespace vaesa

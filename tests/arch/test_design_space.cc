@@ -1,0 +1,185 @@
+/** @file Unit tests for the Table II design space. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/design_space.hh"
+#include "util/rng.hh"
+
+namespace vaesa {
+namespace {
+
+TEST(DesignSpace, TableIICounts)
+{
+    const DesignSpace &ds = designSpace();
+    EXPECT_EQ(ds.count(HwParam::NumPes), 5);
+    EXPECT_EQ(ds.count(HwParam::NumMacs), 64);
+    EXPECT_EQ(ds.count(HwParam::AccumBufBytes), 128);
+    EXPECT_EQ(ds.count(HwParam::WeightBufBytes), 32768);
+    EXPECT_EQ(ds.count(HwParam::InputBufBytes), 2048);
+    EXPECT_EQ(ds.count(HwParam::GlobalBufBytes), 131072);
+}
+
+TEST(DesignSpace, TableIIMaxima)
+{
+    const DesignSpace &ds = designSpace();
+    EXPECT_EQ(ds.indexToValue(HwParam::NumPes, 4), 64);
+    EXPECT_EQ(ds.indexToValue(HwParam::NumMacs, 63), 4096);
+    EXPECT_EQ(ds.indexToValue(HwParam::AccumBufBytes, 127),
+              96 * 1024);
+    EXPECT_EQ(ds.indexToValue(HwParam::WeightBufBytes, 32767),
+              8 * 1024 * 1024);
+    EXPECT_EQ(ds.indexToValue(HwParam::InputBufBytes, 2047),
+              256 * 1024);
+    EXPECT_EQ(ds.indexToValue(HwParam::GlobalBufBytes, 131071),
+              256 * 1024);
+}
+
+TEST(DesignSpace, TotalSizeMatchesPaper)
+{
+    // 5 * 64 * 128 * 32768 * 2048 * 131072 = 3.6e17.
+    EXPECT_NEAR(designSpace().totalSize() / 3.6e17, 1.0, 0.01);
+}
+
+TEST(DesignSpace, PeGridIsGeometric)
+{
+    const DesignSpace &ds = designSpace();
+    EXPECT_EQ(ds.indexToValue(HwParam::NumPes, 0), 4);
+    EXPECT_EQ(ds.indexToValue(HwParam::NumPes, 1), 8);
+    EXPECT_EQ(ds.indexToValue(HwParam::NumPes, 2), 16);
+    EXPECT_EQ(ds.indexToValue(HwParam::NumPes, 3), 32);
+}
+
+TEST(DesignSpace, MacGridIsLinear)
+{
+    const DesignSpace &ds = designSpace();
+    EXPECT_EQ(ds.indexToValue(HwParam::NumMacs, 0), 64);
+    EXPECT_EQ(ds.indexToValue(HwParam::NumMacs, 1), 128);
+}
+
+TEST(DesignSpace, IndexOutOfRangePanics)
+{
+    EXPECT_DEATH(designSpace().indexToValue(HwParam::NumPes, 5),
+                 "out of");
+    EXPECT_DEATH(designSpace().indexToValue(HwParam::NumPes, -1),
+                 "out of");
+}
+
+TEST(DesignSpace, SnapRoundsToNearest)
+{
+    const DesignSpace &ds = designSpace();
+    // MAC grid step 64: 95 -> 64 or 128 (nearest is 96 -> ties up).
+    EXPECT_EQ(ds.snapValue(HwParam::NumMacs, 70), 64);
+    EXPECT_EQ(ds.snapValue(HwParam::NumMacs, 100), 128);
+    // Clamps out-of-range values.
+    EXPECT_EQ(ds.snapValue(HwParam::NumMacs, 0), 64);
+    EXPECT_EQ(ds.snapValue(HwParam::NumMacs, 100000), 4096);
+    // PEs snap in log space.
+    EXPECT_EQ(ds.snapValue(HwParam::NumPes, 11), 8);
+    EXPECT_EQ(ds.snapValue(HwParam::NumPes, 12), 16);
+}
+
+TEST(DesignSpace, IndicesRoundTrip)
+{
+    const DesignSpace &ds = designSpace();
+    const std::array<std::int64_t, numHwParams> idx{3, 17, 99, 20000,
+                                                    1024, 65000};
+    const AcceleratorConfig config = ds.fromIndices(idx);
+    EXPECT_EQ(ds.toIndices(config), idx);
+}
+
+TEST(DesignSpace, FeaturesRoundTripThroughLogDomain)
+{
+    Rng rng(1);
+    const DesignSpace &ds = designSpace();
+    for (int trial = 0; trial < 50; ++trial) {
+        const AcceleratorConfig config = ds.randomConfig(rng);
+        const AcceleratorConfig back =
+            ds.fromFeatures(ds.toFeatures(config));
+        EXPECT_EQ(back, config) << config.describe();
+    }
+}
+
+TEST(DesignSpace, FeatureBoundsAreOrdered)
+{
+    const auto lo = designSpace().featureLowerBounds();
+    const auto hi = designSpace().featureUpperBounds();
+    ASSERT_EQ(lo.size(), static_cast<std::size_t>(numHwParams));
+    for (int p = 0; p < numHwParams; ++p)
+        EXPECT_LT(lo[p], hi[p]);
+}
+
+TEST(DesignSpace, RandomConfigsAreOnGridAndValid)
+{
+    Rng rng(2);
+    const DesignSpace &ds = designSpace();
+    for (int trial = 0; trial < 100; ++trial) {
+        const AcceleratorConfig config = ds.randomConfig(rng);
+        for (int p = 0; p < numHwParams; ++p) {
+            const auto param = static_cast<HwParam>(p);
+            EXPECT_EQ(ds.snapValue(param, config.value(param)),
+                      config.value(param));
+        }
+        // Lanes per PE can be zero when macs < pes; such points are
+        // structurally invalid and must be reported as such.
+        EXPECT_EQ(ds.isValid(config), config.lanesPerPe() >= 1);
+    }
+}
+
+TEST(AcceleratorConfig, LanesPerPe)
+{
+    AcceleratorConfig config;
+    config.numPes = 16;
+    config.numMacs = 1024;
+    EXPECT_EQ(config.lanesPerPe(), 64);
+    config.numMacs = 8;
+    EXPECT_EQ(config.lanesPerPe(), 0);
+    config.numPes = 0;
+    EXPECT_EQ(config.lanesPerPe(), 0);
+}
+
+TEST(AcceleratorConfig, ValueSetValueRoundTrip)
+{
+    AcceleratorConfig config;
+    for (int p = 0; p < numHwParams; ++p) {
+        const auto param = static_cast<HwParam>(p);
+        config.setValue(param, 100 + p);
+        EXPECT_EQ(config.value(param), 100 + p);
+    }
+}
+
+TEST(AcceleratorConfig, InvalidWhenMacsFewerThanPes)
+{
+    const DesignSpace &ds = designSpace();
+    AcceleratorConfig config = ds.fromIndices({4, 0, 0, 0, 0, 0});
+    // 64 PEs, 64 MACs: exactly one lane each -- valid.
+    EXPECT_TRUE(ds.isValid(config));
+    config.numMacs = 32;
+    EXPECT_FALSE(ds.isValid(config));
+}
+
+class GridRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(GridRoundTrip, EveryIndexRoundTrips)
+{
+    const auto param = static_cast<HwParam>(GetParam());
+    const DesignSpace &ds = designSpace();
+    const std::int64_t n = ds.count(param);
+    // Stride through large grids to keep runtime bounded.
+    const std::int64_t stride = std::max<std::int64_t>(1, n / 257);
+    for (std::int64_t i = 0; i < n; i += stride) {
+        const std::int64_t value = ds.indexToValue(param, i);
+        EXPECT_EQ(ds.valueToIndex(param, value), i);
+    }
+    EXPECT_EQ(ds.valueToIndex(param, ds.indexToValue(param, n - 1)),
+              n - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllParams, GridRoundTrip,
+                         ::testing::Range(0, numHwParams));
+
+} // namespace
+} // namespace vaesa

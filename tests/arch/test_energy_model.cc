@@ -1,0 +1,72 @@
+/** @file Unit tests for the energy model. */
+
+#include <gtest/gtest.h>
+
+#include "arch/energy_model.hh"
+
+namespace vaesa {
+namespace {
+
+TEST(EnergyModel, AllEnergiesPositive)
+{
+    EnergyModel em;
+    EXPECT_GT(em.macPj(), 0.0);
+    EXPECT_GT(em.registerAccessPj(), 0.0);
+    EXPECT_GT(em.sramAccessPj(1024), 0.0);
+    EXPECT_GT(em.dramAccessPj(), 0.0);
+    EXPECT_GT(em.nocHopPj(), 0.0);
+}
+
+TEST(EnergyModel, SramEnergyGrowsWithCapacity)
+{
+    EnergyModel em;
+    double prev = 0.0;
+    for (std::int64_t cap : {256, 1024, 8192, 65536, 1 << 20}) {
+        const double e = em.sramAccessPj(cap);
+        EXPECT_GT(e, prev);
+        prev = e;
+    }
+}
+
+TEST(EnergyModel, SramEnergyIsSqrtLike)
+{
+    EnergyModel em;
+    // Quadrupling the capacity should roughly double the marginal
+    // (size-dependent) part of the access energy.
+    const double base = em.sramAccessPj(1);
+    const double e1 = em.sramAccessPj(64 * 1024) - base;
+    const double e2 = em.sramAccessPj(256 * 1024) - base;
+    EXPECT_NEAR(e2 / e1, 2.0, 0.15);
+}
+
+TEST(EnergyModel, HierarchyOrdering)
+{
+    EnergyModel em;
+    // Register < small SRAM < large SRAM < DRAM.
+    EXPECT_LT(em.registerAccessPj(), em.sramAccessPj(1024));
+    EXPECT_LT(em.sramAccessPj(1024), em.sramAccessPj(1 << 20));
+    EXPECT_LT(em.sramAccessPj(8 << 20), em.dramAccessPj());
+    // DRAM is ~two orders of magnitude above the MAC.
+    EXPECT_GT(em.dramAccessPj() / em.macPj(), 50.0);
+}
+
+TEST(EnergyModel, TechnologyScaleIsUniform)
+{
+    EnergyModel base;
+    EnergyModel scaled(0.5);
+    EXPECT_DOUBLE_EQ(scaled.macPj(), 0.5 * base.macPj());
+    EXPECT_DOUBLE_EQ(scaled.dramAccessPj(),
+                     0.5 * base.dramAccessPj());
+    EXPECT_DOUBLE_EQ(scaled.sramAccessPj(4096),
+                     0.5 * base.sramAccessPj(4096));
+}
+
+TEST(EnergyModel, RejectsBadScaleAndCapacity)
+{
+    EXPECT_DEATH(EnergyModel(0.0), "positive");
+    EnergyModel em;
+    EXPECT_DEATH(em.sramAccessPj(0), "capacity");
+}
+
+} // namespace
+} // namespace vaesa

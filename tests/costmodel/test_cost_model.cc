@@ -1,0 +1,276 @@
+/** @file Unit tests for the analytical cost model. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "costmodel/cost_model.hh"
+#include "workload/networks.hh"
+
+namespace vaesa {
+namespace {
+
+/** A mid-range valid architecture. */
+AcceleratorConfig
+midConfig()
+{
+    AcceleratorConfig c;
+    c.numPes = 16;
+    c.numMacs = 1024;
+    c.accumBufBytes = 48 * 1024;
+    c.weightBufBytes = 1 * 1024 * 1024;
+    c.inputBufBytes = 64 * 1024;
+    c.globalBufBytes = 128 * 1024;
+    return c;
+}
+
+/** A tiny layer whose costs are hand-computable. */
+LayerShape
+tinyLayer()
+{
+    LayerShape l;
+    l.name = "unit.tiny";
+    l.r = 1;
+    l.s = 1;
+    l.p = 4;
+    l.q = 4;
+    l.c = 8;
+    l.k = 8;
+    return l;
+}
+
+/** A mapping that holds the whole tiny layer on the array at once. */
+Mapping
+wholeLayerMapping()
+{
+    Mapping m;
+    m.spatialK = 8;
+    m.spatialC = 8;
+    m.tilePe = {1, 1, 4, 4, 8, 1};
+    m.tileGb = {1, 1, 4, 4, 8, 8};
+    return m;
+}
+
+TEST(CostModel, AcceptsValidMapping)
+{
+    CostModel model;
+    std::string reason;
+    EXPECT_TRUE(model.checkMapping(midConfig(), tinyLayer(),
+                                   wholeLayerMapping(), &reason))
+        << reason;
+}
+
+TEST(CostModel, RejectsOversizedWeightTile)
+{
+    CostModel model;
+    AcceleratorConfig arch = midConfig();
+    arch.weightBufBytes = 2; // one word
+    Mapping m = wholeLayerMapping();
+    std::string reason;
+    EXPECT_FALSE(model.checkMapping(arch, tinyLayer(), m, &reason));
+    EXPECT_NE(reason.find("weight"), std::string::npos);
+}
+
+TEST(CostModel, RejectsOversizedInputTile)
+{
+    CostModel model;
+    AcceleratorConfig arch = midConfig();
+    arch.inputBufBytes = 2;
+    std::string reason;
+    EXPECT_FALSE(model.checkMapping(arch, tinyLayer(),
+                                    wholeLayerMapping(), &reason));
+    EXPECT_NE(reason.find("input"), std::string::npos);
+}
+
+TEST(CostModel, RejectsOversizedPsumTile)
+{
+    CostModel model;
+    AcceleratorConfig arch = midConfig();
+    arch.accumBufBytes = 4;
+    std::string reason;
+    EXPECT_FALSE(model.checkMapping(arch, tinyLayer(),
+                                    wholeLayerMapping(), &reason));
+    EXPECT_NE(reason.find("psum"), std::string::npos);
+}
+
+TEST(CostModel, RejectsOversizedGlobalTile)
+{
+    CostModel model;
+    AcceleratorConfig arch = midConfig();
+    arch.globalBufBytes = 2;
+    std::string reason;
+    EXPECT_FALSE(model.checkMapping(arch, tinyLayer(),
+                                    wholeLayerMapping(), &reason));
+    EXPECT_NE(reason.find("global"), std::string::npos);
+}
+
+TEST(CostModel, RejectsBadSpatialSplit)
+{
+    CostModel model;
+    Mapping m = wholeLayerMapping();
+    m.spatialK = 100; // > numPes
+    std::string reason;
+    EXPECT_FALSE(model.checkMapping(midConfig(), tinyLayer(), m,
+                                    &reason));
+    m = wholeLayerMapping();
+    m.spatialC = 1000; // > lanes
+    EXPECT_FALSE(model.checkMapping(midConfig(), tinyLayer(), m,
+                                    &reason));
+}
+
+TEST(CostModel, RejectsTileExceedingDimension)
+{
+    CostModel model;
+    Mapping m = wholeLayerMapping();
+    m.tileGb[DimP] = 100; // > P = 4
+    std::string reason;
+    EXPECT_FALSE(model.checkMapping(midConfig(), tinyLayer(), m,
+                                    &reason));
+    EXPECT_NE(reason.find("exceeds layer dimension"),
+              std::string::npos);
+}
+
+TEST(CostModel, InvalidMappingYieldsInvalidResult)
+{
+    CostModel model;
+    Mapping m = wholeLayerMapping();
+    m.tilePe[DimC] = 0;
+    const CostResult r = model.evaluate(midConfig(), tinyLayer(), m);
+    EXPECT_FALSE(r.valid);
+    EXPECT_FALSE(r.invalidReason.empty());
+}
+
+TEST(CostModel, WholeLayerComputeCycles)
+{
+    CostModel model;
+    const CostResult r = model.evaluate(midConfig(), tinyLayer(),
+                                        wholeLayerMapping());
+    ASSERT_TRUE(r.valid);
+    // One array tile; per tile: 1*1*4*4*ceil(8/8)*1 = 16 cycles.
+    EXPECT_DOUBLE_EQ(r.computeCycles, 16.0);
+    // Full utilization would need all 16 PEs; we use 8 of 16 PEs and
+    // all 8 of the C lanes: macs / (cycles * spatialK * spatialC).
+    const double macs = tinyLayer().macs();
+    EXPECT_DOUBLE_EQ(r.macUtilization, macs / (16.0 * 8.0 * 8.0));
+}
+
+TEST(CostModel, WholeLayerDramTraffic)
+{
+    CostModel model;
+    const CostResult r = model.evaluate(midConfig(), tinyLayer(),
+                                        wholeLayerMapping());
+    ASSERT_TRUE(r.valid);
+    const LayerShape l = tinyLayer();
+    // Everything resident: each word moves exactly once.
+    EXPECT_DOUBLE_EQ(r.dramWeightReads,
+                     static_cast<double>(l.weightWords()));
+    EXPECT_DOUBLE_EQ(r.dramInputReads,
+                     static_cast<double>(l.inputWords()));
+    EXPECT_DOUBLE_EQ(r.dramOutputWrites,
+                     static_cast<double>(l.outputWords()));
+}
+
+TEST(CostModel, EnergyBreakdownSumsToTotal)
+{
+    CostModel model;
+    const CostResult r = model.evaluate(midConfig(), tinyLayer(),
+                                        wholeLayerMapping());
+    ASSERT_TRUE(r.valid);
+    const double sum = r.macEnergy + r.registerEnergy +
+                       r.inputBufEnergy + r.weightBufEnergy +
+                       r.accumBufEnergy + r.globalBufEnergy +
+                       r.dramEnergy + r.nocEnergy;
+    EXPECT_NEAR(r.energyPj, sum, 1e-9 * sum);
+    EXPECT_GT(r.energyPj, 0.0);
+}
+
+TEST(CostModel, LatencyIsMaxOfBoundTerms)
+{
+    CostModel model;
+    const CostResult r = model.evaluate(midConfig(), tinyLayer(),
+                                        wholeLayerMapping());
+    ASSERT_TRUE(r.valid);
+    EXPECT_GE(r.latencyCycles, r.computeCycles);
+    EXPECT_GE(r.latencyCycles, r.dramCycles);
+    EXPECT_GE(r.latencyCycles, r.globalBufCycles);
+    EXPECT_DOUBLE_EQ(r.latencyCycles,
+                     std::max({r.computeCycles, r.dramCycles,
+                               r.globalBufCycles}));
+}
+
+TEST(CostModel, SmallerPqTileIncreasesWeightTraffic)
+{
+    CostModel model;
+    Mapping whole = wholeLayerMapping();
+    Mapping halved = whole;
+    halved.tilePe[DimP] = 2;
+    const CostResult r_whole =
+        model.evaluate(midConfig(), tinyLayer(), whole);
+    const CostResult r_half =
+        model.evaluate(midConfig(), tinyLayer(), halved);
+    ASSERT_TRUE(r_whole.valid);
+    ASSERT_TRUE(r_half.valid);
+    // Halving the P tile doubles the outer P iterations and so the
+    // weight re-fetch traffic.
+    EXPECT_DOUBLE_EQ(r_half.dramWeightReads,
+                     2.0 * r_whole.dramWeightReads);
+}
+
+TEST(CostModel, SmallerKTileIncreasesInputReads)
+{
+    CostModel model;
+    AcceleratorConfig arch = midConfig();
+    Mapping whole = wholeLayerMapping();
+    Mapping split = whole;
+    split.spatialK = 4;
+    split.tileGb[DimK] = 4; // two DRAM-level K iterations
+    const CostResult r_whole =
+        model.evaluate(arch, tinyLayer(), whole);
+    const CostResult r_split =
+        model.evaluate(arch, tinyLayer(), split);
+    ASSERT_TRUE(r_whole.valid);
+    ASSERT_TRUE(r_split.valid);
+    EXPECT_GT(r_split.dramInputReads, r_whole.dramInputReads);
+}
+
+TEST(CostModel, UtilizationNeverExceedsOne)
+{
+    CostModel model;
+    const CostResult r = model.evaluate(midConfig(), tinyLayer(),
+                                        wholeLayerMapping());
+    ASSERT_TRUE(r.valid);
+    EXPECT_LE(r.macUtilization, 1.0 + 1e-12);
+    EXPECT_GT(r.macUtilization, 0.0);
+}
+
+TEST(CostModel, PaddingLowersUtilization)
+{
+    // C = 8 over spatialC = 5 lanes: ceil(8/5) = 2 passes with the
+    // second pass 3/5 idle.
+    CostModel model;
+    AcceleratorConfig arch = midConfig();
+    Mapping m = wholeLayerMapping();
+    m.spatialC = 5;
+    const CostResult r = model.evaluate(arch, tinyLayer(), m);
+    ASSERT_TRUE(r.valid);
+    EXPECT_LT(r.macUtilization, 1.0);
+}
+
+TEST(CostModel, CustomBandwidthChangesLatencyOnly)
+{
+    CostModel::Params slow;
+    slow.dramWordsPerCycle = 1.0;
+    CostModel fast_model;
+    CostModel slow_model(slow, EnergyModel());
+    const CostResult fast = fast_model.evaluate(
+        midConfig(), tinyLayer(), wholeLayerMapping());
+    const CostResult slowr = slow_model.evaluate(
+        midConfig(), tinyLayer(), wholeLayerMapping());
+    ASSERT_TRUE(fast.valid);
+    ASSERT_TRUE(slowr.valid);
+    EXPECT_DOUBLE_EQ(fast.energyPj, slowr.energyPj);
+    EXPECT_GT(slowr.dramCycles, fast.dramCycles);
+}
+
+} // namespace
+} // namespace vaesa

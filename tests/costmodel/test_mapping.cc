@@ -1,0 +1,93 @@
+/** @file Unit tests for the Mapping representation. */
+
+#include <gtest/gtest.h>
+
+#include "costmodel/mapping.hh"
+
+namespace vaesa {
+namespace {
+
+LayerShape
+smallLayer()
+{
+    LayerShape l;
+    l.name = "unit.conv";
+    l.r = 3;
+    l.s = 3;
+    l.p = 8;
+    l.q = 8;
+    l.c = 16;
+    l.k = 32;
+    return l;
+}
+
+TEST(Mapping, LayerDimsOrder)
+{
+    const auto dims = layerDims(smallLayer());
+    EXPECT_EQ(dims[DimR], 3);
+    EXPECT_EQ(dims[DimS], 3);
+    EXPECT_EQ(dims[DimP], 8);
+    EXPECT_EQ(dims[DimQ], 8);
+    EXPECT_EQ(dims[DimC], 16);
+    EXPECT_EQ(dims[DimK], 32);
+}
+
+TEST(Mapping, ArrayTileCoversSpatialK)
+{
+    Mapping m;
+    m.spatialK = 4;
+    m.tilePe = {3, 3, 2, 2, 8, 2};
+    EXPECT_EQ(m.arrayTilePe(DimK), 8);
+    EXPECT_EQ(m.arrayTilePe(DimC), 8);
+    EXPECT_EQ(m.arrayTilePe(DimP), 2);
+}
+
+TEST(Mapping, TileWordCounts)
+{
+    const LayerShape l = smallLayer();
+    Mapping m;
+    m.tilePe = {3, 3, 2, 2, 8, 4};
+    EXPECT_EQ(m.weightTileWords(), 3 * 3 * 8 * 4);
+    EXPECT_EQ(m.psumTileWords(), 2 * 2 * 4);
+    // Input tile with halo: ((2-1)*1+3) x ((2-1)*1+3) x 8.
+    EXPECT_EQ(m.inputTileWords(l), 4 * 4 * 8);
+}
+
+TEST(Mapping, InputTileAccountsForStride)
+{
+    LayerShape l = smallLayer();
+    l.strideW = 2;
+    l.strideH = 2;
+    Mapping m;
+    m.tilePe = {3, 3, 4, 4, 1, 1};
+    // ((4-1)*2+3)^2 * 1 = 81.
+    EXPECT_EQ(m.inputTileWords(l), 81);
+}
+
+TEST(Mapping, GlobalBufferTileWords)
+{
+    const LayerShape l = smallLayer();
+    Mapping m;
+    m.tileGb = {3, 3, 8, 8, 16, 32};
+    EXPECT_EQ(m.inputGbTileWords(l), 10 * 10 * 16);
+    EXPECT_EQ(m.outputGbTileWords(), 8 * 8 * 32);
+}
+
+TEST(Mapping, DescribeMentionsTiles)
+{
+    Mapping m;
+    m.spatialK = 8;
+    const std::string d = m.describe();
+    EXPECT_NE(d.find("spatialK=8"), std::string::npos);
+    EXPECT_NE(d.find("tilePe"), std::string::npos);
+}
+
+TEST(Mapping, DimNames)
+{
+    EXPECT_STREQ(dimName(DimR), "R");
+    EXPECT_STREQ(dimName(DimK), "K");
+    EXPECT_DEATH(dimName(6), "bad dimension");
+}
+
+} // namespace
+} // namespace vaesa

@@ -1,0 +1,136 @@
+/** @file Unit tests for the projected gradient-descent driver. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dse/gd.hh"
+
+namespace vaesa {
+namespace {
+
+/** f(x) = sum (x_i - 1)^2. */
+double
+shiftedBowl(const std::vector<double> &x, std::vector<double> *grad)
+{
+    double value = 0.0;
+    if (grad)
+        grad->assign(x.size(), 0.0);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double d = x[i] - 1.0;
+        value += d * d;
+        if (grad)
+            (*grad)[i] = 2.0 * d;
+    }
+    return value;
+}
+
+TEST(GradientDescent, ConvergesToMinimum)
+{
+    GdOptions options;
+    options.learningRate = 0.05;
+    options.momentum = 0.0;
+    options.steps = 200;
+    const GdResult r =
+        GradientDescent(options).run(shiftedBowl, {5.0, -3.0});
+    EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+    EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+    EXPECT_LT(r.value, 1e-5);
+}
+
+TEST(GradientDescent, TraceHasStepsPlusOneEntries)
+{
+    GdOptions options;
+    options.steps = 10;
+    const GdResult r =
+        GradientDescent(options).run(shiftedBowl, {0.0});
+    EXPECT_EQ(r.valueTrace.size(), 11u);
+    EXPECT_DOUBLE_EQ(r.valueTrace.front(), 1.0);
+    EXPECT_DOUBLE_EQ(r.valueTrace.back(), r.value);
+}
+
+TEST(GradientDescent, ZeroStepsReturnsStart)
+{
+    GdOptions options;
+    options.steps = 0;
+    const GdResult r =
+        GradientDescent(options).run(shiftedBowl, {4.0});
+    EXPECT_DOUBLE_EQ(r.x[0], 4.0);
+    EXPECT_DOUBLE_EQ(r.value, 9.0);
+}
+
+TEST(GradientDescent, ProjectionKeepsIterateInBox)
+{
+    GdOptions options;
+    options.learningRate = 0.5;
+    options.momentum = 0.9;
+    options.steps = 50;
+    options.lower = {-0.5};
+    options.upper = {0.5};
+    const GdResult r =
+        GradientDescent(options).run(shiftedBowl, {0.0});
+    // The unconstrained minimum (1.0) is outside the box, so GD must
+    // stop at the boundary.
+    EXPECT_DOUBLE_EQ(r.x[0], 0.5);
+}
+
+TEST(GradientDescent, MomentumSpeedsConvergence)
+{
+    GdOptions slow;
+    slow.learningRate = 0.01;
+    slow.momentum = 0.0;
+    slow.steps = 50;
+    GdOptions fast = slow;
+    fast.momentum = 0.9;
+    const double v_slow =
+        GradientDescent(slow).run(shiftedBowl, {10.0}).value;
+    const double v_fast =
+        GradientDescent(fast).run(shiftedBowl, {10.0}).value;
+    EXPECT_LT(v_fast, v_slow);
+}
+
+TEST(GradientDescent, BoundSizeMismatchPanics)
+{
+    GdOptions options;
+    options.lower = {0.0};
+    options.upper = {1.0};
+    EXPECT_DEATH(
+        GradientDescent(options).run(shiftedBowl, {0.0, 0.0}),
+        "dimensionality");
+}
+
+TEST(GradientDescent, GradientSizeMismatchPanics)
+{
+    const DifferentiableFn bad =
+        [](const std::vector<double> &x, std::vector<double> *grad) {
+            if (grad)
+                grad->assign(x.size() + 1, 0.0);
+            return 0.0;
+        };
+    GdOptions options;
+    options.steps = 1;
+    EXPECT_DEATH(GradientDescent(options).run(bad, {0.0}),
+                 "dimensionality");
+}
+
+TEST(GradientDescent, DescendsNonConvexSurfaceLocally)
+{
+    // f(x) = sin(3x) + 0.1 x^2 has several local minima; GD from a
+    // point should reduce the value, not necessarily find the global.
+    const DifferentiableFn wavy =
+        [](const std::vector<double> &x, std::vector<double> *grad) {
+            if (grad) {
+                grad->assign(1, 3.0 * std::cos(3.0 * x[0]) +
+                                    0.2 * x[0]);
+            }
+            return std::sin(3.0 * x[0]) + 0.1 * x[0] * x[0];
+        };
+    GdOptions options;
+    options.learningRate = 0.02;
+    options.steps = 100;
+    const GdResult r = GradientDescent(options).run(wavy, {1.0});
+    EXPECT_LT(r.value, wavy({1.0}, nullptr));
+}
+
+} // namespace
+} // namespace vaesa

@@ -1,0 +1,212 @@
+/** @file Unit tests for genetic search and simulated annealing. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dse/genetic.hh"
+#include "dse/random_search.hh"
+
+namespace vaesa {
+namespace {
+
+/** Shifted quadratic bowl with minimum at (0.3, -0.2). */
+class BowlObjective : public Objective
+{
+  public:
+    std::size_t dim() const override { return 2; }
+    std::vector<double> lowerBounds() const override
+    {
+        return {-1.0, -1.0};
+    }
+    std::vector<double> upperBounds() const override
+    {
+        return {1.0, 1.0};
+    }
+    double
+    evaluate(const std::vector<double> &x) override
+    {
+        ++evals;
+        const double dx = x[0] - 0.3;
+        const double dy = x[1] + 0.2;
+        return dx * dx + dy * dy;
+    }
+
+    int evals = 0;
+};
+
+/** Rastrigin-like multimodal surface (many local minima). */
+class MultimodalObjective : public Objective
+{
+  public:
+    std::size_t dim() const override { return 2; }
+    std::vector<double> lowerBounds() const override
+    {
+        return {-2.0, -2.0};
+    }
+    std::vector<double> upperBounds() const override
+    {
+        return {2.0, 2.0};
+    }
+    double
+    evaluate(const std::vector<double> &x) override
+    {
+        double acc = 0.0;
+        for (double xi : x) {
+            acc += xi * xi - std::cos(3.0 * M_PI * xi) + 1.0;
+        }
+        return acc;
+    }
+};
+
+/** Objective with an invalid half-plane. */
+class HalfInvalidObjective : public BowlObjective
+{
+  public:
+    double
+    evaluate(const std::vector<double> &x) override
+    {
+        if (x[1] > 0.5)
+            return invalidScore;
+        return BowlObjective::evaluate(x);
+    }
+};
+
+TEST(GeneticSearch, UsesExactBudget)
+{
+    BowlObjective obj;
+    Rng rng(1);
+    const SearchTrace trace = GeneticSearch().run(obj, 73, rng);
+    EXPECT_EQ(trace.points.size(), 73u);
+    EXPECT_EQ(obj.evals, 73);
+}
+
+TEST(GeneticSearch, FindsBowlMinimum)
+{
+    BowlObjective obj;
+    Rng rng(2);
+    const SearchTrace trace = GeneticSearch().run(obj, 200, rng);
+    EXPECT_LT(trace.best(), 0.01);
+}
+
+TEST(GeneticSearch, BeatsRandomOnMultimodal)
+{
+    double ga_total = 0.0;
+    double random_total = 0.0;
+    for (int seed = 0; seed < 3; ++seed) {
+        MultimodalObjective obj_ga;
+        Rng rng_ga(seed);
+        ga_total += GeneticSearch().run(obj_ga, 150, rng_ga).best();
+        MultimodalObjective obj_rnd;
+        Rng rng_rnd(seed);
+        random_total +=
+            RandomSearch().run(obj_rnd, 150, rng_rnd).best();
+    }
+    EXPECT_LE(ga_total, random_total * 1.05);
+}
+
+TEST(GeneticSearch, StaysInBox)
+{
+    BowlObjective obj;
+    Rng rng(3);
+    const SearchTrace trace = GeneticSearch().run(obj, 100, rng);
+    for (const TracePoint &p : trace.points) {
+        for (double v : p.x) {
+            EXPECT_GE(v, -1.0);
+            EXPECT_LE(v, 1.0);
+        }
+    }
+}
+
+TEST(GeneticSearch, SurvivesInvalidRegions)
+{
+    HalfInvalidObjective obj;
+    Rng rng(4);
+    const SearchTrace trace = GeneticSearch().run(obj, 120, rng);
+    EXPECT_LT(trace.best(), 0.05);
+}
+
+TEST(GeneticSearch, DeterministicForSeed)
+{
+    BowlObjective a;
+    BowlObjective b;
+    Rng rng_a(5);
+    Rng rng_b(5);
+    const SearchTrace ta = GeneticSearch().run(a, 60, rng_a);
+    const SearchTrace tb = GeneticSearch().run(b, 60, rng_b);
+    for (std::size_t i = 0; i < 60; ++i)
+        EXPECT_EQ(ta.points[i].value, tb.points[i].value);
+}
+
+TEST(SimulatedAnnealing, UsesExactBudget)
+{
+    BowlObjective obj;
+    Rng rng(6);
+    const SearchTrace trace =
+        SimulatedAnnealing().run(obj, 41, rng);
+    EXPECT_EQ(trace.points.size(), 41u);
+}
+
+TEST(SimulatedAnnealing, FindsBowlMinimum)
+{
+    BowlObjective obj;
+    Rng rng(7);
+    const SearchTrace trace =
+        SimulatedAnnealing().run(obj, 300, rng);
+    EXPECT_LT(trace.best(), 0.02);
+}
+
+TEST(SimulatedAnnealing, StaysInBox)
+{
+    BowlObjective obj;
+    Rng rng(8);
+    const SearchTrace trace =
+        SimulatedAnnealing().run(obj, 100, rng);
+    for (const TracePoint &p : trace.points) {
+        for (double v : p.x) {
+            EXPECT_GE(v, -1.0);
+            EXPECT_LE(v, 1.0);
+        }
+    }
+}
+
+TEST(SimulatedAnnealing, SurvivesInvalidStartRegion)
+{
+    HalfInvalidObjective obj;
+    Rng rng(9);
+    const SearchTrace trace =
+        SimulatedAnnealing().run(obj, 200, rng);
+    EXPECT_LT(trace.best(), 0.1);
+}
+
+TEST(SimulatedAnnealing, ZeroBudgetIsEmpty)
+{
+    BowlObjective obj;
+    Rng rng(10);
+    EXPECT_TRUE(SimulatedAnnealing().run(obj, 0, rng).points.empty());
+}
+
+TEST(SimulatedAnnealing, CoolingMakesLateMovesGreedier)
+{
+    // With heavy cooling, late samples should cluster near the best
+    // point; compare mean distance of first vs last quartile.
+    BowlObjective obj;
+    SaOptions options;
+    options.coolingRate = 0.9;
+    Rng rng(11);
+    const SearchTrace trace =
+        SimulatedAnnealing(options).run(obj, 200, rng);
+    auto mean_value = [&](std::size_t begin, std::size_t end) {
+        double acc = 0.0;
+        std::size_t n = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+            acc += trace.points[i].value;
+            ++n;
+        }
+        return acc / n;
+    };
+    EXPECT_LT(mean_value(150, 200), mean_value(0, 50));
+}
+
+} // namespace
+} // namespace vaesa

@@ -1,0 +1,142 @@
+/** @file Unit tests for Gaussian-process regression. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dse/gp.hh"
+#include "util/rng.hh"
+
+namespace vaesa {
+namespace {
+
+TEST(NormalDistribution, PdfAndCdfKnownValues)
+{
+    EXPECT_NEAR(normalPdf(0.0), 0.3989422804, 1e-9);
+    EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normalCdf(1.959963985), 0.975, 1e-6);
+    EXPECT_NEAR(normalCdf(-1.959963985), 0.025, 1e-6);
+}
+
+TEST(GaussianProcess, InterpolatesTrainingPointsWithLowNoise)
+{
+    GaussianProcess gp(GaussianProcess::Kernel::Rbf,
+                       {0.5, 1e-8});
+    const std::vector<std::vector<double>> xs{
+        {0.0}, {0.5}, {1.0}};
+    const std::vector<double> ys{1.0, -1.0, 2.0};
+    gp.fit(xs, ys);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const auto pred = gp.predict(xs[i]);
+        EXPECT_NEAR(pred.mean, ys[i], 1e-3);
+        EXPECT_LT(pred.var, 1e-4);
+    }
+}
+
+TEST(GaussianProcess, UncertaintyGrowsAwayFromData)
+{
+    GaussianProcess gp(GaussianProcess::Kernel::Matern52,
+                       {0.3, 1e-6});
+    gp.fit({{0.0}, {0.1}, {0.2}}, {0.0, 0.1, 0.2});
+    const double var_near = gp.predict({0.1}).var;
+    const double var_far = gp.predict({3.0}).var;
+    EXPECT_GT(var_far, var_near * 100.0);
+}
+
+TEST(GaussianProcess, PredictionRevertsToMeanFarAway)
+{
+    GaussianProcess gp(GaussianProcess::Kernel::Rbf, {0.2, 1e-6});
+    gp.fit({{0.0}, {1.0}}, {5.0, 9.0});
+    // Far from data the posterior mean reverts to the y mean (7).
+    EXPECT_NEAR(gp.predict({100.0}).mean, 7.0, 1e-6);
+}
+
+TEST(GaussianProcess, Matern52SmoothFitOnSine)
+{
+    GaussianProcess gp(GaussianProcess::Kernel::Matern52,
+                       {0.4, 1e-6});
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (int i = 0; i <= 20; ++i) {
+        const double x = i / 20.0 * 2.0 * M_PI;
+        xs.push_back({x});
+        ys.push_back(std::sin(x));
+    }
+    gp.fit(xs, ys);
+    for (double x : {0.7, 2.3, 4.1, 5.9}) {
+        EXPECT_NEAR(gp.predict({x}).mean, std::sin(x), 0.05);
+    }
+}
+
+TEST(GaussianProcess, VarianceIsNonNegative)
+{
+    Rng rng(1);
+    GaussianProcess gp;
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 30; ++i) {
+        xs.push_back({rng.uniform(), rng.uniform()});
+        ys.push_back(rng.normal());
+    }
+    gp.fit(xs, ys);
+    for (int i = 0; i < 50; ++i) {
+        const auto pred = gp.predict({rng.uniform(), rng.uniform()});
+        EXPECT_GE(pred.var, 0.0);
+    }
+}
+
+TEST(GaussianProcess, HyperSearchImprovesLikelihood)
+{
+    Rng rng(2);
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 40; ++i) {
+        const double x = rng.uniform(0.0, 1.0);
+        xs.push_back({x});
+        ys.push_back(std::sin(8.0 * x));
+    }
+    GaussianProcess fixed(GaussianProcess::Kernel::Matern52,
+                          {1.6, 1e-2});
+    fixed.fit(xs, ys);
+    const double lik_fixed = fixed.logMarginalLikelihood();
+
+    GaussianProcess tuned(GaussianProcess::Kernel::Matern52);
+    tuned.fitWithHyperSearch(xs, ys);
+    EXPECT_GE(tuned.logMarginalLikelihood(), lik_fixed);
+}
+
+TEST(GaussianProcess, HandlesConstantLabels)
+{
+    GaussianProcess gp;
+    gp.fit({{0.0}, {1.0}, {2.0}}, {3.0, 3.0, 3.0});
+    EXPECT_NEAR(gp.predict({0.5}).mean, 3.0, 1e-6);
+}
+
+TEST(GaussianProcess, RejectsBadInputs)
+{
+    GaussianProcess gp;
+    EXPECT_DEATH(gp.fit({}, {}), "bad observation");
+    EXPECT_DEATH(gp.fit({{0.0}}, {1.0, 2.0}), "bad observation");
+    EXPECT_DEATH(gp.predict({0.0}), "before fit");
+}
+
+class KernelSweep
+    : public ::testing::TestWithParam<GaussianProcess::Kernel>
+{
+};
+
+TEST_P(KernelSweep, KernelIsUnitAtZeroDistance)
+{
+    GaussianProcess gp(GetParam(), {0.3, 1e-6});
+    gp.fit({{0.25, 0.75}}, {1.0});
+    // Posterior variance at the training point is ~noise only.
+    EXPECT_LT(gp.predict({0.25, 0.75}).var, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, KernelSweep,
+    ::testing::Values(GaussianProcess::Kernel::Rbf,
+                      GaussianProcess::Kernel::Matern52));
+
+} // namespace
+} // namespace vaesa

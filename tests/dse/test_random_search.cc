@@ -1,0 +1,83 @@
+/** @file Unit tests for random search. */
+
+#include <gtest/gtest.h>
+
+#include "dse/random_search.hh"
+
+namespace vaesa {
+namespace {
+
+/** Quadratic bowl with minimum at the box center. */
+class BowlObjective : public Objective
+{
+  public:
+    std::size_t dim() const override { return 2; }
+    std::vector<double> lowerBounds() const override
+    {
+        return {-1.0, -1.0};
+    }
+    std::vector<double> upperBounds() const override
+    {
+        return {1.0, 1.0};
+    }
+    double
+    evaluate(const std::vector<double> &x) override
+    {
+        ++evals;
+        return x[0] * x[0] + x[1] * x[1];
+    }
+
+    int evals = 0;
+};
+
+TEST(RandomSearch, UsesExactBudget)
+{
+    BowlObjective obj;
+    Rng rng(1);
+    const SearchTrace trace = RandomSearch().run(obj, 37, rng);
+    EXPECT_EQ(trace.points.size(), 37u);
+    EXPECT_EQ(obj.evals, 37);
+}
+
+TEST(RandomSearch, SamplesStayInBox)
+{
+    BowlObjective obj;
+    Rng rng(2);
+    const SearchTrace trace = RandomSearch().run(obj, 100, rng);
+    for (const TracePoint &p : trace.points) {
+        EXPECT_GE(p.x[0], -1.0);
+        EXPECT_LT(p.x[0], 1.0);
+        EXPECT_GE(p.x[1], -1.0);
+        EXPECT_LT(p.x[1], 1.0);
+    }
+}
+
+TEST(RandomSearch, FindsDecentPointEventually)
+{
+    BowlObjective obj;
+    Rng rng(3);
+    const SearchTrace trace = RandomSearch().run(obj, 500, rng);
+    EXPECT_LT(trace.best(), 0.05);
+}
+
+TEST(RandomSearch, DeterministicForSeed)
+{
+    BowlObjective a;
+    BowlObjective b;
+    Rng rng_a(7);
+    Rng rng_b(7);
+    const SearchTrace ta = RandomSearch().run(a, 20, rng_a);
+    const SearchTrace tb = RandomSearch().run(b, 20, rng_b);
+    for (std::size_t i = 0; i < 20; ++i)
+        EXPECT_EQ(ta.points[i].value, tb.points[i].value);
+}
+
+TEST(RandomSearch, ZeroBudgetProducesEmptyTrace)
+{
+    BowlObjective obj;
+    Rng rng(1);
+    EXPECT_TRUE(RandomSearch().run(obj, 0, rng).points.empty());
+}
+
+} // namespace
+} // namespace vaesa

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Integration tests exercising the whole stack: dataset -> training
+ * -> latent search -> decode -> scheduler -> cost model, mirroring
+ * the paper's evaluation flows at miniature scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dse/bo.hh"
+#include "dse/random_search.hh"
+#include "sched/evaluator.hh"
+#include "util/rng.hh"
+#include "vaesa/framework.hh"
+#include "vaesa/latent_dse.hh"
+#include "workload/networks.hh"
+
+namespace vaesa {
+namespace {
+
+/** One shared miniature pipeline for the integration suite. */
+struct Pipeline
+{
+    Pipeline()
+        : data([&] {
+              std::vector<LayerShape> pool;
+              for (const Workload &w : trainingWorkloads()) {
+                  pool.insert(pool.end(), w.layers.begin(),
+                              w.layers.end());
+              }
+              Rng rng(7);
+              return DatasetBuilder(evaluator, pool)
+                  .build(2500, rng);
+          }()),
+          framework(data, frameworkOptions(), 11)
+    {
+    }
+
+    static FrameworkOptions
+    frameworkOptions()
+    {
+        FrameworkOptions options;
+        options.vae.latentDim = 4;
+        options.vae.hiddenDims = {96, 48};
+        options.train.epochs = 25;
+        return options;
+    }
+
+    Evaluator evaluator;
+    Dataset data;
+    VaesaFramework framework;
+};
+
+Pipeline &
+pipeline()
+{
+    static Pipeline instance;
+    return instance;
+}
+
+TEST(EndToEnd, TrainingConverges)
+{
+    const auto &history = pipeline().framework.history();
+    EXPECT_LT(history.back().reconLoss, 0.01);
+    EXPECT_LT(history.back().latencyLoss, 0.02);
+    EXPECT_LT(history.back().energyLoss, 0.02);
+}
+
+TEST(EndToEnd, ReconstructionBeatsRandomDecodeBaseline)
+{
+    // Encoding+decoding a training config must recover its features
+    // far better than decoding an unrelated latent point would.
+    Pipeline &p = pipeline();
+    Rng rng(71);
+    double err_roundtrip = 0.0;
+    double err_random = 0.0;
+    int n = 0;
+    for (std::size_t i = 0; i < 40; ++i) {
+        const AcceleratorConfig original =
+            p.data.samples()[i * 11].config;
+        const auto f0 = designSpace().toFeatures(original);
+        const AcceleratorConfig round = p.framework.decodeLatent(
+            p.framework.encodeConfig(original));
+        std::vector<double> z(p.framework.latentDim());
+        for (double &v : z)
+            v = rng.normal();
+        const AcceleratorConfig other =
+            p.framework.decodeLatent(z);
+        const auto f1 = designSpace().toFeatures(round);
+        const auto f2 = designSpace().toFeatures(other);
+        for (int d = 0; d < numHwParams; ++d) {
+            err_roundtrip += std::fabs(f0[d] - f1[d]);
+            err_random += std::fabs(f0[d] - f2[d]);
+            ++n;
+        }
+    }
+    EXPECT_LT(err_roundtrip, 0.6 * err_random);
+}
+
+TEST(EndToEnd, LatentBoSearchFindsCompetitiveDesigns)
+{
+    // vae_bo within a small budget should at least match random
+    // search on the same budget (paper: it is consistently better).
+    Pipeline &p = pipeline();
+    const Workload resnet = workloadByName("resnet50");
+    const double radius = p.framework.latentRadius(p.data);
+
+    double bo_best = 0.0;
+    double random_best = 0.0;
+    for (int seed = 0; seed < 2; ++seed) {
+        LatentObjective latent(p.framework, p.evaluator,
+                               resnet.layers, radius);
+        Rng rng_bo(100 + seed);
+        bo_best += BayesOpt().run(latent, 40, rng_bo).best();
+        InputSpaceObjective input(p.evaluator, resnet.layers);
+        Rng rng_rnd(100 + seed);
+        random_best +=
+            RandomSearch().run(input, 40, rng_rnd).best();
+    }
+    EXPECT_TRUE(std::isfinite(bo_best));
+    EXPECT_LT(bo_best, 1.6 * random_best);
+}
+
+TEST(EndToEnd, VaeGdBeatsRandomInFewSamples)
+{
+    // Section IV-D: within a small sample budget, predictor-guided
+    // GD in the latent space finds better designs than random
+    // sampling of the input space.
+    Pipeline &p = pipeline();
+    const LayerShape layer = gdTestLayers()[6];
+
+    double gd_mean = 0.0;
+    double random_mean = 0.0;
+    const int seeds = 3;
+    for (int seed = 0; seed < seeds; ++seed) {
+        Rng rng_gd(200 + seed);
+        VaeGdOptions options;
+        options.steps = 80;
+        options.radius = 1.5 * p.framework.latentRadius(p.data);
+        const SearchTrace gd_trace = vaeGdSearch(
+            p.framework, p.evaluator, layer, 10, options, rng_gd);
+
+        InputSpaceObjective input(p.evaluator, {layer});
+        Rng rng_rnd(200 + seed);
+        const SearchTrace rnd_trace =
+            RandomSearch().run(input, 10, rng_rnd);
+
+        gd_mean += std::log(gd_trace.best());
+        random_mean += std::log(rnd_trace.best());
+    }
+    EXPECT_LT(gd_mean, random_mean + std::log(1.2) * seeds);
+}
+
+TEST(EndToEnd, DecodedDesignsEvaluateConsistently)
+{
+    // The EDP reported through the latent objective equals the EDP
+    // of re-evaluating the decoded config from scratch.
+    Pipeline &p = pipeline();
+    LatentObjective obj(p.framework, p.evaluator,
+                        alexNetLayers());
+    Rng rng(73);
+    for (int i = 0; i < 10; ++i) {
+        std::vector<double> z(p.framework.latentDim());
+        for (double &v : z)
+            v = rng.normal();
+        const double via_objective = obj.evaluate(z);
+        Evaluator fresh;
+        const EvalResult direct = fresh.evaluateWorkload(
+            obj.decode(z), alexNetLayers());
+        if (direct.valid) {
+            EXPECT_NEAR(via_objective, direct.edp,
+                        1e-9 * direct.edp);
+        } else {
+            EXPECT_TRUE(std::isinf(via_objective));
+        }
+    }
+}
+
+} // namespace
+} // namespace vaesa

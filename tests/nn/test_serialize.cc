@@ -1,0 +1,86 @@
+/** @file Unit tests for parameter save/load. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "nn/sequential.hh"
+#include "nn/serialize.hh"
+#include "util/rng.hh"
+
+namespace vaesa::nn {
+namespace {
+
+class SerializeTest : public ::testing::Test
+{
+  protected:
+    std::string
+    tempPath()
+    {
+        return ::testing::TempDir() + "/vaesa_params.bin";
+    }
+
+    void TearDown() override { std::remove(tempPath().c_str()); }
+};
+
+TEST_F(SerializeTest, RoundTripsExactly)
+{
+    Rng rng_a(1);
+    auto source = makeMlp(4, {8, 8}, 2, rng_a);
+    ASSERT_TRUE(saveParameters(tempPath(), source->parameters()));
+
+    Rng rng_b(999);
+    auto target = makeMlp(4, {8, 8}, 2, rng_b);
+    // Different init, so outputs differ before loading.
+    Matrix x(1, 4, {1.0, -1.0, 0.5, 2.0});
+    EXPECT_FALSE(source->forward(x) == target->forward(x));
+
+    ASSERT_TRUE(loadParameters(tempPath(), target->parameters()));
+    EXPECT_TRUE(source->forward(x) == target->forward(x));
+}
+
+TEST_F(SerializeTest, LoadMissingFileReturnsFalse)
+{
+    Rng rng(1);
+    auto net = makeMlp(2, {4}, 1, rng);
+    EXPECT_FALSE(loadParameters(
+        ::testing::TempDir() + "/does_not_exist.bin",
+        net->parameters()));
+}
+
+TEST_F(SerializeTest, ShapeMismatchIsFatal)
+{
+    Rng rng(1);
+    auto source = makeMlp(4, {8}, 2, rng);
+    ASSERT_TRUE(saveParameters(tempPath(), source->parameters()));
+    auto other = makeMlp(4, {16}, 2, rng);
+    EXPECT_DEATH(loadParameters(tempPath(), other->parameters()),
+                 "mismatch");
+}
+
+TEST_F(SerializeTest, ParameterCountMismatchIsFatal)
+{
+    Rng rng(1);
+    auto source = makeMlp(4, {8}, 2, rng);
+    ASSERT_TRUE(saveParameters(tempPath(), source->parameters()));
+    auto deeper = makeMlp(4, {8, 8}, 2, rng);
+    EXPECT_DEATH(loadParameters(tempPath(), deeper->parameters()),
+                 "parameters");
+}
+
+TEST_F(SerializeTest, RejectsNonModelFile)
+{
+    {
+        std::FILE *f = std::fopen(tempPath().c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fputs("garbage", f);
+        std::fclose(f);
+    }
+    Rng rng(1);
+    auto net = makeMlp(2, {4}, 1, rng);
+    EXPECT_DEATH(loadParameters(tempPath(), net->parameters()),
+                 "not a VAESA model");
+}
+
+} // namespace
+} // namespace vaesa::nn

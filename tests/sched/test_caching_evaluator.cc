@@ -1,0 +1,154 @@
+/** @file Unit tests for the memoizing evaluator. */
+
+#include <gtest/gtest.h>
+
+#include "sched/caching_evaluator.hh"
+#include "util/rng.hh"
+#include "workload/networks.hh"
+
+namespace vaesa {
+namespace {
+
+AcceleratorConfig
+midConfig()
+{
+    AcceleratorConfig c;
+    c.numPes = 16;
+    c.numMacs = 1024;
+    c.accumBufBytes = 48 * 1024;
+    c.weightBufBytes = 1024 * 1024;
+    c.inputBufBytes = 64 * 1024;
+    c.globalBufBytes = 128 * 1024;
+    return c;
+}
+
+TEST(CachingEvaluator, MatchesPlainEvaluator)
+{
+    CachingEvaluator cached;
+    Evaluator plain;
+    Rng rng(1);
+    for (int trial = 0; trial < 30; ++trial) {
+        const AcceleratorConfig config =
+            designSpace().randomConfig(rng);
+        const LayerShape &layer =
+            resNet50Layers()[rng.index(24)];
+        const EvalResult a = cached.evaluateLayer(config, layer);
+        const EvalResult b = plain.evaluateLayer(config, layer);
+        EXPECT_EQ(a.valid, b.valid);
+        if (a.valid) {
+            EXPECT_DOUBLE_EQ(a.latencyCycles, b.latencyCycles);
+            EXPECT_DOUBLE_EQ(a.energyPj, b.energyPj);
+        }
+    }
+}
+
+TEST(CachingEvaluator, RepeatHitsTheCache)
+{
+    CachingEvaluator cached;
+    const LayerShape layer = resNet50Layers()[2];
+    cached.evaluateLayer(midConfig(), layer);
+    EXPECT_EQ(cached.misses(), 1u);
+    EXPECT_EQ(cached.hits(), 0u);
+    for (int i = 0; i < 5; ++i)
+        cached.evaluateLayer(midConfig(), layer);
+    EXPECT_EQ(cached.misses(), 1u);
+    EXPECT_EQ(cached.hits(), 5u);
+    // The inner evaluator only ran once.
+    EXPECT_EQ(cached.inner().evaluationCount(), 1u);
+}
+
+TEST(CachingEvaluator, DistinguishesLayersWithSameConfig)
+{
+    CachingEvaluator cached;
+    cached.evaluateLayer(midConfig(), resNet50Layers()[2]);
+    cached.evaluateLayer(midConfig(), resNet50Layers()[3]);
+    EXPECT_EQ(cached.misses(), 2u);
+    EXPECT_EQ(cached.hits(), 0u);
+}
+
+TEST(CachingEvaluator, SameShapeDifferentNameShareEntries)
+{
+    CachingEvaluator cached;
+    LayerShape a = resNet50Layers()[2];
+    LayerShape b = a;
+    b.name = "renamed";
+    cached.evaluateLayer(midConfig(), a);
+    cached.evaluateLayer(midConfig(), b);
+    EXPECT_EQ(cached.misses(), 1u);
+    EXPECT_EQ(cached.hits(), 1u);
+}
+
+TEST(CachingEvaluator, OffGridConfigsAliasTheirSnap)
+{
+    CachingEvaluator cached;
+    const LayerShape layer = alexNetLayers()[1];
+    AcceleratorConfig off = midConfig();
+    off.numMacs += 3; // off-grid; snaps back to 1024
+    cached.evaluateLayer(midConfig(), layer);
+    cached.evaluateLayer(off, layer);
+    EXPECT_EQ(cached.misses(), 1u);
+    EXPECT_EQ(cached.hits(), 1u);
+}
+
+TEST(CachingEvaluator, WorkloadSumsMatchPlain)
+{
+    CachingEvaluator cached;
+    Evaluator plain;
+    const auto layers = alexNetLayers();
+    const EvalResult a =
+        cached.evaluateWorkload(midConfig(), layers);
+    const EvalResult b =
+        plain.evaluateWorkload(midConfig(), layers);
+    ASSERT_TRUE(a.valid);
+    EXPECT_DOUBLE_EQ(a.latencyCycles, b.latencyCycles);
+    EXPECT_DOUBLE_EQ(a.energyPj, b.energyPj);
+    // A second workload pass is all hits.
+    cached.evaluateWorkload(midConfig(), layers);
+    EXPECT_EQ(cached.hits(), layers.size());
+}
+
+TEST(CachingEvaluator, InvalidResultsAreCachedToo)
+{
+    CachingEvaluator cached;
+    AcceleratorConfig bad = midConfig();
+    bad.globalBufBytes = 2;
+    const LayerShape layer = alexNetLayers()[0];
+    EXPECT_FALSE(cached.evaluateLayer(bad, layer).valid);
+    EXPECT_FALSE(cached.evaluateLayer(bad, layer).valid);
+    EXPECT_EQ(cached.misses(), 1u);
+    EXPECT_EQ(cached.hits(), 1u);
+}
+
+TEST(CachingEvaluator, ClearResetsEverything)
+{
+    CachingEvaluator cached;
+    cached.evaluateLayer(midConfig(), alexNetLayers()[0]);
+    cached.clear();
+    EXPECT_EQ(cached.hits(), 0u);
+    EXPECT_EQ(cached.misses(), 0u);
+    cached.evaluateLayer(midConfig(), alexNetLayers()[0]);
+    EXPECT_EQ(cached.misses(), 1u);
+}
+
+TEST(CachingEvaluator, ConfigKeyIsPerfectPacking)
+{
+    // Two different grid configs can never collide: exercise a batch
+    // of random configs per layer and verify distinct results per
+    // distinct config where EDPs differ.
+    CachingEvaluator cached;
+    Evaluator plain;
+    const LayerShape layer = resNet50Layers()[5];
+    Rng rng(9);
+    for (int i = 0; i < 40; ++i) {
+        const AcceleratorConfig config =
+            designSpace().randomConfig(rng);
+        const EvalResult a = cached.evaluateLayer(config, layer);
+        const EvalResult b = plain.evaluateLayer(config, layer);
+        EXPECT_EQ(a.valid, b.valid);
+        if (a.valid)
+            EXPECT_DOUBLE_EQ(a.edp, b.edp);
+    }
+}
+
+} // namespace
+} // namespace vaesa

@@ -1,0 +1,120 @@
+/** @file Unit tests for the evaluation facade. */
+
+#include <gtest/gtest.h>
+
+#include "sched/evaluator.hh"
+#include "workload/networks.hh"
+
+namespace vaesa {
+namespace {
+
+AcceleratorConfig
+midConfig()
+{
+    AcceleratorConfig c;
+    c.numPes = 16;
+    c.numMacs = 1024;
+    c.accumBufBytes = 48 * 1024;
+    c.weightBufBytes = 1 * 1024 * 1024;
+    c.inputBufBytes = 64 * 1024;
+    c.globalBufBytes = 128 * 1024;
+    return c;
+}
+
+TEST(Evaluator, LayerEvaluationIsPositiveAndConsistent)
+{
+    Evaluator ev;
+    const EvalResult r =
+        ev.evaluateLayer(midConfig(), resNet50Layers()[2]);
+    ASSERT_TRUE(r.valid);
+    EXPECT_GT(r.latencyCycles, 0.0);
+    EXPECT_GT(r.energyPj, 0.0);
+    EXPECT_DOUBLE_EQ(r.edp, r.latencyCycles * r.energyPj);
+}
+
+TEST(Evaluator, WorkloadSumsLayers)
+{
+    Evaluator ev;
+    const auto layers = alexNetLayers();
+    const EvalResult total = ev.evaluateWorkload(midConfig(), layers);
+    ASSERT_TRUE(total.valid);
+
+    double lat = 0.0;
+    double en = 0.0;
+    for (const LayerShape &l : layers) {
+        const EvalResult r = ev.evaluateLayer(midConfig(), l);
+        ASSERT_TRUE(r.valid);
+        lat += r.latencyCycles;
+        en += r.energyPj;
+    }
+    EXPECT_NEAR(total.latencyCycles, lat, 1e-6 * lat);
+    EXPECT_NEAR(total.energyPj, en, 1e-6 * en);
+    EXPECT_NEAR(total.edp, lat * en, 1e-6 * lat * en);
+}
+
+TEST(Evaluator, InvalidArchitectureInvalidatesWorkload)
+{
+    Evaluator ev;
+    AcceleratorConfig bad = midConfig();
+    bad.globalBufBytes = 2;
+    const EvalResult r =
+        ev.evaluateWorkload(bad, alexNetLayers());
+    EXPECT_FALSE(r.valid);
+    EXPECT_DOUBLE_EQ(r.edp, 0.0);
+}
+
+TEST(Evaluator, CountsEvaluations)
+{
+    Evaluator ev;
+    ev.resetCount();
+    ev.evaluateLayer(midConfig(), alexNetLayers()[0]);
+    ev.evaluateLayer(midConfig(), alexNetLayers()[1]);
+    EXPECT_EQ(ev.evaluationCount(), 2u);
+    ev.evaluateWorkload(midConfig(), alexNetLayers());
+    EXPECT_EQ(ev.evaluationCount(), 2u + 8u);
+    ev.resetCount();
+    EXPECT_EQ(ev.evaluationCount(), 0u);
+}
+
+TEST(Evaluator, DetailedLayerExposesMappingAndBreakdown)
+{
+    Evaluator ev;
+    Mapping mapping;
+    const CostResult r = ev.detailedLayer(
+        midConfig(), resNet50Layers()[2], &mapping);
+    ASSERT_TRUE(r.valid);
+    EXPECT_GE(mapping.spatialK, 1);
+    EXPECT_GT(r.macEnergy, 0.0);
+    EXPECT_GT(r.dramEnergy, 0.0);
+}
+
+TEST(Evaluator, DetailedLayerReportsUnmappable)
+{
+    Evaluator ev;
+    AcceleratorConfig bad = midConfig();
+    bad.globalBufBytes = 2;
+    const CostResult r =
+        ev.detailedLayer(bad, alexNetLayers()[0]);
+    EXPECT_FALSE(r.valid);
+    EXPECT_EQ(r.invalidReason, "no legal mapping");
+}
+
+TEST(Evaluator, MoreComputeNeverSlowerOnComputeBoundLayer)
+{
+    // A compute-heavy 3x3 layer: quadrupling MACs with ample buffers
+    // should not increase latency.
+    Evaluator ev;
+    AcceleratorConfig small = midConfig();
+    small.numMacs = 256;
+    AcceleratorConfig big = midConfig();
+    big.numMacs = 4096;
+    const LayerShape layer = resNet50Layers()[2];
+    const EvalResult r_small = ev.evaluateLayer(small, layer);
+    const EvalResult r_big = ev.evaluateLayer(big, layer);
+    ASSERT_TRUE(r_small.valid);
+    ASSERT_TRUE(r_big.valid);
+    EXPECT_LE(r_big.latencyCycles, r_small.latencyCycles * 1.01);
+}
+
+} // namespace
+} // namespace vaesa

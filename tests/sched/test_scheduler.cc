@@ -1,0 +1,197 @@
+/** @file Unit and property tests for the one-shot scheduler. */
+
+#include <gtest/gtest.h>
+
+#include "sched/scheduler.hh"
+#include "util/rng.hh"
+#include "workload/networks.hh"
+
+namespace vaesa {
+namespace {
+
+AcceleratorConfig
+midConfig()
+{
+    AcceleratorConfig c;
+    c.numPes = 16;
+    c.numMacs = 1024;
+    c.accumBufBytes = 48 * 1024;
+    c.weightBufBytes = 1 * 1024 * 1024;
+    c.inputBufBytes = 64 * 1024;
+    c.globalBufBytes = 128 * 1024;
+    return c;
+}
+
+TEST(Scheduler, ProducesLegalMappingsForAllTrainingLayers)
+{
+    Scheduler sched;
+    CostModel model;
+    const AcceleratorConfig arch = midConfig();
+    for (const Workload &w : trainingWorkloads()) {
+        for (const LayerShape &layer : w.layers) {
+            const auto mapping = sched.schedule(arch, layer);
+            ASSERT_TRUE(mapping.has_value()) << layer.describe();
+            std::string reason;
+            EXPECT_TRUE(model.checkMapping(arch, layer, *mapping,
+                                           &reason))
+                << layer.describe() << ": " << reason;
+        }
+    }
+}
+
+TEST(Scheduler, MaximizesSpatialPeUsage)
+{
+    Scheduler sched;
+    const AcceleratorConfig arch = midConfig();
+    LayerShape wide;
+    wide.name = "unit.wide";
+    wide.p = 8;
+    wide.q = 8;
+    wide.c = 64;
+    wide.k = 256;
+    const auto mapping = sched.schedule(arch, wide);
+    ASSERT_TRUE(mapping.has_value());
+    EXPECT_EQ(mapping->spatialK, arch.numPes);
+    EXPECT_EQ(mapping->spatialC,
+              std::min<std::int64_t>(arch.lanesPerPe(), wide.c));
+}
+
+TEST(Scheduler, SpatialSplitCappedByLayer)
+{
+    Scheduler sched;
+    const AcceleratorConfig arch = midConfig();
+    LayerShape narrow;
+    narrow.name = "unit.narrow";
+    narrow.p = 16;
+    narrow.q = 16;
+    narrow.c = 3;
+    narrow.k = 2;
+    const auto mapping = sched.schedule(arch, narrow);
+    ASSERT_TRUE(mapping.has_value());
+    EXPECT_LE(mapping->spatialK, 2);
+    EXPECT_LE(mapping->spatialC, 3);
+}
+
+TEST(Scheduler, RejectsInvalidArchitecture)
+{
+    Scheduler sched;
+    AcceleratorConfig arch = midConfig();
+    arch.numMacs = 8; // fewer MACs than PEs -> zero lanes
+    EXPECT_FALSE(sched.schedule(arch, alexNetLayers()[2]).has_value());
+}
+
+TEST(Scheduler, RejectsInsaneLayer)
+{
+    Scheduler sched;
+    LayerShape bad;
+    bad.c = 0;
+    EXPECT_FALSE(sched.schedule(midConfig(), bad).has_value());
+}
+
+TEST(Scheduler, HandlesMicroscopicGlobalBuffer)
+{
+    // With a 2-byte global buffer even a single input word plus a
+    // single output word cannot be resident: no mapping exists.
+    Scheduler sched;
+    AcceleratorConfig arch = midConfig();
+    arch.globalBufBytes = 2;
+    EXPECT_FALSE(
+        sched.schedule(arch, alexNetLayers()[2]).has_value());
+}
+
+TEST(Scheduler, SmallBuffersStillMapWhenFeasible)
+{
+    // Smallest grid values for everything except the global buffer:
+    // mapping still exists (tiles shrink to near-minimal).
+    Scheduler sched;
+    CostModel model;
+    AcceleratorConfig arch;
+    arch.numPes = 4;
+    arch.numMacs = 64;
+    arch.accumBufBytes = 768;
+    arch.weightBufBytes = 256;
+    arch.inputBufBytes = 128;
+    arch.globalBufBytes = 64 * 1024;
+    const LayerShape layer = alexNetLayers()[2]; // 3x3 conv
+    const auto mapping = sched.schedule(arch, layer);
+    ASSERT_TRUE(mapping.has_value());
+    std::string reason;
+    EXPECT_TRUE(model.checkMapping(arch, layer, *mapping, &reason))
+        << reason;
+}
+
+TEST(Scheduler, BiggerWeightBufferNeverHurtsProxyTraffic)
+{
+    // A strictly larger weight buffer lets the scheduler keep at
+    // least the same tiles; the resulting EDP should not get
+    // dramatically worse (allow small non-monotonic wiggle from the
+    // greedy growth order).
+    Scheduler sched;
+    CostModel model;
+    AcceleratorConfig small = midConfig();
+    small.weightBufBytes = 16 * 1024;
+    AcceleratorConfig big = midConfig();
+    big.weightBufBytes = 4 * 1024 * 1024;
+    const LayerShape layer = resNet50Layers()[2];
+    const auto map_small = sched.schedule(small, layer);
+    const auto map_big = sched.schedule(big, layer);
+    ASSERT_TRUE(map_small.has_value());
+    ASSERT_TRUE(map_big.has_value());
+    const double traffic_small =
+        model.evaluate(small, layer, *map_small).dramWeightReads;
+    const double traffic_big =
+        model.evaluate(big, layer, *map_big).dramWeightReads;
+    EXPECT_LE(traffic_big, traffic_small * 1.01);
+}
+
+TEST(Scheduler, DeterministicAcrossCalls)
+{
+    Scheduler sched;
+    const LayerShape layer = resNet50Layers()[6];
+    const auto a = sched.schedule(midConfig(), layer);
+    const auto b = sched.schedule(midConfig(), layer);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(a->describe(), b->describe());
+}
+
+/** Property sweep: random configs x all layers -> legal mappings. */
+class SchedulerFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SchedulerFuzz, RandomConfigsYieldLegalMappingsOrNullopt)
+{
+    Rng rng(GetParam());
+    Scheduler sched;
+    CostModel model;
+    std::vector<LayerShape> pool;
+    for (const Workload &w : trainingWorkloads())
+        pool.insert(pool.end(), w.layers.begin(), w.layers.end());
+    for (const LayerShape &l : gdTestLayers())
+        pool.push_back(l);
+
+    int mapped = 0;
+    for (int trial = 0; trial < 40; ++trial) {
+        const AcceleratorConfig arch =
+            designSpace().randomConfig(rng);
+        const LayerShape &layer = pool[rng.index(pool.size())];
+        const auto mapping = sched.schedule(arch, layer);
+        if (!mapping)
+            continue;
+        ++mapped;
+        std::string reason;
+        EXPECT_TRUE(model.checkMapping(arch, layer, *mapping,
+                                       &reason))
+            << layer.describe() << " on " << arch.describe() << ": "
+            << reason;
+    }
+    // The random grid is overwhelmingly mappable.
+    EXPECT_GT(mapped, 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerFuzz,
+                         ::testing::Range(1, 9));
+
+} // namespace
+} // namespace vaesa

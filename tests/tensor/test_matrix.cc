@@ -1,0 +1,237 @@
+/** @file Unit tests for the dense Matrix type. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/matrix.hh"
+#include "util/rng.hh"
+
+namespace vaesa {
+namespace {
+
+TEST(Matrix, ZeroInitialized)
+{
+    Matrix m(2, 3);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(m(r, c), 0.0);
+}
+
+TEST(Matrix, FillConstructorAndFill)
+{
+    Matrix m(2, 2, 7.0);
+    EXPECT_DOUBLE_EQ(m(1, 1), 7.0);
+    m.fill(-1.0);
+    EXPECT_DOUBLE_EQ(m(0, 0), -1.0);
+}
+
+TEST(Matrix, PayloadConstructorIsRowMajor)
+{
+    Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+    EXPECT_DOUBLE_EQ(m(0, 2), 3.0);
+    EXPECT_DOUBLE_EQ(m(1, 0), 4.0);
+}
+
+TEST(Matrix, PayloadSizeMismatchPanics)
+{
+    EXPECT_DEATH(Matrix(2, 2, {1.0, 2.0, 3.0}), "payload");
+}
+
+TEST(Matrix, OutOfBoundsPanics)
+{
+    Matrix m(2, 2);
+    EXPECT_DEATH(m(2, 0), "out of");
+    EXPECT_DEATH(m(0, 2), "out of");
+}
+
+TEST(Matrix, RowRoundTrip)
+{
+    Matrix m(2, 3);
+    m.setRow(1, {4.0, 5.0, 6.0});
+    const std::vector<double> expect{4.0, 5.0, 6.0};
+    EXPECT_EQ(m.row(1), expect);
+}
+
+TEST(Matrix, AddSubScale)
+{
+    Matrix a(1, 3, {1, 2, 3});
+    Matrix b(1, 3, {10, 20, 30});
+    a.add(b);
+    EXPECT_DOUBLE_EQ(a(0, 2), 33.0);
+    a.sub(b);
+    EXPECT_DOUBLE_EQ(a(0, 2), 3.0);
+    a.scale(2.0);
+    EXPECT_DOUBLE_EQ(a(0, 0), 2.0);
+}
+
+TEST(Matrix, ShapeMismatchPanics)
+{
+    Matrix a(1, 3);
+    Matrix b(3, 1);
+    EXPECT_DEATH(a.add(b), "mismatch");
+}
+
+TEST(Matrix, AddScaledAndHadamard)
+{
+    Matrix a(1, 2, {1, 2});
+    Matrix b(1, 2, {3, 4});
+    a.addScaled(b, 0.5);
+    EXPECT_DOUBLE_EQ(a(0, 0), 2.5);
+    EXPECT_DOUBLE_EQ(a(0, 1), 4.0);
+    a.hadamard(b);
+    EXPECT_DOUBLE_EQ(a(0, 0), 7.5);
+    EXPECT_DOUBLE_EQ(a(0, 1), 16.0);
+}
+
+TEST(Matrix, AddRowVector)
+{
+    Matrix m(2, 2, {1, 2, 3, 4});
+    m.addRowVector({10.0, 20.0});
+    EXPECT_DOUBLE_EQ(m(0, 0), 11.0);
+    EXPECT_DOUBLE_EQ(m(1, 1), 24.0);
+}
+
+TEST(Matrix, ColSums)
+{
+    Matrix m(2, 2, {1, 2, 3, 4});
+    const std::vector<double> expect{4.0, 6.0};
+    EXPECT_EQ(m.colSums(), expect);
+}
+
+TEST(Matrix, MaxAbsAndSum)
+{
+    Matrix m(1, 3, {-5.0, 2.0, 3.0});
+    EXPECT_DOUBLE_EQ(m.maxAbs(), 5.0);
+    EXPECT_DOUBLE_EQ(m.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(Matrix().maxAbs(), 0.0);
+}
+
+TEST(Matrix, Apply)
+{
+    Matrix m(1, 2, {4.0, 9.0});
+    m.apply([](double x) { return std::sqrt(x); });
+    EXPECT_DOUBLE_EQ(m(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(m(0, 1), 3.0);
+}
+
+TEST(Matrix, Transposed)
+{
+    Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+    const Matrix t = m.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+    EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+}
+
+TEST(Matrix, MultiplyKnownValues)
+{
+    Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+    Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
+    const Matrix c = Matrix::multiply(a, b);
+    EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, MultiplyShapeMismatchPanics)
+{
+    Matrix a(2, 3);
+    Matrix b(2, 3);
+    EXPECT_DEATH(Matrix::multiply(a, b), "mismatch");
+}
+
+TEST(Matrix, TransposedVariantsAgreeWithExplicitTranspose)
+{
+    Rng rng(1);
+    Matrix a(4, 5);
+    Matrix b(3, 5);
+    a.randomNormal(rng, 0.0, 1.0);
+    b.randomNormal(rng, 0.0, 1.0);
+
+    const Matrix via_t = Matrix::multiply(a, b.transposed());
+    const Matrix direct = Matrix::multiplyTransB(a, b);
+    ASSERT_EQ(via_t.rows(), direct.rows());
+    ASSERT_EQ(via_t.cols(), direct.cols());
+    for (std::size_t r = 0; r < via_t.rows(); ++r)
+        for (std::size_t c = 0; c < via_t.cols(); ++c)
+            EXPECT_NEAR(via_t(r, c), direct(r, c), 1e-12);
+
+    Matrix a2(5, 4);
+    a2.randomNormal(rng, 0.0, 1.0);
+    Matrix b2(5, 3);
+    b2.randomNormal(rng, 0.0, 1.0);
+    const Matrix via_t2 = Matrix::multiply(a2.transposed(), b2);
+    const Matrix direct2 = Matrix::multiplyTransA(a2, b2);
+    for (std::size_t r = 0; r < via_t2.rows(); ++r)
+        for (std::size_t c = 0; c < via_t2.cols(); ++c)
+            EXPECT_NEAR(via_t2(r, c), direct2(r, c), 1e-12);
+}
+
+TEST(Matrix, RandomFillsRespectDistributions)
+{
+    Rng rng(2);
+    Matrix m(100, 100);
+    m.randomUniform(rng, 2.0, 3.0);
+    double mn = 1e300;
+    double mx = -1e300;
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        for (std::size_t c = 0; c < m.cols(); ++c) {
+            mn = std::min(mn, m(r, c));
+            mx = std::max(mx, m(r, c));
+        }
+    }
+    EXPECT_GE(mn, 2.0);
+    EXPECT_LT(mx, 3.0);
+
+    m.randomNormal(rng, 5.0, 1.0);
+    EXPECT_NEAR(m.sum() / m.size(), 5.0, 0.05);
+}
+
+TEST(Matrix, EqualityIsExact)
+{
+    Matrix a(1, 2, {1.0, 2.0});
+    Matrix b(1, 2, {1.0, 2.0});
+    EXPECT_TRUE(a == b);
+    b(0, 1) = 2.0000001;
+    EXPECT_FALSE(a == b);
+}
+
+class MatmulAssociativity
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(MatmulAssociativity, MatchesManualAccumulation)
+{
+    const auto [m, k, n] = GetParam();
+    Rng rng(7);
+    Matrix a(m, k);
+    Matrix b(k, n);
+    a.randomUniform(rng, -1.0, 1.0);
+    b.randomUniform(rng, -1.0, 1.0);
+    const Matrix c = Matrix::multiply(a, b);
+    for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (int kk = 0; kk < k; ++kk)
+                acc += a(i, kk) * b(kk, j);
+            EXPECT_NEAR(c(i, j), acc, 1e-12);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulAssociativity,
+    ::testing::Values(std::make_tuple(1, 1, 1),
+                      std::make_tuple(2, 3, 4),
+                      std::make_tuple(5, 1, 5),
+                      std::make_tuple(8, 8, 8),
+                      std::make_tuple(3, 17, 2)));
+
+} // namespace
+} // namespace vaesa

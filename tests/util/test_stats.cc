@@ -1,0 +1,130 @@
+/** @file Unit tests for summary statistics. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hh"
+
+namespace vaesa {
+namespace {
+
+TEST(Summary, EmptyIsZeroCount)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, SingleValue)
+{
+    Summary s;
+    s.add(3.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(Summary, KnownMoments)
+{
+    Summary s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance with n-1 = 7: sum sq dev = 32.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, MeanAndStddev)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+    EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, MeanOfEmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+}
+
+TEST(Stats, GeomeanOfPowers)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0, 16.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({8.0}), 8.0, 1e-12);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive)
+{
+    EXPECT_DEATH(geomean({1.0, 0.0}), "positive");
+}
+
+TEST(Stats, PercentileEndpoints)
+{
+    const std::vector<double> xs{5.0, 1.0, 3.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 3.0);
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    const std::vector<double> xs{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 2.5);
+}
+
+TEST(Stats, RunningMinIsMonotone)
+{
+    const std::vector<double> xs{5.0, 7.0, 3.0, 4.0, 1.0};
+    const std::vector<double> expect{5.0, 5.0, 3.0, 3.0, 1.0};
+    EXPECT_EQ(runningMin(xs), expect);
+}
+
+TEST(Stats, CorrelationOfLinearData)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    std::vector<double> ys;
+    for (double x : xs)
+        ys.push_back(3.0 * x - 1.0);
+    EXPECT_NEAR(correlation(xs, ys), 1.0, 1e-12);
+    for (double &y : ys)
+        y = -y;
+    EXPECT_NEAR(correlation(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Stats, CorrelationOfConstantIsZero)
+{
+    EXPECT_DOUBLE_EQ(correlation({1.0, 1.0, 1.0}, {1.0, 2.0, 3.0}),
+                     0.0);
+    EXPECT_DOUBLE_EQ(correlation({1.0}, {2.0}), 0.0);
+}
+
+TEST(Stats, CorrelationLengthMismatchPanics)
+{
+    EXPECT_DEATH(correlation({1.0, 2.0}, {1.0}), "equal-length");
+}
+
+class PercentileSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(PercentileSweep, BoundedByExtrema)
+{
+    const std::vector<double> xs{4.0, -2.0, 9.5, 0.0, 3.0, 3.0};
+    const double p = percentile(xs, GetParam());
+    EXPECT_GE(p, -2.0);
+    EXPECT_LE(p, 9.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, PercentileSweep,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75,
+                                           0.9, 0.99, 1.0));
+
+} // namespace
+} // namespace vaesa

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared lazily-built fixtures for the vaesa-module tests: a small
+ * dataset and a small trained framework, built once per test binary
+ * so individual tests stay fast.
+ */
+
+#ifndef VAESA_TESTS_VAESA_FIXTURES_HH
+#define VAESA_TESTS_VAESA_FIXTURES_HH
+
+#include "sched/evaluator.hh"
+#include "util/rng.hh"
+#include "vaesa/dataset.hh"
+#include "vaesa/framework.hh"
+#include "workload/networks.hh"
+
+namespace vaesa::testing {
+
+/** Process-wide evaluator. */
+inline Evaluator &
+sharedEvaluator()
+{
+    static Evaluator evaluator;
+    return evaluator;
+}
+
+/** Small dataset over all training workloads (built once). */
+inline const Dataset &
+sharedDataset()
+{
+    static const Dataset data = [] {
+        std::vector<LayerShape> pool;
+        for (const Workload &w : trainingWorkloads())
+            pool.insert(pool.end(), w.layers.begin(), w.layers.end());
+        Rng rng(1234);
+        return DatasetBuilder(sharedEvaluator(), pool)
+            .build(1500, rng);
+    }();
+    return data;
+}
+
+/** Small trained framework (latent dim 4, built once). */
+inline VaesaFramework &
+sharedFramework()
+{
+    static VaesaFramework framework = [] {
+        FrameworkOptions options;
+        options.vae.latentDim = 4;
+        options.vae.hiddenDims = {64, 32};
+        options.predictorHidden = {48, 48};
+        options.train.epochs = 12;
+        return VaesaFramework(sharedDataset(), options, 99);
+    }();
+    return framework;
+}
+
+} // namespace vaesa::testing
+
+#endif // VAESA_TESTS_VAESA_FIXTURES_HH

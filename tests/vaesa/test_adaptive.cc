@@ -1,0 +1,146 @@
+/** @file Unit tests for the adaptive (grow-and-fine-tune) BO flow. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fixtures.hh"
+#include "vaesa/adaptive.hh"
+
+namespace vaesa {
+namespace {
+
+TEST(AdaptiveVaeBo, UsesExactBudgetAndGathersSamples)
+{
+    // Use a private framework copy (the flow mutates weights).
+    FrameworkOptions options;
+    options.vae.latentDim = 4;
+    options.vae.hiddenDims = {32, 16};
+    options.train.epochs = 6;
+    VaesaFramework framework(testing::sharedDataset(), options, 3);
+
+    AdaptiveBoOptions adaptive;
+    adaptive.retrainInterval = 15;
+    adaptive.minNewSamples = 10;
+    adaptive.fineTuneEpochs = 2;
+    AdaptiveVaeBo flow(framework, testing::sharedEvaluator(),
+                       adaptive);
+
+    Rng rng(81);
+    const auto layers = alexNetLayers();
+    const SearchTrace trace = flow.run(layers, 40, rng);
+    EXPECT_EQ(trace.points.size(), 40u);
+    // Valid decodes record one sample per layer.
+    EXPECT_GE(flow.gathered().size(), layers.size());
+    EXPECT_LE(flow.gathered().size(), 40 * layers.size());
+    // 40 samples at interval 15 -> two interior fine-tunes.
+    EXPECT_GE(flow.fineTuneCount(), 1u);
+    EXPECT_LE(flow.fineTuneCount(), 2u);
+    EXPECT_TRUE(std::isfinite(trace.best()));
+}
+
+TEST(AdaptiveVaeBo, GatheredSamplesMatchEvaluator)
+{
+    FrameworkOptions options;
+    options.vae.latentDim = 4;
+    options.vae.hiddenDims = {32, 16};
+    options.train.epochs = 4;
+    VaesaFramework framework(testing::sharedDataset(), options, 4);
+
+    AdaptiveBoOptions adaptive;
+    adaptive.retrainInterval = 100; // no fine-tune inside the run
+    AdaptiveVaeBo flow(framework, testing::sharedEvaluator(),
+                       adaptive);
+
+    Rng rng(82);
+    const std::vector<LayerShape> layers{alexNetLayers()[2]};
+    flow.run(layers, 10, rng);
+    ASSERT_FALSE(flow.gathered().empty());
+    for (std::size_t i = 0; i < std::min<std::size_t>(
+                                5, flow.gathered().size());
+         ++i) {
+        const DataSample &s = flow.gathered()[i];
+        Evaluator fresh;
+        const EvalResult r =
+            fresh.evaluateLayer(s.config, layers[s.layerIndex]);
+        ASSERT_TRUE(r.valid);
+        EXPECT_NEAR(std::exp2(s.logLatency), r.latencyCycles,
+                    1e-6 * r.latencyCycles);
+        EXPECT_NEAR(std::exp2(s.logEnergy), r.energyPj,
+                    1e-6 * r.energyPj);
+    }
+}
+
+TEST(AdaptiveVaeBo, FineTuningChangesTheModel)
+{
+    FrameworkOptions options;
+    options.vae.latentDim = 4;
+    options.vae.hiddenDims = {32, 16};
+    options.train.epochs = 4;
+    VaesaFramework framework(testing::sharedDataset(), options, 5);
+
+    const std::vector<double> probe(framework.latentDim(), 0.4);
+    const auto feats = framework.normalizedLayerFeatures(
+        alexNetLayers()[0]);
+    const double before = framework.predictScore(probe, feats);
+
+    AdaptiveBoOptions adaptive;
+    adaptive.retrainInterval = 10;
+    adaptive.minNewSamples = 5;
+    adaptive.fineTuneEpochs = 2;
+    AdaptiveVaeBo flow(framework, testing::sharedEvaluator(),
+                       adaptive);
+    Rng rng(83);
+    flow.run(alexNetLayers(), 25, rng);
+    ASSERT_GE(flow.fineTuneCount(), 1u);
+    EXPECT_NE(framework.predictScore(probe, feats), before);
+}
+
+TEST(AdaptiveVaeBo, EmptyWorkloadIsFatal)
+{
+    FrameworkOptions options;
+    options.vae.latentDim = 4;
+    options.vae.hiddenDims = {16};
+    options.train.epochs = 1;
+    VaesaFramework framework(testing::sharedDataset(), options, 6);
+    AdaptiveVaeBo flow(framework, testing::sharedEvaluator(), {});
+    Rng rng(84);
+    EXPECT_DEATH(flow.run({}, 5, rng), "at least one layer");
+}
+
+TEST(BayesOptContinueRun, WarmStartSkipsWarmup)
+{
+    // continueRun on a non-empty trace must not re-run warm-up
+    // random sampling: all additional points come from acquisition.
+    class CountingObjective : public Objective
+    {
+      public:
+        std::size_t dim() const override { return 2; }
+        std::vector<double> lowerBounds() const override
+        {
+            return {0.0, 0.0};
+        }
+        std::vector<double> upperBounds() const override
+        {
+            return {1.0, 1.0};
+        }
+        double
+        evaluate(const std::vector<double> &x) override
+        {
+            return (x[0] - 0.5) * (x[0] - 0.5) + x[1];
+        }
+    };
+
+    CountingObjective obj;
+    BayesOpt bo;
+    Rng rng(85);
+    SearchTrace trace = bo.run(obj, 15, rng);
+    ASSERT_EQ(trace.points.size(), 15u);
+    bo.continueRun(obj, trace, 10, rng);
+    EXPECT_EQ(trace.points.size(), 25u);
+    // The continuation should keep improving or hold the incumbent.
+    EXPECT_LE(trace.best(), trace.bestAfter(15));
+}
+
+} // namespace
+} // namespace vaesa

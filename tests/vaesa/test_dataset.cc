@@ -1,0 +1,125 @@
+/** @file Unit tests for dataset construction. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fixtures.hh"
+
+namespace vaesa {
+namespace {
+
+TEST(Dataset, BuilderGathersRequestedSamples)
+{
+    const Dataset &data = testing::sharedDataset();
+    EXPECT_EQ(data.size(), 1500u);
+    EXPECT_EQ(data.layerPool().size(), 66u);
+}
+
+TEST(Dataset, FeaturesAreNormalized)
+{
+    const Dataset &data = testing::sharedDataset();
+    const Matrix &hw = data.hwFeatures();
+    const Matrix &layer = data.layerFeatures();
+    for (std::size_t r = 0; r < data.size(); ++r) {
+        for (std::size_t c = 0; c < hw.cols(); ++c) {
+            EXPECT_GE(hw(r, c), 0.0);
+            EXPECT_LT(hw(r, c), 1.0);
+        }
+        for (std::size_t c = 0; c < layer.cols(); ++c) {
+            EXPECT_GE(layer(r, c), -1e-9);
+            EXPECT_LT(layer(r, c), 1.0);
+        }
+    }
+}
+
+TEST(Dataset, LabelsAreNormalized)
+{
+    const Dataset &data = testing::sharedDataset();
+    for (std::size_t r = 0; r < data.size(); ++r) {
+        EXPECT_GE(data.latencyLabels()(r, 0), 0.0);
+        EXPECT_LT(data.latencyLabels()(r, 0), 1.0);
+        EXPECT_GE(data.energyLabels()(r, 0), 0.0);
+        EXPECT_LT(data.energyLabels()(r, 0), 1.0);
+    }
+}
+
+TEST(Dataset, MatrixShapesMatchSampleCount)
+{
+    const Dataset &data = testing::sharedDataset();
+    EXPECT_EQ(data.hwFeatures().rows(), data.size());
+    EXPECT_EQ(data.hwFeatures().cols(),
+              static_cast<std::size_t>(numHwParams));
+    EXPECT_EQ(data.layerFeatures().cols(),
+              static_cast<std::size_t>(numLayerFeatures));
+    EXPECT_EQ(data.latencyLabels().cols(), 1u);
+    EXPECT_EQ(data.energyLabels().cols(), 1u);
+}
+
+TEST(Dataset, SamplesAreReproducibleAndValid)
+{
+    // Rebuilding with the same seed gives identical samples, and the
+    // recorded labels match a fresh evaluation.
+    Evaluator &ev = testing::sharedEvaluator();
+    std::vector<LayerShape> pool = alexNetLayers();
+    Rng rng_a(5);
+    Rng rng_b(5);
+    const Dataset a = DatasetBuilder(ev, pool).build(50, rng_a);
+    const Dataset b = DatasetBuilder(ev, pool).build(50, rng_b);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.samples()[i].config, b.samples()[i].config);
+        EXPECT_DOUBLE_EQ(a.samples()[i].logLatency,
+                         b.samples()[i].logLatency);
+    }
+
+    for (std::size_t i = 0; i < 10; ++i) {
+        const DataSample &s = a.samples()[i];
+        const EvalResult r = ev.evaluateLayer(
+            s.config, pool[s.layerIndex]);
+        ASSERT_TRUE(r.valid);
+        EXPECT_NEAR(std::exp2(s.logLatency), r.latencyCycles,
+                    1e-6 * r.latencyCycles);
+        EXPECT_NEAR(std::exp2(s.logEnergy), r.energyPj,
+                    1e-6 * r.energyPj);
+    }
+}
+
+TEST(Dataset, EdpHelpersAreConsistent)
+{
+    const Dataset &data = testing::sharedDataset();
+    const std::size_t best = data.bestSampleIndex();
+    const std::size_t worst = data.worstSampleIndex();
+    EXPECT_LE(data.sampleEdp(best), data.sampleEdp(worst));
+    for (std::size_t i = 0; i < data.size(); i += 97) {
+        EXPECT_GE(data.sampleEdp(i), data.sampleEdp(best));
+        EXPECT_LE(data.sampleEdp(i), data.sampleEdp(worst));
+    }
+    const DataSample &s = data.samples()[0];
+    EXPECT_NEAR(data.sampleEdp(0),
+                std::exp2(s.logLatency) * std::exp2(s.logEnergy),
+                1e-6 * data.sampleEdp(0));
+}
+
+TEST(Dataset, HwNormalizerUsesGridBounds)
+{
+    const Dataset &data = testing::sharedDataset();
+    const auto lo = designSpace().featureLowerBounds();
+    for (int p = 0; p < numHwParams; ++p)
+        EXPECT_DOUBLE_EQ(data.hwNormalizer().lower(p), lo[p]);
+}
+
+TEST(Dataset, EmptyPoolIsFatal)
+{
+    Evaluator ev;
+    EXPECT_DEATH(DatasetBuilder(ev, {}), "non-empty layer pool");
+}
+
+TEST(Dataset, SampleEdpOutOfRangePanics)
+{
+    const Dataset &data = testing::sharedDataset();
+    EXPECT_DEATH(data.sampleEdp(data.size()), "out of range");
+}
+
+} // namespace
+} // namespace vaesa

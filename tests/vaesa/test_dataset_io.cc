@@ -1,0 +1,137 @@
+/** @file Unit tests for dataset persistence and merging. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "fixtures.hh"
+#include "vaesa/dataset_io.hh"
+
+namespace vaesa {
+namespace {
+
+class DatasetIoTest : public ::testing::Test
+{
+  protected:
+    std::string
+    tempPath()
+    {
+        return ::testing::TempDir() + "/vaesa_dataset.csv";
+    }
+
+    void TearDown() override { std::remove(tempPath().c_str()); }
+};
+
+TEST_F(DatasetIoTest, RoundTripsSamplesAndPool)
+{
+    Evaluator &ev = testing::sharedEvaluator();
+    Rng rng(77);
+    const Dataset original =
+        DatasetBuilder(ev, alexNetLayers()).build(120, rng);
+    ASSERT_TRUE(saveDatasetCsv(tempPath(), original));
+
+    const auto loaded = loadDatasetCsv(tempPath());
+    ASSERT_TRUE(loaded.has_value());
+    ASSERT_EQ(loaded->size(), original.size());
+    ASSERT_EQ(loaded->layerPool().size(),
+              original.layerPool().size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(loaded->samples()[i].config,
+                  original.samples()[i].config);
+        EXPECT_EQ(loaded->samples()[i].layerIndex,
+                  original.samples()[i].layerIndex);
+        EXPECT_NEAR(loaded->samples()[i].logLatency,
+                    original.samples()[i].logLatency, 1e-6);
+        EXPECT_NEAR(loaded->samples()[i].logEnergy,
+                    original.samples()[i].logEnergy, 1e-6);
+    }
+    // Normalized matrices match too (same normalizer fit).
+    for (std::size_t i = 0; i < original.size(); i += 17) {
+        for (int p = 0; p < numHwParams; ++p)
+            EXPECT_NEAR(loaded->hwFeatures()(i, p),
+                        original.hwFeatures()(i, p), 1e-9);
+    }
+}
+
+TEST_F(DatasetIoTest, MissingFileReturnsNullopt)
+{
+    EXPECT_FALSE(loadDatasetCsv(::testing::TempDir() +
+                                "/no_such_dataset.csv")
+                     .has_value());
+}
+
+TEST_F(DatasetIoTest, MalformedRowIsFatal)
+{
+    {
+        std::ofstream out(tempPath());
+        out << "kind,name_or_index,f0,f1,f2,f3,f4,f5,f6,f7\n";
+        out << "layer,x,1,1,1,1,1,1,1,1\n";
+        out << "sample,0,16\n"; // too few cells
+    }
+    EXPECT_DEATH(loadDatasetCsv(tempPath()), "malformed");
+}
+
+TEST_F(DatasetIoTest, UnknownKindIsFatal)
+{
+    {
+        std::ofstream out(tempPath());
+        out << "kind,name_or_index,f0,f1,f2,f3,f4,f5,f6,f7\n";
+        out << "bogus,x,1,1,1,1,1,1,1,1\n";
+    }
+    EXPECT_DEATH(loadDatasetCsv(tempPath()), "unknown row kind");
+}
+
+TEST(DatasetMerge, CombinesSamplesOverSamePool)
+{
+    Evaluator &ev = testing::sharedEvaluator();
+    Rng rng_a(1);
+    Rng rng_b(2);
+    const Dataset a =
+        DatasetBuilder(ev, alexNetLayers()).build(60, rng_a);
+    const Dataset b =
+        DatasetBuilder(ev, alexNetLayers()).build(40, rng_b);
+    const Dataset merged = mergeDatasets(a, b);
+    EXPECT_EQ(merged.size(), 100u);
+    EXPECT_EQ(merged.samples()[0].config, a.samples()[0].config);
+    EXPECT_EQ(merged.samples()[60].config, b.samples()[0].config);
+}
+
+TEST(DatasetMerge, RejectsMismatchedPools)
+{
+    Evaluator &ev = testing::sharedEvaluator();
+    Rng rng(3);
+    const Dataset a =
+        DatasetBuilder(ev, alexNetLayers()).build(20, rng);
+    const Dataset b =
+        DatasetBuilder(ev, deepBenchLayers()).build(20, rng);
+    EXPECT_DEATH(mergeDatasets(a, b), "layer pools differ");
+}
+
+TEST(FineTune, ImprovesOnNewData)
+{
+    // Fine-tuning on fresh samples must not blow up and should keep
+    // or improve the predictor losses on that data.
+    Evaluator &ev = testing::sharedEvaluator();
+    Rng rng(4);
+    std::vector<LayerShape> pool;
+    for (const Workload &w : trainingWorkloads())
+        pool.insert(pool.end(), w.layers.begin(), w.layers.end());
+    const Dataset fresh =
+        DatasetBuilder(ev, pool).build(400, rng);
+
+    FrameworkOptions options;
+    options.vae.latentDim = 4;
+    options.vae.hiddenDims = {32, 16};
+    options.train.epochs = 6;
+    VaesaFramework framework(testing::sharedDataset(), options, 5);
+    const std::size_t history_before = framework.history().size();
+
+    const auto tuned = framework.fineTune(fresh, 6, 9);
+    ASSERT_EQ(tuned.size(), 6u);
+    EXPECT_EQ(framework.history().size(), history_before + 6);
+    EXPECT_LE(tuned.back().totalLoss, tuned.front().totalLoss);
+}
+
+} // namespace
+} // namespace vaesa

@@ -1,0 +1,128 @@
+/** @file Tests for VaeGdOptions behaviour (prior, radius, screen). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fixtures.hh"
+#include "vaesa/latent_dse.hh"
+
+namespace vaesa {
+namespace {
+
+TEST(VaeGdOptions, EndpointsRespectRadius)
+{
+    VaesaFramework &fw = testing::sharedFramework();
+    VaeGdOptions options;
+    options.radius = 1.25;
+    options.steps = 50;
+    Rng rng(91);
+    const SearchTrace trace =
+        vaeGdSearch(fw, testing::sharedEvaluator(),
+                    gdTestLayers()[4], 8, options, rng);
+    for (const TracePoint &p : trace.points) {
+        for (double v : p.x) {
+            EXPECT_GE(v, -1.25 - 1e-12);
+            EXPECT_LE(v, 1.25 + 1e-12);
+        }
+    }
+}
+
+TEST(VaeGdOptions, PriorPullsEndpointsInward)
+{
+    // With a strong prior the mean endpoint norm must be smaller
+    // than with no prior.
+    VaesaFramework &fw = testing::sharedFramework();
+    auto mean_norm = [&](double prior) {
+        VaeGdOptions options;
+        options.priorWeight = prior;
+        options.steps = 60;
+        options.radius = 3.0;
+        Rng rng(92);
+        const SearchTrace trace =
+            vaeGdSearch(fw, testing::sharedEvaluator(),
+                        gdTestLayers()[4], 10, options, rng);
+        double acc = 0.0;
+        for (const TracePoint &p : trace.points) {
+            double n2 = 0.0;
+            for (double v : p.x)
+                n2 += v * v;
+            acc += std::sqrt(n2);
+        }
+        return acc / static_cast<double>(trace.points.size());
+    };
+    EXPECT_LT(mean_norm(2.0), mean_norm(0.0));
+}
+
+TEST(VaeGdOptions, ScreeningUsesPredictorNotSimulator)
+{
+    // With screening m, simulator samples stay equal to `starts`
+    // (only predictor calls grow).
+    VaesaFramework &fw = testing::sharedFramework();
+    Evaluator counting;
+    VaeGdOptions options;
+    options.steps = 10;
+    options.screenStarts = 3;
+    Rng rng(93);
+    counting.resetCount();
+    const SearchTrace trace = vaeGdSearch(
+        fw, counting, gdTestLayers()[2], 6, options, rng);
+    EXPECT_EQ(trace.points.size(), 6u);
+    EXPECT_EQ(counting.evaluationCount(), 6u);
+}
+
+TEST(VaeGdOptions, ZeroStepsDecodesStartPoints)
+{
+    VaesaFramework &fw = testing::sharedFramework();
+    VaeGdOptions options;
+    options.steps = 0;
+    Rng rng(94);
+    const SearchTrace trace =
+        vaeGdSearch(fw, testing::sharedEvaluator(),
+                    gdTestLayers()[9], 5, options, rng);
+    EXPECT_EQ(trace.points.size(), 5u);
+    // Start points are N(0, sigma) draws; with zero steps the trace
+    // x's are exactly those draws (reproduce with the same seed).
+    Rng replay(94);
+    for (const TracePoint &p : trace.points) {
+        for (double v : p.x)
+            EXPECT_DOUBLE_EQ(v, replay.normal(0.0,
+                                              options.startSigma));
+    }
+}
+
+TEST(VaeGdOptions, StepStudyMonotoneDescentOnSurrogate)
+{
+    // More steps never increase the *surrogate* value at the
+    // endpoint (projected GD with momentum can oscillate on the
+    // real EDP, but the study's marks share start points, so the
+    // decoded design after more steps sits deeper on the surrogate).
+    VaesaFramework &fw = testing::sharedFramework();
+    const LayerShape layer = gdTestLayers()[4];
+    const auto feats = fw.normalizedLayerFeatures(layer);
+    VaeGdOptions options;
+    options.radius = 3.0;
+
+    Rng rng(95);
+    std::vector<double> z0(fw.latentDim());
+    for (double &v : z0)
+        v = rng.normal();
+
+    GdOptions gd;
+    gd.lower.assign(fw.latentDim(), -3.0);
+    gd.upper.assign(fw.latentDim(), 3.0);
+    const DifferentiableFn surrogate =
+        [&](const std::vector<double> &z, std::vector<double> *g) {
+            return fw.predictScore(z, feats, g);
+        };
+    double prev = 1e300;
+    for (std::size_t steps : {0u, 25u, 100u}) {
+        gd.steps = steps;
+        const GdResult r = GradientDescent(gd).run(surrogate, z0);
+        EXPECT_LE(r.value, prev + 1e-9);
+        prev = r.value;
+    }
+}
+
+} // namespace
+} // namespace vaesa

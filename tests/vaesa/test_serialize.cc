@@ -1,0 +1,110 @@
+/** @file Unit tests for whole-framework snapshots. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "fixtures.hh"
+#include "vaesa/serialize.hh"
+
+namespace vaesa {
+namespace {
+
+class FrameworkSnapshotTest : public ::testing::Test
+{
+  protected:
+    std::string
+    tempPath()
+    {
+        return ::testing::TempDir() + "/vaesa_snapshot.bin";
+    }
+
+    void TearDown() override { std::remove(tempPath().c_str()); }
+};
+
+TEST_F(FrameworkSnapshotTest, RoundTripsEverything)
+{
+    VaesaFramework &original = testing::sharedFramework();
+    ASSERT_TRUE(saveFramework(tempPath(), original));
+
+    std::unique_ptr<VaesaFramework> restored =
+        loadFramework(tempPath());
+    ASSERT_NE(restored, nullptr);
+    EXPECT_EQ(restored->latentDim(), original.latentDim());
+    EXPECT_TRUE(restored->hwNormalizer() ==
+                original.hwNormalizer());
+    EXPECT_TRUE(restored->layerNormalizer() ==
+                original.layerNormalizer());
+    EXPECT_TRUE(restored->latencyNormalizer() ==
+                original.latencyNormalizer());
+    EXPECT_TRUE(restored->energyNormalizer() ==
+                original.energyNormalizer());
+
+    // Behavioural parity: decode and predict identically.
+    const auto feats = original.normalizedLayerFeatures(
+        resNet50Layers()[3]);
+    Rng rng(61);
+    for (int i = 0; i < 10; ++i) {
+        std::vector<double> z(original.latentDim());
+        for (double &v : z)
+            v = rng.normal();
+        EXPECT_EQ(original.decodeLatent(z),
+                  restored->decodeLatent(z));
+        EXPECT_DOUBLE_EQ(original.predictScore(z, feats),
+                         restored->predictScore(z, feats));
+    }
+    // Encode parity on a real config.
+    const AcceleratorConfig config =
+        testing::sharedDataset().samples()[5].config;
+    EXPECT_EQ(original.encodeConfig(config),
+              restored->encodeConfig(config));
+}
+
+TEST_F(FrameworkSnapshotTest, MissingFileReturnsNull)
+{
+    EXPECT_EQ(loadFramework(::testing::TempDir() +
+                            "/does_not_exist.bin"),
+              nullptr);
+}
+
+TEST_F(FrameworkSnapshotTest, RejectsForeignFile)
+{
+    {
+        std::ofstream out(tempPath(), std::ios::binary);
+        out << "this is not a snapshot at all, not even close";
+    }
+    EXPECT_DEATH(loadFramework(tempPath()), "not a VAESA framework");
+}
+
+TEST_F(FrameworkSnapshotTest, RejectsTruncatedSnapshot)
+{
+    VaesaFramework &original = testing::sharedFramework();
+    ASSERT_TRUE(saveFramework(tempPath(), original));
+    // Truncate to half length.
+    std::ifstream in(tempPath(), std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string bytes = buffer.str();
+    in.close();
+    {
+        std::ofstream out(tempPath(), std::ios::binary);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size() / 2));
+    }
+    EXPECT_DEATH(loadFramework(tempPath()), "truncated|corrupt");
+}
+
+TEST(NormalizerSerialize, ExactRoundTrip)
+{
+    Normalizer norm;
+    norm.setBounds({-3.5, 0.0, 2.25}, {1.5, 10.0, 2.26});
+    std::stringstream buffer;
+    norm.serialize(buffer);
+    const Normalizer back = Normalizer::deserialize(buffer);
+    EXPECT_TRUE(norm == back);
+}
+
+} // namespace
+} // namespace vaesa

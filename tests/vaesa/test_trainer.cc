@@ -1,0 +1,151 @@
+/** @file Unit tests for joint and standalone training. */
+
+#include <gtest/gtest.h>
+
+#include "fixtures.hh"
+#include "vaesa/trainer.hh"
+
+namespace vaesa {
+namespace {
+
+TEST(Trainer, JointTrainingReducesAllLosses)
+{
+    const Dataset &data = testing::sharedDataset();
+    Rng rng(31);
+    VaeOptions vae_opts;
+    vae_opts.latentDim = 4;
+    vae_opts.hiddenDims = {32, 16};
+    Vae vae(vae_opts, rng);
+    PredictorOptions pred_opts;
+    pred_opts.designDim = 4;
+    pred_opts.hiddenDims = {32};
+    Predictor lat(pred_opts, rng, "latency");
+    Predictor en(pred_opts, rng, "energy");
+
+    TrainOptions train;
+    train.epochs = 10;
+    Trainer trainer(vae, lat, en, train);
+    const auto history = trainer.train(data, rng);
+    ASSERT_EQ(history.size(), 10u);
+    EXPECT_LT(history.back().reconLoss,
+              history.front().reconLoss);
+    EXPECT_LT(history.back().latencyLoss,
+              history.front().latencyLoss);
+    EXPECT_LT(history.back().energyLoss,
+              history.front().energyLoss);
+    EXPECT_GT(history.back().kldLoss, 0.0);
+}
+
+TEST(Trainer, EvaluateDoesNotChangeParameters)
+{
+    const Dataset &data = testing::sharedDataset();
+    Rng rng(32);
+    VaeOptions vae_opts;
+    vae_opts.latentDim = 2;
+    vae_opts.hiddenDims = {16};
+    Vae vae(vae_opts, rng);
+    PredictorOptions pred_opts;
+    pred_opts.designDim = 2;
+    pred_opts.hiddenDims = {16};
+    Predictor lat(pred_opts, rng, "latency");
+    Predictor en(pred_opts, rng, "energy");
+
+    TrainOptions train;
+    Trainer trainer(vae, lat, en, train);
+
+    std::vector<Matrix> before;
+    for (nn::Parameter *p : vae.parameters())
+        before.push_back(p->value);
+    const EpochStats stats = trainer.evaluate(data, rng);
+    EXPECT_GT(stats.totalLoss, 0.0);
+    std::size_t i = 0;
+    for (nn::Parameter *p : vae.parameters())
+        EXPECT_TRUE(p->value == before[i++]);
+}
+
+TEST(Trainer, KldWeightShapesLatentSpread)
+{
+    // With a large alpha the encoder means collapse toward N(0, I);
+    // with alpha = 0 they spread much further (Figure 9).
+    const Dataset &data = testing::sharedDataset();
+
+    auto spread_for_alpha = [&](double alpha) {
+        Rng rng(33);
+        VaeOptions vae_opts;
+        vae_opts.latentDim = 2;
+        vae_opts.hiddenDims = {32, 16};
+        Vae vae(vae_opts, rng);
+        PredictorOptions pred_opts;
+        pred_opts.designDim = 2;
+        pred_opts.hiddenDims = {32};
+        Predictor lat(pred_opts, rng, "latency");
+        Predictor en(pred_opts, rng, "energy");
+        TrainOptions train;
+        train.epochs = 8;
+        train.kldWeight = alpha;
+        Trainer(vae, lat, en, train).train(data, rng);
+        const Matrix mu = vae.encodeMean(data.hwFeatures());
+        double acc = 0.0;
+        for (std::size_t r = 0; r < mu.rows(); ++r)
+            for (std::size_t c = 0; c < mu.cols(); ++c)
+                acc += mu(r, c) * mu(r, c);
+        return acc / static_cast<double>(mu.rows());
+    };
+
+    const double spread_free = spread_for_alpha(0.0);
+    const double spread_pinned = spread_for_alpha(0.1);
+    EXPECT_LT(spread_pinned, spread_free);
+}
+
+TEST(Trainer, MismatchedPredictorWidthIsFatal)
+{
+    Rng rng(34);
+    VaeOptions vae_opts;
+    vae_opts.latentDim = 4;
+    Vae vae(vae_opts, rng);
+    PredictorOptions pred_opts;
+    pred_opts.designDim = 3; // != latentDim
+    Predictor lat(pred_opts, rng, "latency");
+    Predictor en(pred_opts, rng, "energy");
+    TrainOptions train;
+    EXPECT_DEATH(Trainer(vae, lat, en, train),
+                 "designDim must equal");
+}
+
+TEST(PredictorTrainer, FitsLabels)
+{
+    const Dataset &data = testing::sharedDataset();
+    Rng rng(35);
+    PredictorOptions pred_opts;
+    pred_opts.designDim = numHwParams;
+    pred_opts.hiddenDims = {48, 48};
+    Predictor pred(pred_opts, rng, "gd.latency");
+    TrainOptions train;
+    train.epochs = 12;
+    PredictorTrainer trainer(pred, train);
+    const auto history =
+        trainer.train(data.hwFeatures(), data.layerFeatures(),
+                      data.latencyLabels(), rng);
+    ASSERT_EQ(history.size(), 12u);
+    EXPECT_LT(history.back(), history.front() * 0.5);
+    EXPECT_LT(history.back(), 0.02);
+}
+
+TEST(PredictorTrainer, RowMismatchIsFatal)
+{
+    Rng rng(36);
+    PredictorOptions pred_opts;
+    pred_opts.designDim = 2;
+    pred_opts.layerDim = 2;
+    Predictor pred(pred_opts, rng, "t");
+    TrainOptions train;
+    PredictorTrainer trainer(pred, train);
+    Matrix design(3, 2);
+    Matrix feats(4, 2);
+    Matrix labels(3, 1);
+    EXPECT_DEATH(trainer.train(design, feats, labels, rng),
+                 "inconsistent row counts");
+}
+
+} // namespace
+} // namespace vaesa

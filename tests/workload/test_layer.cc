@@ -1,0 +1,107 @@
+/** @file Unit tests for LayerShape. */
+
+#include <gtest/gtest.h>
+
+#include "workload/layer.hh"
+
+namespace vaesa {
+namespace {
+
+LayerShape
+conv3x3()
+{
+    LayerShape l;
+    l.name = "test.conv";
+    l.r = 3;
+    l.s = 3;
+    l.p = 56;
+    l.q = 56;
+    l.c = 64;
+    l.k = 128;
+    return l;
+}
+
+TEST(LayerShape, MacCount)
+{
+    const LayerShape l = conv3x3();
+    EXPECT_DOUBLE_EQ(l.macs(), 3.0 * 3 * 56 * 56 * 64 * 128);
+}
+
+TEST(LayerShape, WordCounts)
+{
+    const LayerShape l = conv3x3();
+    EXPECT_EQ(l.weightWords(), 3 * 3 * 64 * 128);
+    EXPECT_EQ(l.outputWords(), 56 * 56 * 128);
+    EXPECT_EQ(l.inputW(), 55 * 1 + 3);
+    EXPECT_EQ(l.inputH(), 58);
+    EXPECT_EQ(l.inputWords(), 58 * 58 * 64);
+}
+
+TEST(LayerShape, StridedInputExtent)
+{
+    LayerShape l = conv3x3();
+    l.strideW = 2;
+    l.strideH = 2;
+    EXPECT_EQ(l.inputW(), 55 * 2 + 3);
+    EXPECT_EQ(l.inputH(), 113);
+}
+
+TEST(LayerShape, FullyConnectedAsOneByOne)
+{
+    LayerShape fc;
+    fc.c = 2048;
+    fc.k = 1000;
+    EXPECT_DOUBLE_EQ(fc.macs(), 2048.0 * 1000.0);
+    EXPECT_EQ(fc.weightWords(), 2048 * 1000);
+    EXPECT_EQ(fc.inputWords(), 2048);
+    EXPECT_EQ(fc.outputWords(), 1000);
+}
+
+TEST(LayerShape, Sanity)
+{
+    LayerShape l = conv3x3();
+    EXPECT_TRUE(l.isSane());
+    l.c = 0;
+    EXPECT_FALSE(l.isSane());
+    l.c = 64;
+    l.strideW = 0;
+    EXPECT_FALSE(l.isSane());
+}
+
+TEST(LayerShape, FeaturesAreLog2InTableOrder)
+{
+    LayerShape l;
+    l.r = 2;
+    l.s = 4;
+    l.p = 8;
+    l.q = 16;
+    l.c = 32;
+    l.k = 64;
+    l.strideW = 1;
+    l.strideH = 2;
+    const std::vector<double> expect{1, 2, 3, 4, 5, 6, 0, 1};
+    EXPECT_EQ(l.toFeatures(), expect);
+    EXPECT_EQ(l.toFeatures().size(),
+              static_cast<std::size_t>(numLayerFeatures));
+}
+
+TEST(LayerShape, SameShapeIgnoresName)
+{
+    LayerShape a = conv3x3();
+    LayerShape b = conv3x3();
+    b.name = "other";
+    EXPECT_TRUE(a.sameShape(b));
+    b.k = 256;
+    EXPECT_FALSE(a.sameShape(b));
+}
+
+TEST(LayerShape, DescribeContainsNameAndDims)
+{
+    const LayerShape l = conv3x3();
+    const std::string d = l.describe();
+    EXPECT_NE(d.find("test.conv"), std::string::npos);
+    EXPECT_NE(d.find("56"), std::string::npos);
+}
+
+} // namespace
+} // namespace vaesa

@@ -1,0 +1,110 @@
+/** @file Unit tests for layer-file parsing. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "workload/parse.hh"
+
+namespace vaesa {
+namespace {
+
+TEST(ParseLayerLine, PlainDimensions)
+{
+    const auto layer =
+        parseLayerLine("3 3 56 56 64 128 1 1", "dflt");
+    ASSERT_TRUE(layer.has_value());
+    EXPECT_EQ(layer->name, "dflt");
+    EXPECT_EQ(layer->r, 3);
+    EXPECT_EQ(layer->k, 128);
+    EXPECT_EQ(layer->strideH, 1);
+}
+
+TEST(ParseLayerLine, NamedLayer)
+{
+    const auto layer =
+        parseLayerLine("myconv 5 5 700 161 1 64 2 2", "dflt");
+    ASSERT_TRUE(layer.has_value());
+    EXPECT_EQ(layer->name, "myconv");
+    EXPECT_EQ(layer->p, 700);
+    EXPECT_EQ(layer->strideW, 2);
+}
+
+TEST(ParseLayerLine, CommentsAndBlanksAreSkipped)
+{
+    EXPECT_FALSE(parseLayerLine("", "d").has_value());
+    EXPECT_FALSE(parseLayerLine("   ", "d").has_value());
+    EXPECT_FALSE(parseLayerLine("# a comment", "d").has_value());
+    const auto layer =
+        parseLayerLine("1 1 1 1 256 128 1 1 # trailing", "d");
+    ASSERT_TRUE(layer.has_value());
+    EXPECT_EQ(layer->c, 256);
+}
+
+TEST(ParseLayerLine, WrongColumnCountIsFatal)
+{
+    EXPECT_DEATH(parseLayerLine("3 3 56 56 64 128 1", "d"),
+                 "expected 8 dimensions");
+}
+
+TEST(ParseLayerLine, NonIntegerIsFatal)
+{
+    EXPECT_DEATH(parseLayerLine("3 3 56 x 64 128 1 1", "d"),
+                 "not an integer");
+}
+
+TEST(ParseLayerLine, NonPositiveDimensionIsFatal)
+{
+    EXPECT_DEATH(parseLayerLine("3 3 0 56 64 128 1 1", "d"),
+                 "non-positive");
+}
+
+class ParseFileTest : public ::testing::Test
+{
+  protected:
+    std::string
+    tempPath()
+    {
+        return ::testing::TempDir() + "/vaesa_layers.txt";
+    }
+
+    void TearDown() override { std::remove(tempPath().c_str()); }
+};
+
+TEST_F(ParseFileTest, ParsesMixedFile)
+{
+    {
+        std::ofstream out(tempPath());
+        out << "# my custom network\n";
+        out << "stem 7 7 112 112 3 64 2 2\n";
+        out << "\n";
+        out << "3 3 56 56 64 64 1 1\n";
+        out << "fc 1 1 1 1 2048 1000 1 1\n";
+    }
+    const auto layers = parseLayerFile(tempPath());
+    ASSERT_TRUE(layers.has_value());
+    ASSERT_EQ(layers->size(), 3u);
+    EXPECT_EQ((*layers)[0].name, "stem");
+    EXPECT_EQ((*layers)[1].name, "custom.layer2");
+    EXPECT_EQ((*layers)[2].k, 1000);
+}
+
+TEST_F(ParseFileTest, MissingFileReturnsNullopt)
+{
+    EXPECT_FALSE(parseLayerFile(::testing::TempDir() +
+                                "/no_layers_here.txt")
+                     .has_value());
+}
+
+TEST_F(ParseFileTest, EmptyFileIsFatal)
+{
+    {
+        std::ofstream out(tempPath());
+        out << "# nothing but comments\n";
+    }
+    EXPECT_DEATH(parseLayerFile(tempPath()), "no layers");
+}
+
+} // namespace
+} // namespace vaesa
