@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "util/contracts.hh"
 #include "util/logging.hh"
 #include "util/numeric.hh"
 #include "util/rng.hh"
@@ -128,7 +129,12 @@ DesignSpace::valueToIndex(HwParam param, std::int64_t value) const
 std::int64_t
 DesignSpace::snapValue(HwParam param, std::int64_t value) const
 {
-    return indexToValue(param, valueToIndex(param, value));
+    const std::int64_t idx = valueToIndex(param, value);
+    const std::int64_t snapped = indexToValue(param, idx);
+    VAESA_ENSURE(valueToIndex(param, snapped) == idx,
+                 "snap-to-grid not idempotent for ", spec(param).name,
+                 ": value=", value, " snapped=", snapped);
+    return snapped;
 }
 
 AcceleratorConfig
@@ -195,11 +201,16 @@ DesignSpace::fromFeatures(const std::vector<double> &feats) const
     AcceleratorConfig config;
     for (int p = 0; p < numHwParams; ++p) {
         const auto param = static_cast<HwParam>(p);
+        VAESA_CHECK_FINITE(feats[p], "feature for ",
+                           spec(param).name,
+                           " decoded from the latent space");
         const double raw = std::exp2(feats[p]);
         const auto value = static_cast<std::int64_t>(
             std::llround(std::min(raw, 9.0e15)));
         config.setValue(param, snapValue(param, value));
     }
+    VAESA_ENSURE(isValid(config),
+                 "snapped config out of domain: ", config.describe());
     return config;
 }
 

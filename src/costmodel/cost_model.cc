@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "util/contracts.hh"
 #include "util/logging.hh"
 #include "util/numeric.hh"
 
@@ -196,6 +197,22 @@ CostModel::evaluate(const AcceleratorConfig &arch, const LayerShape &layer,
         result.computeCycles * static_cast<double>(mapping.spatialK) *
         static_cast<double>(mapping.spatialC);
     result.macUtilization = issue_slots > 0.0 ? macs / issue_slots : 0.0;
+
+    // Post-conditions at the costmodel/sched boundary: a mapping that
+    // passed checkMapping() must never score as negative or
+    // non-finite, or every search curve downstream silently corrupts.
+    VAESA_CHECK_FINITE(result.latencyCycles, "latency for layer ",
+                       layer.name);
+    VAESA_CHECK_FINITE(result.energyPj, "energy for layer ",
+                       layer.name);
+    VAESA_ENSURE(result.latencyCycles >= 0.0,
+                 "negative latency for layer ", layer.name);
+    VAESA_ENSURE(result.energyPj >= 0.0,
+                 "negative energy for layer ", layer.name);
+    VAESA_ENSURE(result.macUtilization >= 0.0 &&
+                     result.macUtilization <= 1.0 + 1e-9,
+                 "MAC utilization outside [0, 1] for layer ",
+                 layer.name, ": ", result.macUtilization);
 
     return result;
 }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/contracts.hh"
 #include "util/logging.hh"
 
 namespace vaesa::nn {
@@ -26,6 +27,8 @@ mseLoss(const Matrix &pred, const Matrix &target)
         }
     }
     result.value = acc / n;
+    VAESA_CHECK_FINITE(result.value, "MSE loss over ", pred.rows(),
+                       "x", pred.cols());
     return result;
 }
 
@@ -52,6 +55,8 @@ gaussianKld(const Matrix &mu, const Matrix &logvar)
         }
     }
     result.value = acc / batch;
+    VAESA_CHECK_FINITE(result.value, "Gaussian KLD over batch of ",
+                       mu.rows());
     return result;
 }
 

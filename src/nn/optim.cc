@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/contracts.hh"
 #include "util/logging.hh"
 
 namespace vaesa::nn {
@@ -65,6 +66,8 @@ Adam::step()
     const double bc2 = 1.0 - std::pow(beta2_, stepCount_);
     for (std::size_t i = 0; i < params_.size(); ++i) {
         Parameter *p = params_[i];
+        VAESA_CHECK_FINITE_ALL(p->grad, "Adam::step gradient for "
+                               "parameter ", i);
         Matrix &m = firstMoment_[i];
         Matrix &v = secondMoment_[i];
         const double *g = p->grad.data();

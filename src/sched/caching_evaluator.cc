@@ -1,8 +1,33 @@
 #include "sched/caching_evaluator.hh"
 
+#include "util/contracts.hh"
 #include "util/logging.hh"
 
 namespace vaesa {
+
+namespace {
+
+/** Per-parameter index widths of the perfect cache-key packing. */
+constexpr int keyBits[numHwParams] = {3, 6, 7, 15, 11, 17};
+
+constexpr int
+totalKeyBits()
+{
+    int sum = 0;
+    for (int b : keyBits)
+        sum += b;
+    return sum;
+}
+
+// The packing is only collision-free while every index fits its
+// field and the fields fit one 64-bit word. Growing the design space
+// must widen these constants in lock-step.
+static_assert(totalKeyBits() <= 64,
+              "cache key no longer fits in 64 bits");
+static_assert(numHwParams == 6,
+              "keyBits must list one width per hardware parameter");
+
+} // namespace
 
 CachingEvaluator::CachingEvaluator(const Evaluator &inner)
     : inner_(inner)
@@ -15,9 +40,13 @@ CachingEvaluator::configKey(const AcceleratorConfig &arch) const
     // Pack the six grid indices into 59 bits (3+6+7+15+11+17).
     const auto idx = designSpace().toIndices(arch);
     std::uint64_t key = 0;
-    const int bits[numHwParams] = {3, 6, 7, 15, 11, 17};
     for (int p = 0; p < numHwParams; ++p) {
-        key = (key << bits[p]) |
+        VAESA_EXPECT(idx[p] >= 0 &&
+                         idx[p] < (std::int64_t{1} << keyBits[p]),
+                     "grid index ", idx[p], " overflows the ",
+                     keyBits[p], "-bit cache-key field of parameter ",
+                     p, "; the memo table would alias entries");
+        key = (key << keyBits[p]) |
               static_cast<std::uint64_t>(idx[p]);
     }
     return key;

@@ -22,7 +22,17 @@ namespace vaesa {
  * Evaluator with a per-(config, layer) memo table. The cache key
  * combines the six grid indices with the layer's index in an
  * internal registry, so any layer object with the same shape hits
- * the same entry. Not thread-safe (like the rest of the framework).
+ * the same entry.
+ *
+ * THREAD SAFETY: none. evaluateLayer() is `const` but mutates the
+ * memo table, the layer registry, and the hit/miss counters through
+ * `mutable` members, so concurrent calls on one instance are data
+ * races on std::unordered_map and will corrupt the cache. The
+ * planned parallel evaluator must either shard per-thread instances
+ * or add a lock here first — build the `tsan` preset (see
+ * docs/STATIC_ANALYSIS.md) before attempting it. clear() resets the
+ * table, the registry, AND both counters, so hit-rate measurements
+ * can be restarted without reconstructing the evaluator.
  */
 class CachingEvaluator
 {

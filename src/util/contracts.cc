@@ -1,0 +1,29 @@
+#include "util/contracts.hh"
+
+#include <sstream>
+
+namespace vaesa {
+
+void
+contractFail(const char *kind, const char *expr, const char *file,
+             int line, const std::string &message)
+{
+    std::ostringstream oss;
+    oss << kind << " violated at " << file << ":" << line << ": "
+        << expr;
+    if (!message.empty())
+        oss << " (" << message << ")";
+    const std::string what = oss.str();
+    warn("contract: ", what);
+    throw ContractViolation(what);
+}
+
+bool
+contractChecksActive()
+{
+    // Reflects the VAESA_CHECKS setting the vaesa libraries were
+    // compiled with (this TU is compiled into vaesa_util).
+    return VAESA_CHECKS != 0;
+}
+
+} // namespace vaesa

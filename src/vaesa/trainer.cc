@@ -4,6 +4,7 @@
 
 #include "nn/loss.hh"
 #include "nn/optim.hh"
+#include "util/contracts.hh"
 #include "util/logging.hh"
 
 namespace vaesa {
@@ -80,6 +81,21 @@ Trainer::runEpoch(const Matrix &hw, const Matrix &layer,
         const nn::LossResult lat = nn::mseLoss(pred_lat, y_lat);
         const nn::LossResult en = nn::mseLoss(pred_en, y_en);
 
+        // A NaN born in any loss term poisons the whole epoch mean
+        // and, through Adam, every parameter; catch it at the batch
+        // where it first appears.
+        VAESA_CHECK_FINITE(recon.value,
+                           "reconstruction loss, batch at row ",
+                           begin);
+        VAESA_CHECK_FINITE(kld.value, "KLD loss, batch at row ",
+                           begin);
+        VAESA_CHECK_FINITE(lat.value,
+                           "latency-predictor loss, batch at row ",
+                           begin);
+        VAESA_CHECK_FINITE(en.value,
+                           "energy-predictor loss, batch at row ",
+                           begin);
+
         stats.reconLoss += recon.value;
         stats.kldLoss += kld.value;
         stats.latencyLoss += lat.value;
@@ -95,6 +111,9 @@ Trainer::runEpoch(const Matrix &hw, const Matrix &layer,
             grad_en.scale(options_.predictorWeight);
             Matrix grad_z = latency_.backward(grad_lat);
             grad_z.add(energy_.backward(grad_en));
+            VAESA_CHECK_FINITE_ALL(grad_z,
+                                   "predictor gradient into z, batch "
+                                   "at row ", begin);
 
             Matrix grad_mu = kld.gradMu;
             grad_mu.scale(options_.kldWeight);

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Per-test-case temp file naming. `ctest -j` runs every gtest case as
+ * its own process, so two cases of one fixture sharing a file name
+ * race: one case's TearDown unlink lands between another's write and
+ * read. Deriving the name from the running case makes the paths
+ * disjoint.
+ */
+
+#ifndef VAESA_TESTS_COMMON_TEMP_PATH_HH
+#define VAESA_TESTS_COMMON_TEMP_PATH_HH
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace vaesa::testing {
+
+/** TempDir() path unique to the currently running test case. */
+inline std::string
+uniqueTempPath(const std::string &stem, const std::string &extension)
+{
+    const auto *info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    return ::testing::TempDir() + "/" + stem + "_" + info->name() +
+           extension;
+}
+
+} // namespace vaesa::testing
+
+#endif // VAESA_TESTS_COMMON_TEMP_PATH_HH

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 
+#include "../common/temp_path.hh"
 #include "nn/sequential.hh"
 #include "nn/serialize.hh"
 #include "util/rng.hh"
@@ -17,7 +18,7 @@ class SerializeTest : public ::testing::Test
     std::string
     tempPath()
     {
-        return ::testing::TempDir() + "/vaesa_params.bin";
+        return testing::uniqueTempPath("vaesa_params", ".bin");
     }
 
     void TearDown() override { std::remove(tempPath().c_str()); }

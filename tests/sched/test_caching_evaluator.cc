@@ -30,7 +30,7 @@ TEST(CachingEvaluator, MatchesPlainEvaluator)
     for (int trial = 0; trial < 30; ++trial) {
         const AcceleratorConfig config =
             designSpace().randomConfig(rng);
-        const LayerShape &layer =
+        const LayerShape layer =
             resNet50Layers()[rng.index(24)];
         const EvalResult a = cached.evaluateLayer(config, layer);
         const EvalResult b = plain.evaluateLayer(config, layer);
@@ -130,6 +130,29 @@ TEST(CachingEvaluator, ClearResetsEverything)
     EXPECT_EQ(cached.misses(), 1u);
 }
 
+TEST(CachingEvaluator, ClearResetsNonZeroCounters)
+{
+    // Guards the documented clear() contract: both counters must be
+    // zeroed even when they were non-zero, so hit-rate measurements
+    // can be restarted mid-run.
+    CachingEvaluator cached;
+    const LayerShape layer = alexNetLayers()[0];
+    cached.evaluateLayer(midConfig(), layer);
+    cached.evaluateLayer(midConfig(), layer);
+    cached.evaluateLayer(midConfig(), layer);
+    EXPECT_EQ(cached.misses(), 1u);
+    EXPECT_EQ(cached.hits(), 2u);
+    cached.clear();
+    EXPECT_EQ(cached.hits(), 0u);
+    EXPECT_EQ(cached.misses(), 0u);
+    // The memo table and the layer registry were dropped too: the
+    // same (config, layer) pair is a fresh miss, then fresh hits.
+    cached.evaluateLayer(midConfig(), layer);
+    cached.evaluateLayer(midConfig(), layer);
+    EXPECT_EQ(cached.misses(), 1u);
+    EXPECT_EQ(cached.hits(), 1u);
+}
+
 TEST(CachingEvaluator, ConfigKeyIsPerfectPacking)
 {
     // Two different grid configs can never collide: exercise a batch
@@ -145,8 +168,9 @@ TEST(CachingEvaluator, ConfigKeyIsPerfectPacking)
         const EvalResult a = cached.evaluateLayer(config, layer);
         const EvalResult b = plain.evaluateLayer(config, layer);
         EXPECT_EQ(a.valid, b.valid);
-        if (a.valid)
+        if (a.valid) {
             EXPECT_DOUBLE_EQ(a.edp, b.edp);
+        }
     }
 }
 

@@ -1,0 +1,51 @@
+/** @file Contract macros compiled out: zero evaluation, zero effect. */
+
+// Force the checks OFF in this translation unit to pin down the
+// Release contract: disabled checks must not even evaluate their
+// arguments, so hot paths pay nothing.
+#undef VAESA_CHECKS
+#define VAESA_CHECKS 0
+
+#include "util/contracts.hh"
+
+#include <gtest/gtest.h>
+
+#include "tensor/matrix.hh"
+
+namespace vaesa {
+namespace {
+
+TEST(ContractsDisabled, ConditionsAreNotEvaluated)
+{
+    int evaluations = 0;
+    [[maybe_unused]] auto touched = [&evaluations] {
+        ++evaluations;
+        return false;
+    };
+    VAESA_EXPECT(touched(), "never seen");
+    VAESA_ENSURE(touched());
+    EXPECT_EQ(evaluations, 0);
+}
+
+TEST(ContractsDisabled, FiniteChecksAreNotEvaluated)
+{
+    int evaluations = 0;
+    [[maybe_unused]] auto poison = [&evaluations] {
+        ++evaluations;
+        return std::nan("");
+    };
+    VAESA_CHECK_FINITE(poison(), "never seen");
+    EXPECT_EQ(evaluations, 0);
+
+    // The matrix argument is not touched either (the lambda is unused
+    // precisely because the disabled macro discards it unevaluated).
+    [[maybe_unused]] auto matrix = [&evaluations]() -> Matrix {
+        ++evaluations;
+        return Matrix(1, 1, std::nan(""));
+    };
+    VAESA_CHECK_FINITE_ALL(matrix());
+    EXPECT_EQ(evaluations, 0);
+}
+
+} // namespace
+} // namespace vaesa

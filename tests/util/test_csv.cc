@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "../common/temp_path.hh"
 #include "util/csv.hh"
 
 namespace vaesa {
@@ -26,7 +27,7 @@ class CsvTest : public ::testing::Test
     std::string
     tempPath()
     {
-        return ::testing::TempDir() + "/vaesa_csv_test.csv";
+        return testing::uniqueTempPath("vaesa_csv_test", ".csv");
     }
 
     void TearDown() override { std::remove(tempPath().c_str()); }

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "../common/temp_path.hh"
 #include "fixtures.hh"
 #include "vaesa/dataset_io.hh"
 
@@ -17,7 +18,7 @@ class DatasetIoTest : public ::testing::Test
     std::string
     tempPath()
     {
-        return ::testing::TempDir() + "/vaesa_dataset.csv";
+        return testing::uniqueTempPath("vaesa_dataset", ".csv");
     }
 
     void TearDown() override { std::remove(tempPath().c_str()); }

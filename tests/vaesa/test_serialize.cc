@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "../common/temp_path.hh"
 #include "fixtures.hh"
 #include "vaesa/serialize.hh"
 
@@ -18,7 +19,7 @@ class FrameworkSnapshotTest : public ::testing::Test
     std::string
     tempPath()
     {
-        return ::testing::TempDir() + "/vaesa_snapshot.bin";
+        return testing::uniqueTempPath("vaesa_snapshot", ".bin");
     }
 
     void TearDown() override { std::remove(tempPath().c_str()); }

@@ -1,8 +1,11 @@
 /** @file Unit tests for joint and standalone training. */
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "fixtures.hh"
+#include "util/contracts.hh"
 #include "vaesa/trainer.hh"
 
 namespace vaesa {
@@ -95,6 +98,36 @@ TEST(Trainer, KldWeightShapesLatentSpread)
     const double spread_free = spread_for_alpha(0.0);
     const double spread_pinned = spread_for_alpha(0.1);
     EXPECT_LT(spread_pinned, spread_free);
+}
+
+TEST(Trainer, InjectedNanTripsFiniteContract)
+{
+    // A single NaN label must be rejected by the finite-loss contract
+    // in the batch where it is first consumed, not propagate through
+    // Adam into every parameter.
+    if (!contractChecksActive())
+        GTEST_SKIP() << "library compiled with VAESA_CHECKS=0";
+    const Dataset &data = testing::sharedDataset();
+    Matrix lat_labels = data.latencyLabels();
+    lat_labels(0, 0) = std::nan("");
+
+    Rng rng(37);
+    VaeOptions vae_opts;
+    vae_opts.latentDim = 2;
+    vae_opts.hiddenDims = {16};
+    Vae vae(vae_opts, rng);
+    PredictorOptions pred_opts;
+    pred_opts.designDim = 2;
+    pred_opts.hiddenDims = {16};
+    Predictor lat(pred_opts, rng, "latency");
+    Predictor en(pred_opts, rng, "energy");
+    TrainOptions train;
+    train.epochs = 1;
+    Trainer trainer(vae, lat, en, train);
+    EXPECT_THROW(trainer.train(data.hwFeatures(),
+                               data.layerFeatures(), lat_labels,
+                               data.energyLabels(), rng),
+                 ContractViolation);
 }
 
 TEST(Trainer, MismatchedPredictorWidthIsFatal)

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "../common/temp_path.hh"
 #include "workload/parse.hh"
 
 namespace vaesa {
@@ -66,7 +67,7 @@ class ParseFileTest : public ::testing::Test
     std::string
     tempPath()
     {
-        return ::testing::TempDir() + "/vaesa_layers.txt";
+        return testing::uniqueTempPath("vaesa_layers", ".txt");
     }
 
     void TearDown() override { std::remove(tempPath().c_str()); }

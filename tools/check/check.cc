@@ -1,0 +1,374 @@
+/**
+ * @file
+ * Project lint tool. Scans src/ for violations of the repo idioms
+ * that clang-tidy cannot express:
+ *
+ *  - no raw assert()/abort()/exit()/std::cout in library code: use
+ *    panic()/fatal()/inform() from src/util/logging.hh so every
+ *    diagnostic goes through one configurable channel;
+ *  - no rand()/srand(): all randomness flows through the explicitly
+ *    seeded Rng in src/util/rng.* so experiments stay reproducible;
+ *  - header guards must match the file path (src/util/logging.hh
+ *    guards with VAESA_UTIL_LOGGING_HH), so copied headers cannot
+ *    silently shadow each other.
+ *
+ * Matching runs on comment- and string-stripped text, so prose like
+ * "random" or documentation mentioning abort() never trips it.
+ *
+ * Usage: vaesa_check <repo-root> [subdir ...]   (default subdir: src)
+ * Exit status 0 when clean, 1 with findings, 2 on usage errors.
+ *
+ * This tool lives outside src/ and may use iostream directly.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding
+{
+    std::string file;
+    int line;
+    std::string message;
+};
+
+std::vector<Finding> findings;
+
+void
+report(const std::string &file, int line, const std::string &message)
+{
+    findings.push_back({file, line, message});
+}
+
+/**
+ * Strip comments, string literals, and char literals, preserving the
+ * character count per line (replaced with spaces) so line numbers and
+ * token boundaries survive.
+ */
+std::string
+stripCommentsAndStrings(const std::string &text)
+{
+    enum class State { Code, Line, Block, Str, Chr };
+    State state = State::Code;
+    std::string out(text.size(), ' ');
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+        if (c == '\n')
+            out[i] = '\n';
+        switch (state) {
+          case State::Code:
+            if (c == '/' && next == '/') {
+                state = State::Line;
+            } else if (c == '/' && next == '*') {
+                state = State::Block;
+                ++i;
+            } else if (c == '"') {
+                state = State::Str;
+                out[i] = c;
+            } else if (c == '\'') {
+                state = State::Chr;
+                out[i] = c;
+            } else {
+                out[i] = c;
+            }
+            break;
+          case State::Line:
+            if (c == '\n')
+                state = State::Code;
+            break;
+          case State::Block:
+            if (c == '*' && next == '/') {
+                state = State::Code;
+                ++i;
+            }
+            break;
+          case State::Str:
+            if (c == '\\') {
+                ++i;
+                if (i < text.size() && text[i] == '\n')
+                    out[i] = '\n';
+            } else if (c == '"') {
+                out[i] = c;
+                state = State::Code;
+            }
+            break;
+          case State::Chr:
+            if (c == '\\') {
+                ++i;
+            } else if (c == '\'') {
+                out[i] = c;
+                state = State::Code;
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Next non-whitespace character at or after position i, or '\0'. */
+char
+nextNonSpace(const std::string &text, std::size_t i)
+{
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i])))
+        ++i;
+    return i < text.size() ? text[i] : '\0';
+}
+
+struct BannedCall
+{
+    /** Identifier that must not be called. */
+    std::string name;
+
+    /** Suggested replacement for the diagnostic. */
+    std::string instead;
+
+    /** Path suffixes where the identifier is allowed. */
+    std::vector<std::string> allowedIn;
+};
+
+const std::vector<BannedCall> bannedCalls = {
+    {"assert", "VAESA_EXPECT()/panic()", {}},
+    {"abort", "panic()", {"src/util/logging.hh"}},
+    {"exit", "fatal()", {"src/util/logging.hh"}},
+    {"rand", "vaesa::Rng", {"src/util/rng.hh", "src/util/rng.cc"}},
+    {"srand", "vaesa::Rng", {"src/util/rng.hh", "src/util/rng.cc"}},
+};
+
+/** Identifiers banned regardless of a following '('. */
+struct BannedToken
+{
+    std::string name;
+    std::string instead;
+};
+
+const std::vector<BannedToken> bannedStreams = {
+    {"cout", "inform() or a CsvWriter"},
+    {"printf", "inform()/debugLog()"},
+};
+
+bool
+pathAllowed(const std::string &relPath,
+            const std::vector<std::string> &allowed)
+{
+    return std::any_of(allowed.begin(), allowed.end(),
+                       [&](const std::string &suffix) {
+                           return relPath.size() >= suffix.size() &&
+                                  relPath.compare(relPath.size() -
+                                                      suffix.size(),
+                                                  suffix.size(),
+                                                  suffix) == 0;
+                       });
+}
+
+int
+lineOfOffset(const std::string &text, std::size_t offset)
+{
+    return 1 + static_cast<int>(
+                   std::count(text.begin(),
+                              text.begin() +
+                                  static_cast<std::ptrdiff_t>(offset),
+                              '\n'));
+}
+
+void
+checkBannedIdentifiers(const std::string &relPath,
+                       const std::string &code)
+{
+    for (const BannedCall &ban : bannedCalls) {
+        if (pathAllowed(relPath, ban.allowedIn))
+            continue;
+        std::size_t pos = 0;
+        while ((pos = code.find(ban.name, pos)) != std::string::npos) {
+            const std::size_t end = pos + ban.name.size();
+            const bool boundedLeft =
+                pos == 0 || !isIdentChar(code[pos - 1]);
+            const bool boundedRight =
+                end >= code.size() || !isIdentChar(code[end]);
+            if (boundedLeft && boundedRight &&
+                nextNonSpace(code, end) == '(') {
+                report(relPath, lineOfOffset(code, pos),
+                       "call of '" + ban.name + "' (use " +
+                           ban.instead + " instead)");
+            }
+            pos = end;
+        }
+    }
+    for (const BannedToken &ban : bannedStreams) {
+        std::size_t pos = 0;
+        while ((pos = code.find(ban.name, pos)) != std::string::npos) {
+            const std::size_t end = pos + ban.name.size();
+            const bool boundedLeft =
+                pos == 0 || !isIdentChar(code[pos - 1]);
+            const bool boundedRight =
+                end >= code.size() || !isIdentChar(code[end]);
+            if (boundedLeft && boundedRight) {
+                report(relPath, lineOfOffset(code, pos),
+                       "use of '" + ban.name + "' (use " +
+                           ban.instead + " instead)");
+            }
+            pos = end;
+        }
+    }
+}
+
+/** Expected include guard for a header path relative to the repo. */
+std::string
+expectedGuard(std::string relPath)
+{
+    const std::string srcPrefix = "src/";
+    if (relPath.compare(0, srcPrefix.size(), srcPrefix) == 0)
+        relPath = relPath.substr(srcPrefix.size());
+    std::string guard = "VAESA_";
+    for (char c : relPath) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            guard += static_cast<char>(
+                std::toupper(static_cast<unsigned char>(c)));
+        else
+            guard += '_';
+    }
+    return guard;
+}
+
+void
+checkHeaderGuard(const std::string &relPath, const std::string &code)
+{
+    const std::string want = expectedGuard(relPath);
+    std::istringstream in(code);
+    std::string line;
+    int lineNo = 0;
+    int ifndefLine = 0;
+    std::string got;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        std::istringstream ls(line);
+        std::string directive;
+        ls >> directive;
+        if (directive == "#ifndef") {
+            ls >> got;
+            ifndefLine = lineNo;
+            break;
+        }
+    }
+    if (got.empty()) {
+        report(relPath, 1, "missing '#ifndef " + want +
+                               "' header guard");
+        return;
+    }
+    if (got != want) {
+        report(relPath, ifndefLine,
+               "header guard '" + got + "' does not match path "
+               "(expected '" + want + "')");
+        return;
+    }
+    std::string defineGot;
+    if (std::getline(in, line)) {
+        ++lineNo;
+        std::istringstream ls(line);
+        std::string directive;
+        ls >> directive >> defineGot;
+        if (directive != "#define" || defineGot != want) {
+            report(relPath, lineNo,
+                   "'#ifndef " + want + "' not followed by "
+                   "'#define " + want + "'");
+        }
+    }
+}
+
+bool
+shouldScan(const fs::path &path)
+{
+    const std::string ext = path.extension().string();
+    return ext == ".hh" || ext == ".cc" || ext == ".cpp" ||
+           ext == ".hpp";
+}
+
+int
+scanTree(const fs::path &root, const fs::path &subdir)
+{
+    const fs::path base = root / subdir;
+    if (!fs::exists(base)) {
+        std::cerr << "vaesa_check: no such directory: " << base
+                  << "\n";
+        return 2;
+    }
+    int scanned = 0;
+    std::vector<fs::path> files;
+    for (const auto &entry : fs::recursive_directory_iterator(base))
+        if (entry.is_regular_file() && shouldScan(entry.path()))
+            files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+    for (const fs::path &file : files) {
+        std::ifstream in(file, std::ios::binary);
+        if (!in) {
+            std::cerr << "vaesa_check: cannot read " << file << "\n";
+            return 2;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        const std::string relPath =
+            fs::relative(file, root).generic_string();
+        const std::string code =
+            stripCommentsAndStrings(buf.str());
+        checkBannedIdentifiers(relPath, code);
+        if (file.extension() == ".hh" || file.extension() == ".hpp")
+            checkHeaderGuard(relPath, code);
+        ++scanned;
+    }
+    return scanned == 0 ? 2 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: vaesa_check <repo-root> [subdir ...]\n";
+        return 2;
+    }
+    const fs::path root = argv[1];
+    std::vector<fs::path> subdirs;
+    for (int i = 2; i < argc; ++i)
+        subdirs.emplace_back(argv[i]);
+    if (subdirs.empty())
+        subdirs.emplace_back("src");
+
+    for (const fs::path &subdir : subdirs) {
+        const int rc = scanTree(root, subdir);
+        if (rc == 2)
+            return 2;
+    }
+
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  return a.file != b.file ? a.file < b.file
+                                          : a.line < b.line;
+              });
+    for (const Finding &f : findings)
+        std::cout << f.file << ":" << f.line << ": error: "
+                  << f.message << "\n";
+    if (!findings.empty()) {
+        std::cout << "vaesa_check: " << findings.size()
+                  << " finding(s)\n";
+        return 1;
+    }
+    std::cout << "vaesa_check: clean\n";
+    return 0;
+}
