@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Threads-vs-throughput study for the parallel evaluation layer:
+ * scores one overlapping config batch on resnet50 serially
+ * (CachingEvaluator) and through ParallelEvaluator at 1/2/4/8
+ * threads, verifying bit-identical results at every width and
+ * reporting speedup and cache hit-rate parity. Drops both a CSV and
+ * a baseline JSON (bench_out/par_eval.json) for regression tracking.
+ *
+ * Knobs: VAESA_PAR_BATCH (total configs, default 192),
+ *        VAESA_PAR_DISTINCT (distinct configs, default 48).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "common.hh"
+#include "sched/parallel_evaluator.hh"
+#include "util/rng.hh"
+#include "util/thread_pool.hh"
+
+namespace {
+
+using namespace vaesa;
+
+/** Deterministic batch with duplicates so the cache sees real hits. */
+std::vector<AcceleratorConfig>
+overlappingBatch(std::size_t count, std::size_t distinct,
+                 std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<AcceleratorConfig> pool;
+    pool.reserve(distinct);
+    for (std::size_t i = 0; i < distinct; ++i)
+        pool.push_back(designSpace().randomConfig(rng));
+    std::vector<AcceleratorConfig> batch;
+    batch.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        batch.push_back(pool[rng.index(distinct)]);
+    return batch;
+}
+
+double
+seconds(std::chrono::steady_clock::time_point t0,
+        std::chrono::steady_clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+bool
+bitIdentical(const std::vector<EvalResult> &a,
+             const std::vector<EvalResult> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i].valid != b[i].valid ||
+            a[i].latencyCycles != b[i].latencyCycles ||
+            a[i].energyPj != b[i].energyPj || a[i].edp != b[i].edp)
+            return false;
+    return true;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Parallel evaluation",
+                  "serial vs thread-pool batch scoring on resnet50");
+
+    const auto batchSize = static_cast<std::size_t>(
+        envInt("VAESA_PAR_BATCH", 192));
+    const auto distinct = static_cast<std::size_t>(
+        envInt("VAESA_PAR_DISTINCT", 48));
+    const Workload resnet = workloadByName("resnet50");
+    const std::vector<AcceleratorConfig> batch =
+        overlappingBatch(batchSize, distinct, 17);
+
+    // Serial baseline on the caching evaluator.
+    CachingEvaluator serialCache;
+    const auto s0 = std::chrono::steady_clock::now();
+    std::vector<EvalResult> serial;
+    serial.reserve(batch.size());
+    for (const AcceleratorConfig &config : batch)
+        serial.push_back(
+            serialCache.evaluateWorkload(config, resnet.layers));
+    const auto s1 = std::chrono::steady_clock::now();
+    const double serialSec = seconds(s0, s1);
+    const double serialLookups = static_cast<double>(
+        serialCache.hits() + serialCache.misses());
+    const double serialHitRate =
+        static_cast<double>(serialCache.hits()) / serialLookups;
+
+    std::printf("batch: %zu configs (%zu distinct) x %zu layers, "
+                "serial %.3f s (%.1f configs/s, hit rate %.3f)\n",
+                batch.size(), distinct, resnet.layers.size(),
+                serialSec,
+                static_cast<double>(batch.size()) / serialSec,
+                serialHitRate);
+    bench::rule();
+    std::printf("%8s %10s %12s %9s %9s %14s\n", "threads", "time_s",
+                "configs/s", "speedup", "hit_rate", "bit_identical");
+
+    CsvWriter csv(bench::csvPath("par_eval.csv"));
+    csv.header({"threads", "time_s", "configs_per_s", "speedup",
+                "hit_rate", "bit_identical"});
+
+    std::string rowsJson;
+    bool allIdentical = true;
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+        CachingEvaluator cache;
+        ThreadPool pool(threads);
+        const ParallelEvaluator parallel(cache, pool);
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::vector<EvalResult> got =
+            parallel.evaluateBatch(batch, resnet.layers);
+        const auto t1 = std::chrono::steady_clock::now();
+
+        const double sec = seconds(t0, t1);
+        const double rate = static_cast<double>(batch.size()) / sec;
+        const double speedup = serialSec / sec;
+        const double lookups =
+            static_cast<double>(cache.hits() + cache.misses());
+        const double hitRate =
+            static_cast<double>(cache.hits()) / lookups;
+        const bool identical = bitIdentical(got, serial);
+        allIdentical = allIdentical && identical;
+
+        std::printf("%8zu %10.3f %12.1f %9.2f %9.3f %14s\n", threads,
+                    sec, rate, speedup, hitRate,
+                    identical ? "yes" : "NO");
+        csv.row({std::to_string(threads), CsvWriter::cell(sec),
+                 CsvWriter::cell(rate), CsvWriter::cell(speedup),
+                 CsvWriter::cell(hitRate), identical ? "1" : "0"});
+
+        char row[256];
+        std::snprintf(row, sizeof(row),
+                      "    {\"threads\": %zu, \"time_s\": %.6f, "
+                      "\"configs_per_s\": %.2f, \"speedup\": %.3f, "
+                      "\"hit_rate\": %.4f, \"bit_identical\": %s}",
+                      threads, sec, rate, speedup, hitRate,
+                      identical ? "true" : "false");
+        rowsJson += (rowsJson.empty() ? "" : ",\n");
+        rowsJson += row;
+    }
+
+    // Baseline JSON for regression tracking across commits.
+    std::ofstream json(bench::csvPath("par_eval.json"));
+    json << "{\n"
+         << "  \"bench\": \"par_eval\",\n"
+         << "  \"workload\": \"resnet50\",\n"
+         << "  \"batch_configs\": " << batch.size() << ",\n"
+         << "  \"distinct_configs\": " << distinct << ",\n"
+         << "  \"layers\": " << resnet.layers.size() << ",\n"
+         << "  \"serial_time_s\": " << serialSec << ",\n"
+         << "  \"serial_hit_rate\": " << serialHitRate << ",\n"
+         << "  \"all_bit_identical\": "
+         << (allIdentical ? "true" : "false") << ",\n"
+         << "  \"runs\": [\n"
+         << rowsJson << "\n  ]\n}\n";
+
+    bench::rule();
+    std::printf("results %s; baseline written to "
+                "bench_out/par_eval.json\n",
+                allIdentical ? "bit-identical at every width"
+                             : "DIVERGED (bug!)");
+    return allIdentical ? 0 : 1;
+}

@@ -5,6 +5,7 @@
 
 #include "util/logging.hh"
 #include "util/numeric.hh"
+#include "util/thread_pool.hh"
 
 namespace vaesa {
 
@@ -24,16 +25,18 @@ expectedImprovement(const GaussianProcess::Prediction &pred, double best)
 }
 
 SearchTrace
-BayesOpt::run(Objective &objective, std::size_t samples, Rng &rng) const
+BayesOpt::run(Objective &objective, std::size_t samples, Rng &rng,
+              ThreadPool *pool) const
 {
     SearchTrace trace;
-    continueRun(objective, trace, samples, rng);
+    continueRun(objective, trace, samples, rng, pool);
     return trace;
 }
 
 void
 BayesOpt::continueRun(Objective &objective, SearchTrace &trace,
-                      std::size_t additional, Rng &rng) const
+                      std::size_t additional, Rng &rng,
+                      ThreadPool *pool) const
 {
     const std::vector<double> lo = objective.lowerBounds();
     const std::vector<double> hi = objective.upperBounds();
@@ -47,14 +50,19 @@ BayesOpt::continueRun(Objective &objective, SearchTrace &trace,
         return x;
     };
 
-    // Warm-up (only for a fresh trace).
+    // Warm-up (only for a fresh trace): draw every point, then score
+    // them as one batch — rng stream and trace are identical with
+    // and without a pool.
     if (trace.points.empty()) {
         const std::size_t warmup =
             std::min(options_.initSamples, samples);
-        for (std::size_t i = 0; i < warmup; ++i) {
-            const std::vector<double> x = sample_uniform();
-            trace.add(x, objective.evaluate(x));
-        }
+        std::vector<std::vector<double>> xs(warmup);
+        for (std::size_t i = 0; i < warmup; ++i)
+            xs[i] = sample_uniform();
+        const std::vector<double> values =
+            evaluatePoints(objective, xs, pool);
+        for (std::size_t i = 0; i < warmup; ++i)
+            trace.add(xs[i], values[i]);
     }
 
     GaussianProcess gp(options_.kernel);
@@ -134,19 +142,19 @@ BayesOpt::continueRun(Objective &objective, SearchTrace &trace,
         ++iterations_since_refit;
 
         // Acquisition: random + local candidates, take the best EI.
+        // Candidates are drawn serially (the rng stream must not
+        // depend on the worker count); their EI scores are
+        // independent GP predictions, so they fan out across the
+        // pool. The winner scan below replicates the serial
+        // first-strict-improvement rule, so the selected candidate
+        // is identical either way.
         const std::vector<double> incumbent = trace.bestPoint();
-        std::vector<double> best_x = sample_uniform();
-        double best_ei = -1.0;
-        auto consider = [&](const std::vector<double> &x) {
-            const double ei =
-                expectedImprovement(gp.predict(x), best_finite);
-            if (ei > best_ei) {
-                best_ei = ei;
-                best_x = x;
-            }
-        };
+        std::vector<std::vector<double>> candidates;
+        candidates.reserve(1 + options_.uniformCandidates +
+                           options_.localCandidates);
+        candidates.push_back(sample_uniform()); // unscored fallback
         for (std::size_t i = 0; i < options_.uniformCandidates; ++i)
-            consider(sample_uniform());
+            candidates.push_back(sample_uniform());
         if (!incumbent.empty()) {
             for (std::size_t i = 0; i < options_.localCandidates; ++i) {
                 std::vector<double> x = incumbent;
@@ -157,9 +165,32 @@ BayesOpt::continueRun(Objective &objective, SearchTrace &trace,
                                                    span),
                         lo[d], hi[d]);
                 }
-                consider(x);
+                candidates.push_back(std::move(x));
             }
         }
+
+        std::vector<double> eis(candidates.size(), -1.0);
+        auto score = [&](std::size_t i) {
+            eis[i] = expectedImprovement(gp.predict(candidates[i]),
+                                         best_finite);
+        };
+        if (pool) {
+            pool->parallelFor(candidates.size() - 1,
+                              [&](std::size_t i) { score(i + 1); });
+        } else {
+            for (std::size_t i = 1; i < candidates.size(); ++i)
+                score(i);
+        }
+
+        std::size_t best_idx = 0;
+        double best_ei = -1.0;
+        for (std::size_t i = 1; i < candidates.size(); ++i) {
+            if (eis[i] > best_ei) {
+                best_ei = eis[i];
+                best_idx = i;
+            }
+        }
+        const std::vector<double> &best_x = candidates[best_idx];
 
         trace.add(best_x, objective.evaluate(best_x));
     }

@@ -59,13 +59,20 @@ class BayesOpt
 
     /**
      * Minimize the objective with a fixed evaluation budget.
+     * Candidates are always drawn from the rng before any scoring,
+     * so a pool-enabled run reproduces the serial trace
+     * seed-for-seed.
      * @param objective problem to minimize.
      * @param samples total objective evaluations (incl. warm-up).
      * @param rng seeded generator.
+     * @param pool optional worker pool: fans out warm-up evaluations
+     *        (when the objective is threadSafeEvaluate()) and the
+     *        per-iteration acquisition candidate scoring (GP
+     *        predictions are const and always safe to fan out).
      * @return chronological trace of all samples.
      */
     SearchTrace run(Objective &objective, std::size_t samples,
-                    Rng &rng) const;
+                    Rng &rng, ThreadPool *pool = nullptr) const;
 
     /**
      * Extend an existing trace by additional evaluations. Prior
@@ -74,7 +81,8 @@ class BayesOpt
      * search with model retraining.
      */
     void continueRun(Objective &objective, SearchTrace &trace,
-                     std::size_t additional, Rng &rng) const;
+                     std::size_t additional, Rng &rng,
+                     ThreadPool *pool = nullptr) const;
 
     /** Options in use. */
     const BoOptions &options() const { return options_; }

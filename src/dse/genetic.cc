@@ -15,7 +15,7 @@ GeneticSearch::GeneticSearch(const GaOptions &options)
 
 SearchTrace
 GeneticSearch::run(Objective &objective, std::size_t samples,
-                   Rng &rng) const
+                   Rng &rng, ThreadPool *pool) const
 {
     const std::vector<double> lo = objective.lowerBounds();
     const std::vector<double> hi = objective.upperBounds();
@@ -24,11 +24,6 @@ GeneticSearch::run(Objective &objective, std::size_t samples,
         std::max<std::size_t>(2, options_.populationSize);
 
     SearchTrace trace;
-    auto evaluate = [&](const std::vector<double> &x) {
-        const double value = objective.evaluate(x);
-        trace.add(x, value);
-        return value;
-    };
     // Rank invalid (infinite) individuals below everything finite
     // but keep them comparable among themselves.
     auto fitness_key = [](double v) {
@@ -42,13 +37,31 @@ GeneticSearch::run(Objective &objective, std::size_t samples,
     };
     std::vector<Individual> population;
     population.reserve(pop_size);
-    for (std::size_t i = 0;
-         i < pop_size && trace.points.size() < samples; ++i) {
-        std::vector<double> genes(dim);
-        for (std::size_t d = 0; d < dim; ++d)
-            genes[d] = rng.uniform(lo[d], hi[d]);
-        const double value = evaluate(genes);
-        population.push_back({std::move(genes), value});
+
+    // Breeding is serial (it owns the rng stream); scoring runs as
+    // one batch per generation, on the pool when available. Since
+    // evaluate() never touches the rng, the batched run consumes the
+    // identical stream — traces match serial runs seed-for-seed.
+    auto scoreInto = [&](std::vector<std::vector<double>> genes) {
+        const std::vector<double> values =
+            evaluatePoints(objective, genes, pool);
+        for (std::size_t i = 0; i < genes.size(); ++i) {
+            trace.add(genes[i], values[i]);
+            population.push_back(
+                {std::move(genes[i]), values[i]});
+        }
+    };
+
+    {
+        const std::size_t count =
+            std::min(pop_size, samples - trace.points.size());
+        std::vector<std::vector<double>> genes(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            genes[i].resize(dim);
+            for (std::size_t d = 0; d < dim; ++d)
+                genes[i][d] = rng.uniform(lo[d], hi[d]);
+        }
+        scoreInto(std::move(genes));
     }
 
     auto tournament = [&]() -> const Individual & {
@@ -69,15 +82,14 @@ GeneticSearch::run(Objective &objective, std::size_t samples,
                       return fitness_key(a.value) <
                              fitness_key(b.value);
                   });
-        std::vector<Individual> next;
-        next.reserve(pop_size);
         const std::size_t elites =
             std::min(options_.elites, population.size());
-        for (std::size_t e = 0; e < elites; ++e)
-            next.push_back(population[e]);
+        const std::size_t children =
+            std::min(pop_size - elites,
+                     samples - trace.points.size());
 
-        while (next.size() < pop_size &&
-               trace.points.size() < samples) {
+        std::vector<std::vector<double>> genes(children);
+        for (std::size_t c = 0; c < children; ++c) {
             const Individual &pa = tournament();
             const Individual &pb = tournament();
             std::vector<double> child(dim);
@@ -98,10 +110,15 @@ GeneticSearch::run(Objective &objective, std::size_t samples,
                 }
                 child[d] = clampd(child[d], lo[d], hi[d]);
             }
-            const double value = evaluate(child);
-            next.push_back({std::move(child), value});
+            genes[c] = std::move(child);
         }
-        population = std::move(next);
+
+        std::vector<Individual> survivors;
+        survivors.reserve(pop_size);
+        for (std::size_t e = 0; e < elites; ++e)
+            survivors.push_back(population[e]);
+        population = std::move(survivors);
+        scoreInto(std::move(genes));
     }
     return trace;
 }

@@ -48,10 +48,15 @@ class GeneticSearch
 
     /**
      * Minimize with a fixed evaluation budget (the final partial
-     * generation is truncated to hit the budget exactly).
+     * generation is truncated to hit the budget exactly). Each
+     * generation's individuals are bred serially from the rng and
+     * then scored as one batch, so a pool-enabled run reproduces the
+     * serial trace seed-for-seed.
+     * @param pool optional worker pool for population scoring (used
+     *        only when the objective is threadSafeEvaluate()).
      */
     SearchTrace run(Objective &objective, std::size_t samples,
-                    Rng &rng) const;
+                    Rng &rng, ThreadPool *pool = nullptr) const;
 
     /** Options in use. */
     const GaOptions &options() const { return options_; }

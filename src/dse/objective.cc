@@ -6,8 +6,26 @@
 
 #include "util/logging.hh"
 #include "util/numeric.hh"
+#include "util/thread_pool.hh"
 
 namespace vaesa {
+
+std::vector<double>
+evaluatePoints(Objective &objective,
+               const std::vector<std::vector<double>> &xs,
+               ThreadPool *pool)
+{
+    std::vector<double> values(xs.size());
+    if (pool && objective.threadSafeEvaluate()) {
+        pool->parallelFor(xs.size(), [&](std::size_t i) {
+            values[i] = objective.evaluate(xs[i]);
+        });
+    } else {
+        for (std::size_t i = 0; i < xs.size(); ++i)
+            values[i] = objective.evaluate(xs[i]);
+    }
+    return values;
+}
 
 void
 SearchTrace::add(const std::vector<double> &x, double value)

@@ -21,6 +21,8 @@
 
 namespace vaesa {
 
+class ThreadPool;
+
 /** Value used for invalid/unmappable design points. */
 constexpr double invalidScore = std::numeric_limits<double>::infinity();
 
@@ -57,7 +59,27 @@ class Objective
      * point decodes to an unmappable design.
      */
     virtual double evaluate(const std::vector<double> &x) = 0;
+
+    /**
+     * True when concurrent evaluate() calls on this instance are
+     * safe AND deterministic (no per-call mutable state, no hidden
+     * RNG draws). Search drivers only fan evaluations onto a thread
+     * pool when this holds; the default is the conservative false.
+     */
+    virtual bool threadSafeEvaluate() const { return false; }
 };
+
+/**
+ * Score xs[i] into out[i], fanning across the pool when one is given
+ * and the objective declares threadSafeEvaluate(); the serial loop
+ * otherwise. Results are bit-identical either way (results land in
+ * input order and thread-safe objectives are deterministic), which
+ * is what keeps pool-enabled search traces seed-for-seed equal to
+ * serial ones.
+ */
+std::vector<double> evaluatePoints(
+    Objective &objective, const std::vector<std::vector<double>> &xs,
+    ThreadPool *pool);
 
 /** One evaluated point of a search run. */
 struct TracePoint
@@ -125,6 +147,9 @@ class InputSpaceObjective : public Objective
     std::vector<double> lowerBounds() const override;
     std::vector<double> upperBounds() const override;
     double evaluate(const std::vector<double> &x) override;
+
+    /** Decode + Evaluator are stateless-const and deterministic. */
+    bool threadSafeEvaluate() const override { return true; }
 
     /** Decode a box point to the discrete configuration it scores. */
     AcceleratorConfig decode(const std::vector<double> &x) const;

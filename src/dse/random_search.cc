@@ -4,17 +4,25 @@ namespace vaesa {
 
 SearchTrace
 RandomSearch::run(Objective &objective, std::size_t samples,
-                  Rng &rng) const
+                  Rng &rng, ThreadPool *pool) const
 {
     const std::vector<double> lo = objective.lowerBounds();
     const std::vector<double> hi = objective.upperBounds();
-    SearchTrace trace;
+    // Draw every point first (the evaluation consumes no rng), then
+    // score them as one batch: the rng stream and the trace are
+    // identical with and without a pool.
+    std::vector<std::vector<double>> xs(samples);
     for (std::size_t i = 0; i < samples; ++i) {
-        std::vector<double> x(objective.dim());
-        for (std::size_t d = 0; d < x.size(); ++d)
-            x[d] = rng.uniform(lo[d], hi[d]);
-        trace.add(x, objective.evaluate(x));
+        xs[i].resize(objective.dim());
+        for (std::size_t d = 0; d < xs[i].size(); ++d)
+            xs[i][d] = rng.uniform(lo[d], hi[d]);
     }
+    const std::vector<double> values =
+        evaluatePoints(objective, xs, pool);
+
+    SearchTrace trace;
+    for (std::size_t i = 0; i < samples; ++i)
+        trace.add(xs[i], values[i]);
     return trace;
 }
 

@@ -19,14 +19,19 @@ class RandomSearch
 {
   public:
     /**
-     * Evaluate n uniform points of the objective's box.
+     * Evaluate n uniform points of the objective's box. All points
+     * are drawn from the rng up front and scored as one batch, so a
+     * pool-enabled run consumes the identical rng stream and returns
+     * the identical trace as a serial one.
      * @param objective problem to minimize.
      * @param samples number of evaluations.
      * @param rng seeded generator.
+     * @param pool optional worker pool for batch scoring (used only
+     *        when the objective is threadSafeEvaluate()).
      * @return chronological trace of all samples.
      */
     SearchTrace run(Objective &objective, std::size_t samples,
-                    Rng &rng) const;
+                    Rng &rng, ThreadPool *pool = nullptr) const;
 };
 
 } // namespace vaesa

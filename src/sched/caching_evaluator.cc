@@ -27,7 +27,27 @@ static_assert(totalKeyBits() <= 64,
 static_assert(numHwParams == 6,
               "keyBits must list one width per hardware parameter");
 
+/** splitmix64 finalizer: full-avalanche 64-bit mix. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
 } // namespace
+
+std::size_t
+CachingEvaluator::KeyHash::operator()(const Key &key) const
+{
+    // One avalanche over both fields: the config packing is dense in
+    // the low bits, so the raw key would shard/bucket poorly.
+    return static_cast<std::size_t>(
+        mix64(key.config ^
+              (static_cast<std::uint64_t>(key.layer) << 59)));
+}
 
 CachingEvaluator::CachingEvaluator(const Evaluator &inner)
     : inner_(inner)
@@ -55,6 +75,15 @@ CachingEvaluator::configKey(const AcceleratorConfig &arch) const
 std::uint32_t
 CachingEvaluator::layerId(const LayerShape &layer) const
 {
+    {
+        const std::shared_lock<std::shared_mutex> lock(registryMutex_);
+        for (std::uint32_t i = 0; i < layerRegistry_.size(); ++i)
+            if (layerRegistry_[i].sameShape(layer))
+                return i;
+    }
+    const std::unique_lock<std::shared_mutex> lock(registryMutex_);
+    // Re-scan under the exclusive lock: another thread may have
+    // registered the same shape between the two lock scopes.
     for (std::uint32_t i = 0; i < layerRegistry_.size(); ++i)
         if (layerRegistry_[i].sameShape(layer))
             return i;
@@ -76,24 +105,28 @@ CachingEvaluator::evaluateLayer(const AcceleratorConfig &arch,
                          ds.snapValue(param, arch.value(param)));
     }
 
-    const std::uint32_t lid = layerId(layer);
-    // 59 config bits + layer id; combine with a 64-bit multiply mix
-    // into a two-level map-free key. Equality is guaranteed because
-    // the config key is a *perfect* (collision-free) packing and the
-    // per-layer maps are separated below.
-    const std::uint64_t key = configKey(snapped);
+    // The (59-bit perfect config packing, registry id) pair is
+    // collision-free; the hash only spreads it over buckets/shards.
+    const Key key{configKey(snapped), layerId(layer)};
+    Shard &shard = shards_[KeyHash{}(key) % numShards];
 
-    if (perLayer_.size() <= lid)
-        perLayer_.resize(lid + 1);
-    auto &cache = perLayer_[lid];
-    const auto it = cache.find(key);
-    if (it != cache.end()) {
-        ++hits_;
-        return it->second;
+    {
+        const std::lock_guard<std::mutex> lock(shard.mutex);
+        const auto it = shard.entries.find(key);
+        if (it != shard.entries.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
     }
-    ++misses_;
+    // Evaluate OUTSIDE the shard lock so a slow inner evaluation
+    // never serializes unrelated lookups; a concurrent miss of the
+    // same key just recomputes the identical deterministic result.
+    misses_.fetch_add(1, std::memory_order_relaxed);
     const EvalResult result = inner_.evaluateLayer(snapped, layer);
-    cache.emplace(key, result);
+    {
+        const std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.entries.emplace(key, result); // no-op if raced
+    }
     return result;
 }
 
@@ -123,10 +156,14 @@ CachingEvaluator::evaluateWorkload(
 void
 CachingEvaluator::clear()
 {
-    perLayer_.clear();
+    const std::unique_lock<std::shared_mutex> lock(registryMutex_);
+    for (Shard &shard : shards_) {
+        const std::lock_guard<std::mutex> shardLock(shard.mutex);
+        shard.entries.clear();
+    }
     layerRegistry_.clear();
-    hits_ = 0;
-    misses_ = 0;
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
 }
 
 } // namespace vaesa

@@ -11,8 +11,12 @@
 #ifndef VAESA_SCHED_CACHING_EVALUATOR_HH
 #define VAESA_SCHED_CACHING_EVALUATOR_HH
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "sched/evaluator.hh"
 
@@ -24,19 +28,27 @@ namespace vaesa {
  * internal registry, so any layer object with the same shape hits
  * the same entry.
  *
- * THREAD SAFETY: none. evaluateLayer() is `const` but mutates the
- * memo table, the layer registry, and the hit/miss counters through
- * `mutable` members, so concurrent calls on one instance are data
- * races on std::unordered_map and will corrupt the cache. The
- * planned parallel evaluator must either shard per-thread instances
- * or add a lock here first — build the `tsan` preset (see
- * docs/STATIC_ANALYSIS.md) before attempting it. clear() resets the
- * table, the registry, AND both counters, so hit-rate measurements
- * can be restarted without reconstructing the evaluator.
+ * THREAD SAFETY: evaluateLayer()/evaluateWorkload() and the counter
+ * accessors are safe to call concurrently on one instance. The memo
+ * table is split into `numShards` shards, each guarded by its own
+ * mutex and keyed by the mixed (config, layer) hash, so concurrent
+ * lookups of different keys rarely contend; the layer registry is
+ * append-only under a shared_mutex (read-mostly); hit/miss counters
+ * are atomic. Shard locks are only held for the table lookup/insert,
+ * never across the inner evaluation — two threads missing the same
+ * key concurrently both evaluate (the results are deterministic and
+ * identical) and the second insert is dropped, so misses() counts
+ * inner evaluations performed, which can exceed the number of
+ * distinct keys under contention. clear() is the one exception: it
+ * must not run concurrently with evaluations (it resets the layer
+ * registry that in-flight lookups have already consulted).
  */
 class CachingEvaluator
 {
   public:
+    /** Number of independently locked memo-table shards. */
+    static constexpr std::size_t numShards = 16;
+
     /** Wrap a default-constructed Evaluator. */
     CachingEvaluator() = default;
 
@@ -53,29 +65,64 @@ class CachingEvaluator
                                     &layers) const;
 
     /** Number of cache hits so far. */
-    std::uint64_t hits() const { return hits_; }
+    std::uint64_t hits() const
+    {
+        return hits_.load(std::memory_order_relaxed);
+    }
 
-    /** Number of cache misses (real evaluations) so far. */
-    std::uint64_t misses() const { return misses_; }
+    /** Number of cache misses (real inner evaluations) so far. */
+    std::uint64_t misses() const
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
 
-    /** Drop all cached entries and counters. */
+    /**
+     * Drop all cached entries, the layer registry, and both
+     * counters. NOT safe concurrently with evaluateLayer(); quiesce
+     * the pool first.
+     */
     void clear();
 
     /** The wrapped evaluator. */
     const Evaluator &inner() const { return inner_; }
 
   private:
+    /** Collision-free (config grid indices, layer id) pair. */
+    struct Key
+    {
+        std::uint64_t config;
+        std::uint32_t layer;
+
+        bool operator==(const Key &other) const
+        {
+            return config == other.config && layer == other.layer;
+        }
+    };
+
+    /** splitmix64-style mix over both fields; also picks the shard. */
+    struct KeyHash
+    {
+        std::size_t operator()(const Key &key) const;
+    };
+
+    /** One independently locked slice of the memo table. */
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::unordered_map<Key, EvalResult, KeyHash> entries;
+    };
+
     std::uint64_t configKey(const AcceleratorConfig &arch) const;
     std::uint32_t layerId(const LayerShape &layer) const;
 
     Evaluator inner_;
+    /** Append-only shape registry; shared lock to scan, unique to
+     *  append. Registered ids are stable until clear(). */
+    mutable std::shared_mutex registryMutex_;
     mutable std::vector<LayerShape> layerRegistry_;
-    /** One collision-free memo table per registered layer, keyed by
-     *  the perfect 59-bit packing of the six grid indices. */
-    mutable std::vector<std::unordered_map<std::uint64_t, EvalResult>>
-        perLayer_;
-    mutable std::uint64_t hits_ = 0;
-    mutable std::uint64_t misses_ = 0;
+    mutable Shard shards_[numShards];
+    mutable std::atomic<std::uint64_t> hits_{0};
+    mutable std::atomic<std::uint64_t> misses_{0};
 };
 
 } // namespace vaesa

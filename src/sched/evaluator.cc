@@ -12,6 +12,23 @@ Evaluator::Evaluator(const CostModel &model)
 {
 }
 
+Evaluator::Evaluator(const Evaluator &other)
+    : model_(other.model_), scheduler_(other.scheduler_),
+      evalCount_(other.evalCount_.load())
+{
+}
+
+Evaluator &
+Evaluator::operator=(const Evaluator &other)
+{
+    if (this != &other) {
+        model_ = other.model_;
+        scheduler_ = other.scheduler_;
+        evalCount_.store(other.evalCount_.load());
+    }
+    return *this;
+}
+
 EvalResult
 Evaluator::evaluateLayer(const AcceleratorConfig &arch,
                          const LayerShape &layer) const

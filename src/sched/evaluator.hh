@@ -9,6 +9,7 @@
 #ifndef VAESA_SCHED_EVALUATOR_HH
 #define VAESA_SCHED_EVALUATOR_HH
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -37,6 +38,12 @@ struct EvalResult
 /**
  * Facade over Scheduler + CostModel. Counts evaluations so search
  * methods can report sample budgets consistently.
+ *
+ * THREAD SAFETY: evaluateLayer/evaluateWorkload/detailedLayer are
+ * safe to call concurrently on one instance — the scheduler and cost
+ * model are stateless const pipelines and the evaluation counter is
+ * atomic. This is what the parallel evaluation layer
+ * (sched/parallel_evaluator.hh) builds on.
  */
 class Evaluator
 {
@@ -46,6 +53,10 @@ class Evaluator
 
     /** Evaluator with an explicit cost model. */
     explicit Evaluator(const CostModel &model);
+
+    /** Copy model/scheduler plus the counter's current value. */
+    Evaluator(const Evaluator &other);
+    Evaluator &operator=(const Evaluator &other);
 
     /** Schedule and score one layer on an architecture. */
     EvalResult evaluateLayer(const AcceleratorConfig &arch,
@@ -77,7 +88,7 @@ class Evaluator
   private:
     CostModel model_;
     Scheduler scheduler_;
-    mutable std::uint64_t evalCount_ = 0;
+    mutable std::atomic<std::uint64_t> evalCount_{0};
 };
 
 } // namespace vaesa

@@ -1,0 +1,87 @@
+#include "sched/parallel_evaluator.hh"
+
+namespace vaesa {
+
+namespace {
+
+/** Serial-order roll-up shared by every workload-sum path: summing
+ *  happens here, on one thread, in layer order, so parallel layer
+ *  scoring cannot perturb floating-point association. */
+EvalResult
+rollUp(const std::vector<EvalResult> &perLayer)
+{
+    EvalResult total;
+    total.valid = true;
+    for (const EvalResult &r : perLayer) {
+        if (!r.valid) {
+            total.valid = false;
+            total.latencyCycles = 0.0;
+            total.energyPj = 0.0;
+            total.edp = 0.0;
+            return total;
+        }
+        total.latencyCycles += r.latencyCycles;
+        total.energyPj += r.energyPj;
+    }
+    total.edp = total.latencyCycles * total.energyPj;
+    return total;
+}
+
+} // namespace
+
+EvalResult
+evaluateWorkloadParallel(const Evaluator &evaluator,
+                         const AcceleratorConfig &arch,
+                         const std::vector<LayerShape> &layers,
+                         ThreadPool &pool)
+{
+    std::vector<EvalResult> perLayer(layers.size());
+    pool.parallelFor(layers.size(), [&](std::size_t i) {
+        perLayer[i] = evaluator.evaluateLayer(arch, layers[i]);
+    });
+    return rollUp(perLayer);
+}
+
+ParallelEvaluator::ParallelEvaluator(const CachingEvaluator &cache,
+                                     ThreadPool &pool)
+    : cache_(&cache), pool_(&pool)
+{
+}
+
+std::vector<EvalResult>
+ParallelEvaluator::evaluateBatch(
+    const std::vector<AcceleratorConfig> &configs,
+    const std::vector<LayerShape> &workload) const
+{
+    std::vector<EvalResult> results(configs.size());
+    pool_->parallelFor(configs.size(), [&](std::size_t i) {
+        results[i] = cache_->evaluateWorkload(configs[i], workload);
+    });
+    return results;
+}
+
+std::vector<EvalResult>
+ParallelEvaluator::evaluateLayerBatch(
+    const std::vector<AcceleratorConfig> &configs,
+    const LayerShape &layer) const
+{
+    std::vector<EvalResult> results(configs.size());
+    pool_->parallelFor(configs.size(), [&](std::size_t i) {
+        results[i] = cache_->evaluateLayer(configs[i], layer);
+    });
+    return results;
+}
+
+EvalResult
+ParallelEvaluator::evaluateWorkload(
+    const AcceleratorConfig &arch,
+    const std::vector<LayerShape> &layers) const
+{
+    std::vector<EvalResult> perLayer(layers.size());
+    pool_->parallelFor(layers.size(), [&](std::size_t i) {
+        perLayer[i] = cache_->evaluateLayer(arch, layers[i]);
+    });
+    return rollUp(perLayer);
+}
+
+} // namespace vaesa

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Batch evaluation APIs on top of the thread pool: score many
+ * (config, workload) pairs — or the layers of one workload —
+ * concurrently, with results bit-identical to the serial Evaluator
+ * loops. This is the scaling layer every search driver funnels its
+ * bulk cost-model queries through (the ROADMAP's batching axis);
+ * determinism is preserved because work is only *scheduled* in
+ * parallel while all result ordering and summation stays in input
+ * order on the calling thread.
+ */
+
+#ifndef VAESA_SCHED_PARALLEL_EVALUATOR_HH
+#define VAESA_SCHED_PARALLEL_EVALUATOR_HH
+
+#include <vector>
+
+#include "sched/caching_evaluator.hh"
+#include "util/thread_pool.hh"
+
+namespace vaesa {
+
+/**
+ * Roll a workload up layer-by-layer in parallel on a plain (cache-
+ * free) Evaluator. Bit-identical to Evaluator::evaluateWorkload:
+ * layer results are summed on the calling thread in layer order and
+ * any unmappable layer zeroes the total. Unlike the serial loop,
+ * layers after an invalid one are still evaluated (they were already
+ * in flight), so the inner evaluationCount() can differ.
+ */
+EvalResult evaluateWorkloadParallel(
+    const Evaluator &evaluator, const AcceleratorConfig &arch,
+    const std::vector<LayerShape> &layers, ThreadPool &pool);
+
+/**
+ * Batch front-end over a shared CachingEvaluator and a ThreadPool.
+ * Borrows both (they must outlive this). All methods are safe to
+ * call from one thread while the pool's workers fan the batch out;
+ * do not call them from inside a pool task (see
+ * ThreadPool::parallelFor).
+ */
+class ParallelEvaluator
+{
+  public:
+    ParallelEvaluator(const CachingEvaluator &cache, ThreadPool &pool);
+
+    /**
+     * Score configs[i] on the whole workload into result i. Each
+     * config's layer sum runs serially inside one task (preserving
+     * the serial early-exit), configs run concurrently. Results are
+     * bit-identical to calling cache.evaluateWorkload per config.
+     */
+    std::vector<EvalResult> evaluateBatch(
+        const std::vector<AcceleratorConfig> &configs,
+        const std::vector<LayerShape> &workload) const;
+
+    /** Score configs[i] on one layer into result i, concurrently. */
+    std::vector<EvalResult> evaluateLayerBatch(
+        const std::vector<AcceleratorConfig> &configs,
+        const LayerShape &layer) const;
+
+    /**
+     * One config's workload sum with the *layers* fanned out across
+     * the pool; bit-identical to the serial roll-up (summed in layer
+     * order on the calling thread).
+     */
+    EvalResult evaluateWorkload(
+        const AcceleratorConfig &arch,
+        const std::vector<LayerShape> &layers) const;
+
+    /** The shared memo cache. */
+    const CachingEvaluator &cache() const { return *cache_; }
+
+    /** The pool work is scheduled on. */
+    ThreadPool &pool() const { return *pool_; }
+
+  private:
+    const CachingEvaluator *cache_;
+    ThreadPool *pool_;
+};
+
+} // namespace vaesa
+
+#endif // VAESA_SCHED_PARALLEL_EVALUATOR_HH

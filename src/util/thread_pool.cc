@@ -1,0 +1,123 @@
+#include "util/thread_pool.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/env.hh"
+#include "util/logging.hh"
+
+namespace vaesa {
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads == 0)
+        threads = defaultThreadCount();
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::packaged_task<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        // packaged_task captures any exception into the future.
+        task();
+    }
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> task)
+{
+    std::packaged_task<void()> packaged(std::move(task));
+    std::future<void> future = packaged.get_future();
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            panic("ThreadPool::submit on a stopping pool");
+        queue_.push_back(std::move(packaged));
+    }
+    wake_.notify_one();
+    return future;
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    const std::size_t chunks =
+        std::min<std::size_t>(n, threadCount());
+    std::vector<std::future<void>> pending;
+    pending.reserve(chunks);
+    for (std::size_t c = 0; c < chunks; ++c) {
+        // Contiguous chunks; the first (n % chunks) get one extra.
+        const std::size_t begin =
+            c * (n / chunks) + std::min(c, n % chunks);
+        const std::size_t end =
+            begin + n / chunks + (c < n % chunks ? 1 : 0);
+        pending.push_back(submit([&body, begin, end] {
+            for (std::size_t i = begin; i < end; ++i)
+                body(i);
+        }));
+    }
+    // Wait for every chunk before rethrowing so no iteration is
+    // still touching caller state when the exception unwinds; the
+    // lowest-chunk exception is the one a serial loop would have hit
+    // first.
+    std::exception_ptr first;
+    for (std::future<void> &future : pending) {
+        try {
+            future.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+std::size_t
+ThreadPool::defaultThreadCount()
+{
+    const std::int64_t requested = envInt("VAESA_THREADS", 0);
+    if (requested < 0)
+        fatal("VAESA_THREADS=", requested, " must be >= 1");
+    if (requested > 0)
+        return static_cast<std::size_t>(requested);
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+ThreadPool &
+globalThreadPool()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+} // namespace vaesa

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Fixed-size worker thread pool — the repo's ONLY sanctioned home for
+ * raw std::thread (enforced by tools/check). Every parallel subsystem
+ * (the parallel evaluation layer, batch candidate scoring, parallel
+ * workload roll-ups) schedules work through this pool so thread
+ * counts stay centrally controlled via VAESA_THREADS and TSan runs
+ * exercise one concurrency substrate instead of many.
+ */
+
+#ifndef VAESA_UTIL_THREAD_POOL_HH
+#define VAESA_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vaesa {
+
+/**
+ * A fixed set of worker threads consuming a FIFO task queue.
+ *
+ * Tasks never run on the caller's thread: submit() enqueues and
+ * returns a future, parallelFor() enqueues one contiguous chunk per
+ * worker and blocks until all chunks finish. Exceptions thrown by
+ * task bodies are captured and rethrown on the waiting thread (for
+ * parallelFor, the pending exception of the lowest-index chunk wins,
+ * matching what a serial loop would have thrown first).
+ *
+ * parallelFor() must not be called from inside a pool task: a worker
+ * waiting on its own queue would deadlock the pool. Keep nesting in
+ * the caller — parallelize the outermost loop only.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * Start the workers.
+     * @param threads worker count; 0 means defaultThreadCount().
+     */
+    explicit ThreadPool(std::size_t threads = 0);
+
+    /** Joins all workers after draining the queue. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    std::size_t threadCount() const { return workers_.size(); }
+
+    /**
+     * Enqueue one task; the future rethrows anything it throws.
+     */
+    std::future<void> submit(std::function<void()> task);
+
+    /**
+     * Run body(i) for every i in [0, n) across the workers in
+     * contiguous chunks; blocks until every index ran. Rethrows the
+     * first (lowest-chunk) exception after all chunks finished, so
+     * no index is silently skipped mid-flight.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+    /**
+     * Worker count used when a pool is built with threads == 0: the
+     * VAESA_THREADS env var when set (must be >= 1), otherwise
+     * std::thread::hardware_concurrency(), never less than 1.
+     */
+    static std::size_t defaultThreadCount();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::packaged_task<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stopping_ = false;
+};
+
+/**
+ * Process-wide shared pool (lazily started with defaultThreadCount()
+ * workers). Benches and examples use this; library code takes an
+ * explicit ThreadPool* so tests control the worker count.
+ */
+ThreadPool &globalThreadPool();
+
+} // namespace vaesa
+
+#endif // VAESA_UTIL_THREAD_POOL_HH

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "sched/parallel_evaluator.hh"
 #include "util/logging.hh"
 #include "util/numeric.hh"
 
@@ -48,8 +49,11 @@ double
 LatentObjective::evaluate(const std::vector<double> &x)
 {
     const AcceleratorConfig config = framework_.decodeLatent(x);
-    return metricValue(evaluator_.evaluateWorkload(config, layers_),
-                       metric_);
+    const EvalResult result =
+        pool_ ? evaluateWorkloadParallel(evaluator_, config, layers_,
+                                         *pool_)
+              : evaluator_.evaluateWorkload(config, layers_);
+    return metricValue(result, metric_);
 }
 
 namespace {

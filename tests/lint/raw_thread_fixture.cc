@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Lint fixture, never compiled: deliberately uses the banned raw
+ * concurrency primitives so the lint.raw_thread_fixture ctest can
+ * prove vaesa_check flags std::thread / std::jthread / std::async
+ * everywhere outside src/util/thread_pool. Mentions in this comment
+ * must NOT be reported — the scanner strips comments first.
+ */
+
+#include <future>
+#include <thread>
+
+namespace vaesa_lint_fixture {
+
+inline int
+spawnRawConcurrency()
+{
+    std::thread worker([] {});
+    worker.join();
+    std :: jthread spaced([] {});
+    auto pending = std::async([] { return 1; });
+    return pending.get();
+}
+
+} // namespace vaesa_lint_fixture

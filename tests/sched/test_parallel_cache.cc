@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Concurrency stress tests for the sharded CachingEvaluator: many
+ * threads hammering one instance on overlapping keys. Run under the
+ * `tsan` preset (see docs/STATIC_ANALYSIS.md) these machine-check
+ * the locking contract; in any build they check that results and
+ * counters stay exact under contention.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "sched/caching_evaluator.hh"
+#include "util/rng.hh"
+#include "util/thread_pool.hh"
+#include "workload/networks.hh"
+
+namespace vaesa {
+namespace {
+
+/** Deterministic batch of configs with heavy key overlap. */
+std::vector<AcceleratorConfig>
+overlappingConfigs(std::size_t count, std::size_t distinct,
+                   std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<AcceleratorConfig> pool;
+    pool.reserve(distinct);
+    for (std::size_t i = 0; i < distinct; ++i)
+        pool.push_back(designSpace().randomConfig(rng));
+    std::vector<AcceleratorConfig> batch;
+    batch.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        batch.push_back(pool[rng.index(distinct)]);
+    return batch;
+}
+
+TEST(ParallelCache, StressOverlappingKeysMatchesSerial)
+{
+    const auto layers = resNet50Layers();
+    const std::vector<AcceleratorConfig> batch =
+        overlappingConfigs(256, 24, 11);
+    const std::size_t layersUsed = 6;
+
+    // Serial reference on a plain evaluator.
+    Evaluator plain;
+    std::vector<std::vector<EvalResult>> expected(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        for (std::size_t l = 0; l < layersUsed; ++l)
+            expected[i].push_back(
+                plain.evaluateLayer(batch[i], layers[l]));
+
+    // 8 workers hammer one shared cache on the same (config, layer)
+    // pairs; every thread must observe the exact serial values.
+    CachingEvaluator cached;
+    ThreadPool pool(8);
+    std::vector<std::vector<EvalResult>> got(batch.size());
+    pool.parallelFor(batch.size(), [&](std::size_t i) {
+        for (std::size_t l = 0; l < layersUsed; ++l)
+            got[i].push_back(
+                cached.evaluateLayer(batch[i], layers[l]));
+    });
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        for (std::size_t l = 0; l < layersUsed; ++l) {
+            EXPECT_EQ(got[i][l].valid, expected[i][l].valid);
+            EXPECT_EQ(got[i][l].latencyCycles,
+                      expected[i][l].latencyCycles);
+            EXPECT_EQ(got[i][l].energyPj, expected[i][l].energyPj);
+            EXPECT_EQ(got[i][l].edp, expected[i][l].edp);
+        }
+    }
+
+    // Counter exactness: every lookup is either a hit or a miss
+    // (misses count evaluations, which under a same-key race can
+    // exceed distinct keys but never the total), and the inner
+    // evaluation count equals the miss count.
+    EXPECT_EQ(cached.hits() + cached.misses(),
+              batch.size() * layersUsed);
+    EXPECT_GE(cached.misses(), 24u); // >= distinct (config, layer)s
+    EXPECT_LE(cached.misses(), batch.size() * layersUsed);
+    EXPECT_EQ(cached.inner().evaluationCount(), cached.misses());
+}
+
+TEST(ParallelCache, ConcurrentLayerRegistrationIsConsistent)
+{
+    // Many threads race to register the same 24 layer shapes while
+    // evaluating one fixed config. The registry must end up with one
+    // id per distinct shape: a fully warmed cache turns a second
+    // sweep into pure hits.
+    const auto layers = resNet50Layers();
+    CachingEvaluator cached;
+    ThreadPool pool(8);
+    Rng rng(3);
+    const AcceleratorConfig config = designSpace().randomConfig(rng);
+
+    pool.parallelFor(8 * layers.size(), [&](std::size_t i) {
+        cached.evaluateLayer(config, layers[i % layers.size()]);
+    });
+    EXPECT_EQ(cached.hits() + cached.misses(), 8 * layers.size());
+
+    const std::uint64_t missesAfterWarm = cached.misses();
+    pool.parallelFor(8 * layers.size(), [&](std::size_t i) {
+        cached.evaluateLayer(config, layers[i % layers.size()]);
+    });
+    // Second sweep: zero new misses — every shape resolved to the
+    // id registered in the first sweep.
+    EXPECT_EQ(cached.misses(), missesAfterWarm);
+}
+
+TEST(ParallelCache, ConcurrentHitsAndMissesInterleave)
+{
+    // Warm half the keys serially, then hammer hits and misses
+    // together from 8 threads; totals must stay exact.
+    const auto layers = alexNetLayers();
+    const std::vector<AcceleratorConfig> batch =
+        overlappingConfigs(64, 16, 21);
+    CachingEvaluator cached;
+    for (std::size_t i = 0; i < batch.size(); i += 2)
+        cached.evaluateLayer(batch[i], layers[0]);
+    const std::uint64_t warmLookups = cached.hits() + cached.misses();
+
+    ThreadPool pool(8);
+    pool.parallelFor(batch.size(), [&](std::size_t i) {
+        cached.evaluateLayer(batch[i], layers[0]);
+    });
+    EXPECT_EQ(cached.hits() + cached.misses(),
+              warmLookups + batch.size());
+    EXPECT_EQ(cached.inner().evaluationCount(), cached.misses());
+}
+
+} // namespace
+} // namespace vaesa

@@ -163,6 +163,56 @@ const std::vector<BannedToken> bannedStreams = {
     {"printf", "inform()/debugLog()"},
 };
 
+/**
+ * std:: concurrency primitives banned outside the thread pool: all
+ * parallelism in src/ must go through vaesa::ThreadPool so worker
+ * counts, exception propagation, and the determinism contract stay in
+ * one place (see src/util/thread_pool.hh).
+ */
+struct BannedStdName
+{
+    std::string name;
+    std::string instead;
+    std::vector<std::string> allowedIn;
+};
+
+const std::vector<std::string> threadPoolFiles = {
+    "src/util/thread_pool.hh",
+    "src/util/thread_pool.cc",
+};
+
+const std::vector<BannedStdName> bannedStdConcurrency = {
+    {"thread", "vaesa::ThreadPool (util/thread_pool.hh)",
+     threadPoolFiles},
+    {"jthread", "vaesa::ThreadPool (util/thread_pool.hh)",
+     threadPoolFiles},
+    {"async", "ThreadPool::submit()/parallelFor()",
+     threadPoolFiles},
+};
+
+/**
+ * True when the identifier starting at `pos` is qualified as
+ * `std::name` (whitespace allowed around the `::`), so bare uses of
+ * e.g. a local variable called `thread` never trip the ban.
+ */
+bool
+precededByStdQualifier(const std::string &code, std::size_t pos)
+{
+    const auto skipSpaceBack = [&](std::size_t i) {
+        while (i > 0 &&
+               std::isspace(static_cast<unsigned char>(code[i - 1])))
+            --i;
+        return i;
+    };
+    std::size_t i = skipSpaceBack(pos);
+    if (i < 2 || code[i - 1] != ':' || code[i - 2] != ':')
+        return false;
+    i = skipSpaceBack(i - 2);
+    if (i < 3 || code.compare(i - 3, 3, "std") != 0)
+        return false;
+    return i == 3 || !isIdentChar(code[i - 4]);
+}
+
 bool
 pathAllowed(const std::string &relPath,
             const std::vector<std::string> &allowed)
@@ -221,6 +271,22 @@ checkBannedIdentifiers(const std::string &relPath,
             if (boundedLeft && boundedRight) {
                 report(relPath, lineOfOffset(code, pos),
                        "use of '" + ban.name + "' (use " +
+                           ban.instead + " instead)");
+            }
+            pos = end;
+        }
+    }
+    for (const BannedStdName &ban : bannedStdConcurrency) {
+        if (pathAllowed(relPath, ban.allowedIn))
+            continue;
+        std::size_t pos = 0;
+        while ((pos = code.find(ban.name, pos)) != std::string::npos) {
+            const std::size_t end = pos + ban.name.size();
+            const bool boundedRight =
+                end >= code.size() || !isIdentChar(code[end]);
+            if (boundedRight && precededByStdQualifier(code, pos)) {
+                report(relPath, lineOfOffset(code, pos),
+                       "use of 'std::" + ban.name + "' (use " +
                            ban.instead + " instead)");
             }
             pos = end;
