@@ -7,25 +7,121 @@
  * is how a long-lived deployment amortizes the training cost across
  * many DSE sessions.
  *
- * Usage: train_save_load [model_path]
+ * With --resume the example instead demonstrates crash-safe training:
+ * it trains a baseline model, re-trains with checkpointing enabled
+ * while an injected fault kills the run mid-training, resumes from
+ * the checkpoint, and verifies the resumed model is byte-identical
+ * to the uninterrupted baseline.
+ *
+ * Usage: train_save_load [--resume] [model_path]
  */
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "dse/bo.hh"
 #include "sched/evaluator.hh"
+#include "util/atomic_io.hh"
 #include "util/env.hh"
+#include "util/fault.hh"
 #include "vaesa/latent_dse.hh"
 #include "vaesa/serialize.hh"
 #include "workload/networks.hh"
 
-int
-main(int argc, char **argv)
-{
-    using namespace vaesa;
+namespace {
 
-    const std::string path =
-        argc > 1 ? argv[1] : "vaesa_model.bin";
+using namespace vaesa;
+
+/** Snapshot a framework and return the file bytes for comparison. */
+std::string
+snapshotBytes(VaesaFramework &framework, const std::string &path)
+{
+    if (const auto err = saveFramework(path, framework)) {
+        std::fprintf(stderr, "%s\n", err->describe().c_str());
+        std::exit(1);
+    }
+    auto bytes = readFileBytes(path);
+    if (!bytes) {
+        std::fprintf(stderr, "%s\n", bytes.error().describe().c_str());
+        std::exit(1);
+    }
+    return bytes.value();
+}
+
+/**
+ * Kill-and-resume demo: a checkpointed run interrupted by an injected
+ * fault must finish byte-identical to an uninterrupted one.
+ */
+int
+runResumeDemo(const std::string &path)
+{
+    const auto dataset_size =
+        static_cast<std::size_t>(envInt("VAESA_DATASET", 400));
+    const auto epochs =
+        static_cast<std::size_t>(envInt("VAESA_EPOCHS", 6));
+
+    Evaluator evaluator;
+    std::vector<LayerShape> pool;
+    for (const Workload &w : trainingWorkloads())
+        pool.insert(pool.end(), w.layers.begin(), w.layers.end());
+    Rng data_rng(42);
+    const Dataset data =
+        DatasetBuilder(evaluator, pool).build(dataset_size, data_rng);
+
+    FrameworkOptions options;
+    options.vae.latentDim = 4;
+    options.train.epochs = epochs;
+
+    std::printf("baseline: uninterrupted %zu-epoch run...\n", epochs);
+    VaesaFramework baseline(data, options, 7);
+    const std::string baseline_bytes =
+        snapshotBytes(baseline, path + ".baseline");
+
+    const std::string ckpt = path + ".ckpt";
+    options.train.checkpointPath = ckpt;
+    options.train.checkpointEvery = 1;
+
+    // Kill the checkpointed run partway through by arming a fault at
+    // an epoch boundary -- the in-process equivalent of SIGKILL.
+    const std::size_t kill_epoch = epochs / 2 + 1;
+    std::printf("checkpointed run, injected crash at epoch %zu...\n",
+                kill_epoch);
+    FaultInjector::instance().arm("train_epoch", kill_epoch);
+    bool crashed = false;
+    try {
+        VaesaFramework interrupted(data, options, 7);
+    } catch (const InjectedFault &fault) {
+        crashed = true;
+        std::printf("run killed: %s\n", fault.what());
+    }
+    FaultInjector::instance().reset();
+    if (!crashed) {
+        std::fprintf(stderr, "injected fault never fired\n");
+        return 1;
+    }
+
+    std::printf("resuming from %s...\n", ckpt.c_str());
+    VaesaFramework resumed(data, options, 7);
+    const std::string resumed_bytes =
+        snapshotBytes(resumed, path + ".resumed");
+
+    const bool identical = baseline_bytes == resumed_bytes;
+    std::printf("resumed model vs. uninterrupted baseline: %s\n",
+                identical ? "byte-identical OK" : "MISMATCH");
+
+    std::remove((path + ".baseline").c_str());
+    std::remove((path + ".baseline.prev").c_str());
+    std::remove((path + ".resumed").c_str());
+    std::remove((path + ".resumed.prev").c_str());
+    std::remove(ckpt.c_str());
+    std::remove((ckpt + ".prev").c_str());
+    return identical ? 0 : 1;
+}
+
+int
+runSaveLoadDemo(const std::string &path)
+{
     const auto dataset_size =
         static_cast<std::size_t>(envInt("VAESA_DATASET", 6000));
     const auto epochs =
@@ -46,20 +142,21 @@ main(int argc, char **argv)
     std::printf("training (%zu epochs)...\n", epochs);
     VaesaFramework trained(data, options, 7);
     const double radius = 1.5 * trained.latentRadius(data);
-    if (!saveFramework(path, trained)) {
-        std::fprintf(stderr, "cannot save snapshot to %s\n",
-                     path.c_str());
+    if (const auto err = saveFramework(path, trained)) {
+        std::fprintf(stderr, "%s\n", err->describe().c_str());
         return 1;
     }
     std::printf("saved snapshot to %s\n", path.c_str());
 
     // Restore in a fresh instance -- no dataset needed.
-    std::unique_ptr<VaesaFramework> reloaded = loadFramework(path);
-    if (!reloaded) {
-        std::fprintf(stderr, "cannot load snapshot from %s\n",
-                     path.c_str());
+    auto loaded = loadFramework(path);
+    if (!loaded) {
+        std::fprintf(stderr, "%s\n",
+                     loaded.error().describe().c_str());
         return 1;
     }
+    std::unique_ptr<VaesaFramework> reloaded =
+        std::move(loaded.value());
     std::printf("restored snapshot (latent dim %zu)\n",
                 reloaded->latentDim());
 
@@ -93,5 +190,22 @@ main(int argc, char **argv)
                     .describe()
                     .c_str());
     std::remove(path.c_str());
+    std::remove((path + ".prev").c_str());
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool resume = false;
+    std::string path = "vaesa_model.bin";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--resume") == 0)
+            resume = true;
+        else
+            path = argv[i];
+    }
+    return resume ? runResumeDemo(path) : runSaveLoadDemo(path);
 }

@@ -10,11 +10,17 @@
  *       Map + score one configuration (default workload resnet50).
  *   vaesa_cli train MODEL.BIN [--latent N] [--epochs N]
  *             [--dataset N] [--alpha X] [--seed N]
- *       Build a dataset, train end-to-end, save a snapshot.
+ *             [--checkpoint CKPT] [--checkpoint-every N]
+ *       Build a dataset, train end-to-end, save a snapshot. With
+ *       --checkpoint, training saves a resumable checkpoint every N
+ *       epochs and picks it up on restart.
  *   vaesa_cli search MODEL.BIN [--workload NAME] [--samples N]
  *             [--method vae_bo|bo|random|ga|sa] [--seed N]
+ *             [--checkpoint SNAP] [--checkpoint-every N]
  *       Search with a saved model (vae_bo) or directly in the input
- *       space (bo/random/ga/sa, model still provides the box).
+ *       space (bo/random/ga/sa, model still provides the box). With
+ *       --checkpoint, the search snapshots its state and resumes an
+ *       interrupted run (vae_bo/bo/random/ga only).
  *   vaesa_cli decode MODEL.BIN Z1 Z2 [...]
  *       Decode a latent point to a configuration and score it.
  */
@@ -23,12 +29,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "arch/area_model.hh"
 #include "dse/bo.hh"
 #include "dse/genetic.hh"
 #include "dse/random_search.hh"
+#include "dse/search_state.hh"
 #include "sched/evaluator.hh"
 #include "vaesa/latent_dse.hh"
 #include "vaesa/serialize.hh"
@@ -101,13 +109,13 @@ resolveWorkload(const Args &args)
 {
     const std::string file = args.flag("layers", "");
     if (!file.empty()) {
-        const auto layers = parseLayerFile(file);
+        auto layers = parseLayerFile(file);
         if (!layers) {
-            std::fprintf(stderr, "cannot open layer file %s\n",
-                         file.c_str());
+            std::fprintf(stderr, "%s\n",
+                         layers.error().describe().c_str());
             std::exit(1);
         }
-        return {"custom(" + file + ")", *layers};
+        return {"custom(" + file + ")", layers.value()};
     }
     return workloadByName(args.flag("workload", "resnet50"));
 }
@@ -216,14 +224,17 @@ cmdTrain(const Args &args)
     options.vae.latentDim = latent;
     options.train.epochs = epochs;
     options.train.kldWeight = alpha;
+    options.train.checkpointPath = args.flag("checkpoint", "");
+    options.train.checkpointEvery = static_cast<std::size_t>(
+        args.flagInt("checkpoint-every", 1));
     std::printf("training (latent %zu, %zu epochs, alpha %g)...\n",
                 latent, epochs, alpha);
     VaesaFramework framework(data, options, seed);
     std::printf("final recon MSE: %.5f; latent radius: %.2f\n",
                 framework.history().back().reconLoss,
                 framework.latentRadius(data));
-    if (!saveFramework(path, framework)) {
-        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    if (const auto err = saveFramework(path, framework)) {
+        std::fprintf(stderr, "%s\n", err->describe().c_str());
         return 1;
     }
     std::printf("snapshot saved to %s\n", path.c_str());
@@ -245,13 +256,22 @@ cmdSearch(const Args &args)
     const std::string method = args.flag("method", "vae_bo");
     const auto seed =
         static_cast<std::uint64_t>(args.flagInt("seed", 1));
+    SearchCheckpointConfig checkpoint_config;
+    checkpoint_config.path = args.flag("checkpoint", "");
+    checkpoint_config.every = static_cast<std::size_t>(
+        args.flagInt("checkpoint-every", 1));
+    const SearchCheckpointConfig *checkpoint =
+        checkpoint_config.path.empty() ? nullptr
+                                       : &checkpoint_config;
 
-    std::unique_ptr<VaesaFramework> framework =
-        loadFramework(path);
-    if (!framework) {
-        std::fprintf(stderr, "cannot load %s\n", path.c_str());
+    auto loaded = loadFramework(path);
+    if (!loaded) {
+        std::fprintf(stderr, "%s\n",
+                     loaded.error().describe().c_str());
         return 1;
     }
+    std::unique_ptr<VaesaFramework> framework =
+        std::move(loaded.value());
 
     Evaluator evaluator;
     // The snapshot carries no dataset, so size the latent box from
@@ -267,15 +287,23 @@ cmdSearch(const Args &args)
     SearchTrace trace;
     Objective *used = &input_obj;
     if (method == "vae_bo") {
-        trace = BayesOpt().run(latent_obj, samples, rng);
+        trace = BayesOpt().run(latent_obj, samples, rng, nullptr,
+                               checkpoint);
         used = &latent_obj;
     } else if (method == "bo") {
-        trace = BayesOpt().run(input_obj, samples, rng);
+        trace = BayesOpt().run(input_obj, samples, rng, nullptr,
+                               checkpoint);
     } else if (method == "random") {
-        trace = RandomSearch().run(input_obj, samples, rng);
+        trace = RandomSearch().run(input_obj, samples, rng, nullptr,
+                                   checkpoint);
     } else if (method == "ga") {
-        trace = GeneticSearch().run(input_obj, samples, rng);
+        trace = GeneticSearch().run(input_obj, samples, rng, nullptr,
+                                    checkpoint);
     } else if (method == "sa") {
+        if (checkpoint)
+            std::fprintf(stderr,
+                         "note: --checkpoint is not supported for "
+                         "sa; running without snapshots\n");
         trace = SimulatedAnnealing().run(input_obj, samples, rng);
     } else {
         std::fprintf(stderr,
@@ -305,12 +333,14 @@ cmdDecode(const Args &args)
         std::fprintf(stderr, "decode needs: MODEL.BIN Z1 [Z2 ...]\n");
         return 1;
     }
-    std::unique_ptr<VaesaFramework> framework =
-        loadFramework(pos[0]);
-    if (!framework) {
-        std::fprintf(stderr, "cannot load %s\n", pos[0].c_str());
+    auto loaded = loadFramework(pos[0]);
+    if (!loaded) {
+        std::fprintf(stderr, "%s\n",
+                     loaded.error().describe().c_str());
         return 1;
     }
+    std::unique_ptr<VaesaFramework> framework =
+        std::move(loaded.value());
     std::vector<double> z;
     for (std::size_t i = 1; i < pos.size(); ++i)
         z.push_back(std::strtod(pos[i].c_str(), nullptr));

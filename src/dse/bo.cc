@@ -3,11 +3,52 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/atomic_io.hh"
+#include "util/fault.hh"
 #include "util/logging.hh"
 #include "util/numeric.hh"
 #include "util/thread_pool.hh"
 
 namespace vaesa {
+
+namespace {
+
+/** BO snapshot payload: surrogate hyper-state at an iteration
+ *  boundary (the GP itself is refit from the trace every iteration,
+ *  so only the slow-moving hyperparameters need saving). */
+struct BoResumeState
+{
+    bool hasHyper = false;
+    GaussianProcess::Hyper hyper;
+    std::uint64_t iterationsSinceRefit = 0;
+};
+
+std::string
+encodeBoState(const BoResumeState &state)
+{
+    ByteBuffer out;
+    out.putU32(state.hasHyper ? 1 : 0);
+    out.putF64(state.hyper.lengthscale);
+    out.putF64(state.hyper.noiseVar);
+    out.putU64(state.iterationsSinceRefit);
+    return out.data();
+}
+
+bool
+decodeBoState(const std::string &payload, BoResumeState &state)
+{
+    ByteReader in(payload.data(), payload.size());
+    const std::uint32_t flag = in.getU32();
+    state.hyper.lengthscale = in.getF64();
+    state.hyper.noiseVar = in.getF64();
+    state.iterationsSinceRefit = in.getU64();
+    if (in.failed() || !in.atEnd() || flag > 1)
+        return false;
+    state.hasHyper = flag == 1;
+    return true;
+}
+
+} // namespace
 
 BayesOpt::BayesOpt(const BoOptions &options)
     : options_(options)
@@ -26,22 +67,56 @@ expectedImprovement(const GaussianProcess::Prediction &pred, double best)
 
 SearchTrace
 BayesOpt::run(Objective &objective, std::size_t samples, Rng &rng,
-              ThreadPool *pool) const
+              ThreadPool *pool,
+              const SearchCheckpointConfig *checkpoint) const
 {
     SearchTrace trace;
-    continueRun(objective, trace, samples, rng, pool);
+    continueRun(objective, trace, samples, rng, pool, checkpoint);
     return trace;
 }
 
 void
 BayesOpt::continueRun(Objective &objective, SearchTrace &trace,
                       std::size_t additional, Rng &rng,
-                      ThreadPool *pool) const
+                      ThreadPool *pool,
+                      const SearchCheckpointConfig *checkpoint) const
 {
     const std::vector<double> lo = objective.lowerBounds();
     const std::vector<double> hi = objective.upperBounds();
     const std::size_t dim = objective.dim();
-    const std::size_t samples = trace.points.size() + additional;
+
+    // Resume only when the caller starts from scratch (run()); the
+    // restored points then count toward the budget, so a killed run
+    // finishes with exactly the trace an uninterrupted one produces.
+    BoResumeState resume_state;
+    bool resumed = false;
+    if (checkpoint && !checkpoint->path.empty() &&
+        trace.points.empty()) {
+        Expected<SearchSnapshot> snapshot =
+            loadSearchSnapshot(checkpoint->path,
+                               SearchDriver::BayesOpt);
+        if (snapshot) {
+            BoResumeState state;
+            if (decodeBoState(snapshot.value().payload, state)) {
+                trace = std::move(snapshot.value().trace);
+                rng.setState(snapshot.value().rng);
+                resume_state = state;
+                resumed = true;
+                inform("resuming BO from '", checkpoint->path,
+                       "' at sample ", trace.points.size());
+            } else {
+                warn("ignoring BO snapshot with corrupt surrogate "
+                     "payload");
+            }
+        } else if (snapshot.error().kind !=
+                   LoadError::Kind::OpenFailed) {
+            warn("ignoring unusable search snapshot: ",
+                 snapshot.error().describe());
+        }
+    }
+    const std::size_t samples =
+        resumed ? std::max(additional, trace.points.size())
+                : trace.points.size() + additional;
 
     auto sample_uniform = [&]() {
         std::vector<double> x(dim);
@@ -67,8 +142,40 @@ BayesOpt::continueRun(Objective &objective, SearchTrace &trace,
 
     GaussianProcess gp(options_.kernel);
     std::size_t iterations_since_refit = options_.hyperRefitInterval;
+    bool hyper_known = false;
+    if (resumed) {
+        iterations_since_refit = static_cast<std::size_t>(
+            resume_state.iterationsSinceRefit);
+        if (resume_state.hasHyper) {
+            gp.setHyper(resume_state.hyper);
+            hyper_known = true;
+        }
+    }
+
+    const std::size_t snapshot_every =
+        checkpoint ? std::max<std::size_t>(1, checkpoint->every) : 0;
+    std::size_t iterations = 0;
+    auto maybeSnapshot = [&]() {
+        if (!checkpoint || checkpoint->path.empty() ||
+            (iterations % snapshot_every != 0 &&
+             trace.points.size() < samples))
+            return;
+        SearchSnapshot snapshot;
+        snapshot.driver = SearchDriver::BayesOpt;
+        snapshot.trace = trace;
+        snapshot.rng = rng.state();
+        BoResumeState state;
+        state.hasHyper = hyper_known;
+        state.hyper = gp.hyper();
+        state.iterationsSinceRefit = iterations_since_refit;
+        snapshot.payload = encodeBoState(state);
+        if (auto err = saveSearchSnapshot(checkpoint->path, snapshot))
+            warn("search snapshot save failed: ", err->describe());
+    };
+    maybeSnapshot(); // cover the warm-up before the first iteration
 
     while (trace.points.size() < samples) {
+        faultCheck("bo_iteration");
         // Penalize invalid observations to a finite value so the GP
         // learns to avoid the region instead of ignoring it.
         double worst_finite = -1e300;
@@ -87,7 +194,9 @@ BayesOpt::continueRun(Objective &objective, SearchTrace &trace,
         if (!any_finite) {
             // Nothing to model yet; keep sampling at random.
             const std::vector<double> x = sample_uniform();
-            trace.add(x, objective.evaluate(x));
+            trace.add(x, evaluateRecovered(objective, x));
+            ++iterations;
+            maybeSnapshot();
             continue;
         }
 
@@ -136,6 +245,7 @@ BayesOpt::continueRun(Objective &objective, SearchTrace &trace,
         if (iterations_since_refit >= options_.hyperRefitInterval) {
             gp.fitWithHyperSearch(xs, ys);
             iterations_since_refit = 0;
+            hyper_known = true;
         } else {
             gp.fit(xs, ys);
         }
@@ -192,7 +302,9 @@ BayesOpt::continueRun(Objective &objective, SearchTrace &trace,
         }
         const std::vector<double> &best_x = candidates[best_idx];
 
-        trace.add(best_x, objective.evaluate(best_x));
+        trace.add(best_x, evaluateRecovered(objective, best_x));
+        ++iterations;
+        maybeSnapshot();
     }
 }
 

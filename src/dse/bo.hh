@@ -13,6 +13,7 @@
 
 #include "dse/gp.hh"
 #include "dse/objective.hh"
+#include "dse/search_state.hh"
 #include "util/rng.hh"
 
 namespace vaesa {
@@ -69,20 +70,32 @@ class BayesOpt
      *        (when the objective is threadSafeEvaluate()) and the
      *        per-iteration acquisition candidate scoring (GP
      *        predictions are const and always safe to fan out).
+     * @param checkpoint optional snapshot config: resume from an
+     *        existing snapshot (trace, rng, GP hyperparameters,
+     *        refit counter) and write one every `every` iterations.
+     *        A resumed run returns the trace an uninterrupted run
+     *        would have produced.
      * @return chronological trace of all samples.
      */
-    SearchTrace run(Objective &objective, std::size_t samples,
-                    Rng &rng, ThreadPool *pool = nullptr) const;
+    SearchTrace
+    run(Objective &objective, std::size_t samples, Rng &rng,
+        ThreadPool *pool = nullptr,
+        const SearchCheckpointConfig *checkpoint = nullptr) const;
 
     /**
      * Extend an existing trace by additional evaluations. Prior
      * points seed the GP (warm start); warm-up sampling only happens
      * when the trace is empty. Used by adaptive flows that alternate
-     * search with model retraining.
+     * search with model retraining. When checkpoint is given and the
+     * incoming trace is empty, an existing snapshot is resumed and
+     * its points count toward the budget.
      */
-    void continueRun(Objective &objective, SearchTrace &trace,
-                     std::size_t additional, Rng &rng,
-                     ThreadPool *pool = nullptr) const;
+    void
+    continueRun(Objective &objective, SearchTrace &trace,
+                std::size_t additional, Rng &rng,
+                ThreadPool *pool = nullptr,
+                const SearchCheckpointConfig *checkpoint =
+                    nullptr) const;
 
     /** Options in use. */
     const BoOptions &options() const { return options_; }

@@ -3,10 +3,61 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/atomic_io.hh"
+#include "util/fault.hh"
 #include "util/logging.hh"
 #include "util/numeric.hh"
 
 namespace vaesa {
+
+namespace {
+
+struct Individual
+{
+    std::vector<double> genes;
+    double value;
+};
+
+/** GA snapshot payload: the population at a generation boundary. */
+std::string
+encodePopulation(const std::vector<Individual> &population)
+{
+    ByteBuffer out;
+    out.putU64(population.size());
+    for (const Individual &ind : population) {
+        out.putU64(ind.genes.size());
+        out.putBytes(ind.genes.data(),
+                     ind.genes.size() * sizeof(double));
+        out.putF64(ind.value);
+    }
+    return out.data();
+}
+
+bool
+decodePopulation(const std::string &payload, std::size_t dim,
+                 std::vector<Individual> &population)
+{
+    ByteReader in(payload.data(), payload.size());
+    const std::uint64_t count = in.getU64();
+    if (in.failed() || count > (1u << 20))
+        return false;
+    population.clear();
+    population.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t genes = in.getU64();
+        if (in.failed() || genes != dim)
+            return false;
+        Individual ind;
+        ind.genes.resize(genes);
+        if (!in.getBytes(ind.genes.data(), genes * sizeof(double)))
+            return false;
+        ind.value = in.getF64();
+        population.push_back(std::move(ind));
+    }
+    return !in.failed() && in.atEnd();
+}
+
+} // namespace
 
 GeneticSearch::GeneticSearch(const GaOptions &options)
     : options_(options)
@@ -14,8 +65,9 @@ GeneticSearch::GeneticSearch(const GaOptions &options)
 }
 
 SearchTrace
-GeneticSearch::run(Objective &objective, std::size_t samples,
-                   Rng &rng, ThreadPool *pool) const
+GeneticSearch::run(Objective &objective, std::size_t samples, Rng &rng,
+                   ThreadPool *pool,
+                   const SearchCheckpointConfig *checkpoint) const
 {
     const std::vector<double> lo = objective.lowerBounds();
     const std::vector<double> hi = objective.upperBounds();
@@ -24,19 +76,57 @@ GeneticSearch::run(Objective &objective, std::size_t samples,
         std::max<std::size_t>(2, options_.populationSize);
 
     SearchTrace trace;
+    std::vector<Individual> population;
+    population.reserve(pop_size);
+
+    // Resume only once the payload decodes: the population order
+    // feeds tournament selection, so a snapshot is applied either
+    // completely or not at all.
+    if (checkpoint && !checkpoint->path.empty()) {
+        Expected<SearchSnapshot> snapshot =
+            loadSearchSnapshot(checkpoint->path,
+                               SearchDriver::Genetic);
+        if (snapshot) {
+            std::vector<Individual> resumed;
+            if (decodePopulation(snapshot.value().payload, dim,
+                                 resumed)) {
+                trace = std::move(snapshot.value().trace);
+                rng.setState(snapshot.value().rng);
+                population = std::move(resumed);
+                inform("resuming GA from '", checkpoint->path,
+                       "' at sample ", trace.points.size());
+            } else {
+                warn("ignoring GA snapshot with corrupt population "
+                     "payload");
+            }
+        } else if (snapshot.error().kind !=
+                   LoadError::Kind::OpenFailed) {
+            warn("ignoring unusable search snapshot: ",
+                 snapshot.error().describe());
+        }
+    }
+
+    const std::size_t snapshot_every =
+        checkpoint ? std::max<std::size_t>(1, checkpoint->every) : 0;
+    std::size_t generations = 0;
+    auto maybeSnapshot = [&](bool force) {
+        if (!checkpoint || checkpoint->path.empty() ||
+            (!force && generations % snapshot_every != 0))
+            return;
+        SearchSnapshot snapshot;
+        snapshot.driver = SearchDriver::Genetic;
+        snapshot.trace = trace;
+        snapshot.rng = rng.state();
+        snapshot.payload = encodePopulation(population);
+        if (auto err = saveSearchSnapshot(checkpoint->path, snapshot))
+            warn("search snapshot save failed: ", err->describe());
+    };
+
     // Rank invalid (infinite) individuals below everything finite
     // but keep them comparable among themselves.
     auto fitness_key = [](double v) {
         return std::isfinite(v) ? v : 1e300;
     };
-
-    struct Individual
-    {
-        std::vector<double> genes;
-        double value;
-    };
-    std::vector<Individual> population;
-    population.reserve(pop_size);
 
     // Breeding is serial (it owns the rng stream); scoring runs as
     // one batch per generation, on the pool when available. Since
@@ -52,7 +142,8 @@ GeneticSearch::run(Objective &objective, std::size_t samples,
         }
     };
 
-    {
+    if (population.empty() && trace.points.size() < samples) {
+        faultCheck("ga_generation");
         const std::size_t count =
             std::min(pop_size, samples - trace.points.size());
         std::vector<std::vector<double>> genes(count);
@@ -62,6 +153,8 @@ GeneticSearch::run(Objective &objective, std::size_t samples,
                 genes[i][d] = rng.uniform(lo[d], hi[d]);
         }
         scoreInto(std::move(genes));
+        ++generations;
+        maybeSnapshot(trace.points.size() >= samples);
     }
 
     auto tournament = [&]() -> const Individual & {
@@ -77,6 +170,7 @@ GeneticSearch::run(Objective &objective, std::size_t samples,
     };
 
     while (trace.points.size() < samples) {
+        faultCheck("ga_generation");
         std::sort(population.begin(), population.end(),
                   [&](const Individual &a, const Individual &b) {
                       return fitness_key(a.value) <
@@ -119,6 +213,8 @@ GeneticSearch::run(Objective &objective, std::size_t samples,
             survivors.push_back(population[e]);
         population = std::move(survivors);
         scoreInto(std::move(genes));
+        ++generations;
+        maybeSnapshot(trace.points.size() >= samples);
     }
     return trace;
 }
@@ -143,7 +239,7 @@ SimulatedAnnealing::run(Objective &objective, std::size_t samples,
     std::vector<double> current(dim);
     for (std::size_t d = 0; d < dim; ++d)
         current[d] = rng.uniform(lo[d], hi[d]);
-    double current_value = objective.evaluate(current);
+    double current_value = evaluateRecovered(objective, current);
     trace.add(current, current_value);
 
     // Temperature scaled to the first finite observation's
@@ -163,7 +259,7 @@ SimulatedAnnealing::run(Objective &objective, std::size_t samples,
                                                   (hi[d] - lo[d])),
                 lo[d], hi[d]);
         }
-        const double value = objective.evaluate(proposal);
+        const double value = evaluateRecovered(objective, proposal);
         trace.add(proposal, value);
 
         bool accept = false;

@@ -10,6 +10,7 @@
 #define VAESA_DSE_GENETIC_HH
 
 #include "dse/objective.hh"
+#include "dse/search_state.hh"
 #include "util/rng.hh"
 
 namespace vaesa {
@@ -54,9 +55,15 @@ class GeneticSearch
      * serial trace seed-for-seed.
      * @param pool optional worker pool for population scoring (used
      *        only when the objective is threadSafeEvaluate()).
+     * @param checkpoint optional snapshot config: resume from an
+     *        existing snapshot (trace, population, rng) and write one
+     *        every `every` generations. A resumed run returns the
+     *        trace an uninterrupted run would have produced.
      */
-    SearchTrace run(Objective &objective, std::size_t samples,
-                    Rng &rng, ThreadPool *pool = nullptr) const;
+    SearchTrace
+    run(Objective &objective, std::size_t samples, Rng &rng,
+        ThreadPool *pool = nullptr,
+        const SearchCheckpointConfig *checkpoint = nullptr) const;
 
     /** Options in use. */
     const GaOptions &options() const { return options_; }

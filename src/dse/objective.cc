@@ -3,12 +3,42 @@
 #include <algorithm>
 #include <cmath>
 #include <array>
+#include <exception>
 
+#include "util/fault.hh"
 #include "util/logging.hh"
 #include "util/numeric.hh"
 #include "util/thread_pool.hh"
 
 namespace vaesa {
+
+double
+evaluateRecovered(Objective &objective, const std::vector<double> &x)
+{
+    // Two attempts: injected faults fire once, so the retry separates
+    // transient failures (which succeed on attempt two) from
+    // persistent ones (which score invalid).
+    constexpr int maxAttempts = 2;
+    for (int attempt = 1; attempt <= maxAttempts; ++attempt) {
+        try {
+            faultCheck("eval_throw");
+            const double value =
+                faultMaybeNan("eval_nan", objective.evaluate(x));
+            if (std::isnan(value)) {
+                warn("evaluation produced NaN (attempt ", attempt,
+                     "/", maxAttempts, ")");
+                continue;
+            }
+            return value;
+        } catch (const std::exception &e) {
+            warn("evaluation failed: ", e.what(), " (attempt ",
+                 attempt, "/", maxAttempts, ")");
+        }
+    }
+    warn("marking candidate invalid after ", maxAttempts,
+         " failed evaluations");
+    return invalidScore;
+}
 
 std::vector<double>
 evaluatePoints(Objective &objective,
@@ -18,11 +48,11 @@ evaluatePoints(Objective &objective,
     std::vector<double> values(xs.size());
     if (pool && objective.threadSafeEvaluate()) {
         pool->parallelFor(xs.size(), [&](std::size_t i) {
-            values[i] = objective.evaluate(xs[i]);
+            values[i] = evaluateRecovered(objective, xs[i]);
         });
     } else {
         for (std::size_t i = 0; i < xs.size(); ++i)
-            values[i] = objective.evaluate(xs[i]);
+            values[i] = evaluateRecovered(objective, xs[i]);
     }
     return values;
 }

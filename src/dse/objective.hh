@@ -70,12 +70,23 @@ class Objective
 };
 
 /**
+ * Score one point with graceful degradation: an evaluator exception
+ * or a NaN score (including the injected `eval_throw` / `eval_nan`
+ * fault sites) marks the candidate invalid and the search continues,
+ * instead of one bad design killing an hours-long run. One bounded
+ * retry absorbs transient faults; persistent failures score
+ * invalidScore.
+ */
+double evaluateRecovered(Objective &objective,
+                         const std::vector<double> &x);
+
+/**
  * Score xs[i] into out[i], fanning across the pool when one is given
  * and the objective declares threadSafeEvaluate(); the serial loop
  * otherwise. Results are bit-identical either way (results land in
  * input order and thread-safe objectives are deterministic), which
  * is what keeps pool-enabled search traces seed-for-seed equal to
- * serial ones.
+ * serial ones. Every evaluation goes through evaluateRecovered().
  */
 std::vector<double> evaluatePoints(
     Objective &objective, const std::vector<std::vector<double>> &xs,

@@ -1,28 +1,59 @@
 #include "dse/random_search.hh"
 
+#include <algorithm>
+
+#include "util/fault.hh"
+#include "util/logging.hh"
+
 namespace vaesa {
 
 SearchTrace
-RandomSearch::run(Objective &objective, std::size_t samples,
-                  Rng &rng, ThreadPool *pool) const
+RandomSearch::run(Objective &objective, std::size_t samples, Rng &rng,
+                  ThreadPool *pool,
+                  const SearchCheckpointConfig *checkpoint) const
 {
     const std::vector<double> lo = objective.lowerBounds();
     const std::vector<double> hi = objective.upperBounds();
-    // Draw every point first (the evaluation consumes no rng), then
-    // score them as one batch: the rng stream and the trace are
-    // identical with and without a pool.
-    std::vector<std::vector<double>> xs(samples);
-    for (std::size_t i = 0; i < samples; ++i) {
-        xs[i].resize(objective.dim());
-        for (std::size_t d = 0; d < xs[i].size(); ++d)
-            xs[i][d] = rng.uniform(lo[d], hi[d]);
-    }
-    const std::vector<double> values =
-        evaluatePoints(objective, xs, pool);
 
     SearchTrace trace;
-    for (std::size_t i = 0; i < samples; ++i)
-        trace.add(xs[i], values[i]);
+    if (checkpoint)
+        resumeSearch(*checkpoint, SearchDriver::Random, trace, rng);
+
+    // Without checkpointing the whole budget is one chunk (draw every
+    // point, then score as one batch); with it, the run snapshots at
+    // chunk boundaries. Draws stay strictly before evaluations in
+    // every chunk and evaluation consumes no rng, so the stream --
+    // and therefore the trace -- is identical in all three modes
+    // (plain, checkpointed, resumed).
+    const std::size_t chunk =
+        checkpoint ? std::max<std::size_t>(1, checkpoint->every)
+                   : samples;
+    while (trace.points.size() < samples) {
+        faultCheck("random_chunk");
+        const std::size_t count =
+            std::min(chunk, samples - trace.points.size());
+        std::vector<std::vector<double>> xs(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            xs[i].resize(objective.dim());
+            for (std::size_t d = 0; d < xs[i].size(); ++d)
+                xs[i][d] = rng.uniform(lo[d], hi[d]);
+        }
+        const std::vector<double> values =
+            evaluatePoints(objective, xs, pool);
+        for (std::size_t i = 0; i < count; ++i)
+            trace.add(xs[i], values[i]);
+
+        if (checkpoint && !checkpoint->path.empty()) {
+            SearchSnapshot snapshot;
+            snapshot.driver = SearchDriver::Random;
+            snapshot.trace = trace;
+            snapshot.rng = rng.state();
+            if (auto err =
+                    saveSearchSnapshot(checkpoint->path, snapshot))
+                warn("search snapshot save failed: ",
+                     err->describe());
+        }
+    }
     return trace;
 }
 

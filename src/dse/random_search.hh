@@ -10,6 +10,7 @@
 #include <cstddef>
 
 #include "dse/objective.hh"
+#include "dse/search_state.hh"
 #include "util/rng.hh"
 
 namespace vaesa {
@@ -19,19 +20,26 @@ class RandomSearch
 {
   public:
     /**
-     * Evaluate n uniform points of the objective's box. All points
-     * are drawn from the rng up front and scored as one batch, so a
-     * pool-enabled run consumes the identical rng stream and returns
-     * the identical trace as a serial one.
+     * Evaluate n uniform points of the objective's box. Points are
+     * drawn from the rng before any scoring (drawing and evaluation
+     * never interleave within a batch), so a pool-enabled run
+     * consumes the identical rng stream and returns the identical
+     * trace as a serial one.
      * @param objective problem to minimize.
      * @param samples number of evaluations.
      * @param rng seeded generator.
      * @param pool optional worker pool for batch scoring (used only
      *        when the objective is threadSafeEvaluate()).
+     * @param checkpoint optional snapshot config: resume from an
+     *        existing snapshot and write one every `every` samples.
+     *        A resumed run returns the trace an uninterrupted run
+     *        would have produced.
      * @return chronological trace of all samples.
      */
-    SearchTrace run(Objective &objective, std::size_t samples,
-                    Rng &rng, ThreadPool *pool = nullptr) const;
+    SearchTrace
+    run(Objective &objective, std::size_t samples, Rng &rng,
+        ThreadPool *pool = nullptr,
+        const SearchCheckpointConfig *checkpoint = nullptr) const;
 };
 
 } // namespace vaesa

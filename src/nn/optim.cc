@@ -2,10 +2,23 @@
 
 #include <cmath>
 
+#include "nn/serialize.hh"
 #include "util/contracts.hh"
 #include "util/logging.hh"
 
 namespace vaesa::nn {
+
+namespace {
+
+/** Shared ShapeMismatch builder for optimizer-state loaders. */
+LoadError
+stateError(const std::string &message)
+{
+    return makeLoadError(LoadError::Kind::ShapeMismatch, "", 0,
+                         "optimizer state: " + message);
+}
+
+} // namespace
 
 Optimizer::Optimizer(std::vector<Parameter *> params)
     : params_(std::move(params))
@@ -20,6 +33,16 @@ Optimizer::zeroGrad()
 {
     for (Parameter *p : params_)
         p->zeroGrad();
+}
+
+void
+Optimizer::serializeState(ByteBuffer &) const
+{}
+
+std::optional<LoadError>
+Optimizer::deserializeState(ByteReader &)
+{
+    return std::nullopt;
 }
 
 Sgd::Sgd(std::vector<Parameter *> params, double lr, double momentum)
@@ -43,6 +66,26 @@ Sgd::step()
             p->value.addScaled(p->grad, -lr_);
         }
     }
+}
+
+void
+Sgd::serializeState(ByteBuffer &out) const
+{
+    out.putU64(velocity_.size());
+    for (const Matrix &v : velocity_)
+        putMatrix(out, v);
+}
+
+std::optional<LoadError>
+Sgd::deserializeState(ByteReader &in)
+{
+    const std::uint64_t count = in.getU64();
+    if (in.failed() || count != velocity_.size())
+        return stateError("SGD velocity count mismatch");
+    for (Matrix &v : velocity_)
+        if (!readMatrixInto(in, v))
+            return stateError("SGD velocity shape mismatch");
+    return std::nullopt;
 }
 
 Adam::Adam(std::vector<Parameter *> params, double lr, double beta1,
@@ -83,6 +126,32 @@ Adam::step()
             w[k] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
         }
     }
+}
+
+void
+Adam::serializeState(ByteBuffer &out) const
+{
+    out.putU64(static_cast<std::uint64_t>(stepCount_));
+    out.putU64(firstMoment_.size());
+    for (std::size_t i = 0; i < firstMoment_.size(); ++i) {
+        putMatrix(out, firstMoment_[i]);
+        putMatrix(out, secondMoment_[i]);
+    }
+}
+
+std::optional<LoadError>
+Adam::deserializeState(ByteReader &in)
+{
+    const std::uint64_t steps = in.getU64();
+    const std::uint64_t count = in.getU64();
+    if (in.failed() || count != firstMoment_.size())
+        return stateError("Adam moment count mismatch");
+    for (std::size_t i = 0; i < firstMoment_.size(); ++i)
+        if (!readMatrixInto(in, firstMoment_[i]) ||
+            !readMatrixInto(in, secondMoment_[i]))
+            return stateError("Adam moment shape mismatch");
+    stepCount_ = static_cast<long>(steps);
+    return std::nullopt;
 }
 
 } // namespace vaesa::nn

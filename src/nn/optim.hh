@@ -7,9 +7,11 @@
 #ifndef VAESA_NN_OPTIM_HH
 #define VAESA_NN_OPTIM_HH
 
+#include <optional>
 #include <vector>
 
 #include "nn/module.hh"
+#include "util/atomic_io.hh"
 
 namespace vaesa::nn {
 
@@ -29,6 +31,19 @@ class Optimizer
 
     /** The managed parameters. */
     const std::vector<Parameter *> &params() const { return params_; }
+
+    /**
+     * Append internal state (moment estimates, step counters) to a
+     * checkpoint payload, so a resumed run continues the exact update
+     * sequence of an uninterrupted one.
+     */
+    virtual void serializeState(ByteBuffer &out) const;
+
+    /**
+     * Restore state written by serializeState() for the same model.
+     * @return nullopt on success, ShapeMismatch/Malformed otherwise.
+     */
+    virtual std::optional<LoadError> deserializeState(ByteReader &in);
 
   protected:
     std::vector<Parameter *> params_;
@@ -53,6 +68,9 @@ class Sgd : public Optimizer
 
     /** Change the learning rate (for schedules). */
     void setLearningRate(double lr) { lr_ = lr; }
+
+    void serializeState(ByteBuffer &out) const override;
+    std::optional<LoadError> deserializeState(ByteReader &in) override;
 
   private:
     double lr_;
@@ -81,6 +99,9 @@ class Adam : public Optimizer
 
     /** Change the learning rate (for schedules). */
     void setLearningRate(double lr) { lr_ = lr; }
+
+    void serializeState(ByteBuffer &out) const override;
+    std::optional<LoadError> deserializeState(ByteReader &in) override;
 
   private:
     double lr_;

@@ -1,106 +1,116 @@
 #include "nn/serialize.hh"
 
 #include <cstdint>
-#include <fstream>
-
-#include "util/logging.hh"
 
 namespace vaesa::nn {
 
 namespace {
 
-constexpr std::uint32_t magicWord = 0x56414553; // "VAES"
-
-void
-writeU64(std::ostream &out, std::uint64_t value)
-{
-    out.write(reinterpret_cast<const char *>(&value), sizeof(value));
-}
-
-std::uint64_t
-readU64(std::istream &in)
-{
-    std::uint64_t value = 0;
-    in.read(reinterpret_cast<char *>(&value), sizeof(value));
-    return value;
-}
+constexpr std::size_t maxParameterNameLen = 4096;
 
 } // namespace
 
 void
-saveParametersToStream(std::ostream &out,
-                       const std::vector<Parameter *> &params)
+putMatrix(ByteBuffer &out, const Matrix &matrix)
 {
-    writeU64(out, params.size());
-    for (const Parameter *p : params) {
-        writeU64(out, p->name.size());
-        out.write(p->name.data(),
-                  static_cast<std::streamsize>(p->name.size()));
-        writeU64(out, p->value.rows());
-        writeU64(out, p->value.cols());
-        out.write(reinterpret_cast<const char *>(p->value.data()),
-                  static_cast<std::streamsize>(
-                      p->value.size() * sizeof(double)));
-    }
+    out.putU64(matrix.rows());
+    out.putU64(matrix.cols());
+    out.putBytes(matrix.data(), matrix.size() * sizeof(double));
+}
+
+bool
+readMatrixInto(ByteReader &in, Matrix &matrix)
+{
+    const std::uint64_t rows = in.getU64();
+    const std::uint64_t cols = in.getU64();
+    if (in.failed() || rows != matrix.rows() || cols != matrix.cols())
+        return false;
+    return in.getBytes(matrix.data(), matrix.size() * sizeof(double));
 }
 
 void
-loadParametersFromStream(std::istream &in,
-                         const std::vector<Parameter *> &params)
+writeParameterRecords(RecordWriter &out,
+                      const std::vector<Parameter *> &params)
 {
-    const std::uint64_t count = readU64(in);
-    if (count != params.size())
-        fatal("loadParameters: stream has ", count, " parameters, ",
-              "model expects ", params.size());
-    for (Parameter *p : params) {
-        const std::uint64_t name_len = readU64(in);
-        if (!in || name_len > 4096)
-            fatal("loadParameters: corrupt parameter stream");
-        std::string name(name_len, '\0');
-        in.read(name.data(), static_cast<std::streamsize>(name_len));
-        if (name != p->name)
-            fatal("loadParameters: parameter name mismatch: stream '",
-                  name, "' vs model '", p->name, "'");
-        const std::uint64_t rows = readU64(in);
-        const std::uint64_t cols = readU64(in);
-        if (rows != p->value.rows() || cols != p->value.cols())
-            fatal("loadParameters: shape mismatch for '", name, "'");
-        in.read(reinterpret_cast<char *>(p->value.data()),
-                static_cast<std::streamsize>(
-                    p->value.size() * sizeof(double)));
+    ByteBuffer count;
+    count.putU64(params.size());
+    out.writeRecord(count);
+    for (const Parameter *p : params) {
+        ByteBuffer payload;
+        payload.putString(p->name);
+        putMatrix(payload, p->value);
+        out.writeRecord(payload);
     }
-    if (!in)
-        fatal("loadParameters: truncated parameter stream");
 }
 
-bool
+std::optional<LoadError>
+readParameterRecords(RecordReader &in,
+                     const std::vector<Parameter *> &params)
+{
+    Expected<std::string> count_record = in.readRecord();
+    if (!count_record)
+        return count_record.error();
+    ByteReader count_reader(count_record.value().data(),
+                            count_record.value().size());
+    const std::uint64_t count = count_reader.getU64();
+    if (count_reader.failed() || !count_reader.atEnd())
+        return in.makeError(LoadError::Kind::Malformed,
+                            "corrupt parameter count record");
+    if (count != params.size())
+        return in.makeError(
+            LoadError::Kind::ShapeMismatch,
+            "file has " + std::to_string(count) + " parameters, model "
+            "expects " + std::to_string(params.size()));
+    for (Parameter *p : params) {
+        Expected<std::string> record = in.readRecord();
+        if (!record)
+            return record.error();
+        ByteReader reader(record.value().data(),
+                          record.value().size());
+        const std::string name = reader.getString(maxParameterNameLen);
+        if (reader.failed())
+            return in.makeError(LoadError::Kind::Malformed,
+                                "corrupt parameter record");
+        if (name != p->name)
+            return in.makeError(
+                LoadError::Kind::ShapeMismatch,
+                "parameter name mismatch: file '" + name +
+                "' vs model '" + p->name + "'");
+        if (!readMatrixInto(reader, p->value) || !reader.atEnd())
+            return in.makeError(
+                LoadError::Kind::ShapeMismatch,
+                "shape mismatch or corrupt payload for '" + name + "'");
+    }
+    return std::nullopt;
+}
+
+std::optional<LoadError>
 saveParameters(const std::string &path,
                const std::vector<Parameter *> &params)
 {
-    std::ofstream out(path, std::ios::binary);
-    if (!out) {
-        warn("saveParameters: cannot open '", path, "'");
-        return false;
-    }
-    out.write(reinterpret_cast<const char *>(&magicWord),
-              sizeof(magicWord));
-    saveParametersToStream(out, params);
-    return static_cast<bool>(out);
+    RecordWriter out(parametersMagic, parametersVersion);
+    writeParameterRecords(out, params);
+    return atomicWriteFile(path, out.bytes());
 }
 
-bool
+std::optional<LoadError>
 loadParameters(const std::string &path,
                const std::vector<Parameter *> &params)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        return false;
-    std::uint32_t magic = 0;
-    in.read(reinterpret_cast<char *>(&magic), sizeof(magic));
-    if (magic != magicWord)
-        fatal("loadParameters: '", path, "' is not a VAESA model file");
-    loadParametersFromStream(in, params);
-    return true;
+    Expected<std::string> bytes = readFileBytes(path);
+    if (!bytes)
+        return bytes.error();
+    RecordReader in(bytes.value(), path);
+    std::uint32_t version = 0;
+    if (auto err = in.readHeader(parametersMagic, parametersVersion,
+                                 parametersVersion, &version))
+        return err;
+    if (auto err = readParameterRecords(in, params))
+        return err;
+    if (!in.atEnd())
+        return in.makeError(LoadError::Kind::Malformed,
+                            "trailing bytes after last parameter");
+    return std::nullopt;
 }
 
 } // namespace vaesa::nn

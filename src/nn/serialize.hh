@@ -2,45 +2,79 @@
  * @file
  * Binary save/load of parameter sets so trained VAESA models can be
  * reused across processes (train once, search many times).
+ *
+ * Files use the shared checksummed record framing (util/atomic_io.hh):
+ * a magic/version header followed by one record for the parameter
+ * count and one record per parameter (name, shape, row-major payload).
+ * Corruption is reported as a LoadError, never a process abort, and
+ * writes are atomic (temp + rename).
  */
 
 #ifndef VAESA_NN_SERIALIZE_HH
 #define VAESA_NN_SERIALIZE_HH
 
-#include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "nn/module.hh"
+#include "util/atomic_io.hh"
 
 namespace vaesa::nn {
 
-/** Stream-based variant of saveParameters (no magic header). */
-void saveParametersToStream(std::ostream &out,
-                            const std::vector<Parameter *> &params);
+/** Magic word of parameter files ("VAES"). */
+constexpr std::uint32_t parametersMagic = 0x56414553;
+
+/** Current parameter-file version (2 = framed records). */
+constexpr std::uint32_t parametersVersion = 2;
+
+/** Append a matrix (rows, cols, row-major doubles) to a payload. */
+void putMatrix(ByteBuffer &out, const Matrix &matrix);
 
 /**
- * Stream-based variant of loadParameters (no magic header). Names
- * and shapes must match exactly; fatal() otherwise.
+ * Read a matrix written by putMatrix() into an existing matrix of the
+ * expected shape.
+ * @return false on shape mismatch or payload overrun.
  */
-void loadParametersFromStream(std::istream &in,
-                              const std::vector<Parameter *> &params);
+bool readMatrixInto(ByteReader &in, Matrix &matrix);
 
 /**
- * Save parameter values to a binary file. The format records name,
- * shape, and row-major payload per parameter, with a magic header.
- * @return true on success.
+ * Append the parameter records (count record, then one record per
+ * parameter) to a framed file being built. Used directly by formats
+ * that embed parameters among other records (framework snapshots,
+ * training checkpoints).
  */
-bool saveParameters(const std::string &path,
-                    const std::vector<Parameter *> &params);
+void writeParameterRecords(RecordWriter &out,
+                           const std::vector<Parameter *> &params);
+
+/**
+ * Read parameter records written by writeParameterRecords() into an
+ * existing model. Names and shapes must match the current parameter
+ * list exactly.
+ * @return nullopt on success; Truncated/BadChecksum/Malformed on
+ *         corruption, ShapeMismatch on model/file disagreement.
+ */
+std::optional<LoadError>
+readParameterRecords(RecordReader &in,
+                     const std::vector<Parameter *> &params);
+
+/**
+ * Save parameter values to a binary file, atomically.
+ * @return nullopt on success, the write error otherwise.
+ */
+std::optional<LoadError>
+saveParameters(const std::string &path,
+               const std::vector<Parameter *> &params);
 
 /**
  * Load parameter values saved by saveParameters(). Names and shapes
- * must match the current parameter list exactly; fatal() otherwise.
- * @return true on success, false if the file cannot be opened.
+ * must match the current parameter list exactly.
+ * @return nullopt on success, a structured error otherwise (the
+ *         parameters may be partially overwritten on failure).
  */
-bool loadParameters(const std::string &path,
-                    const std::vector<Parameter *> &params);
+std::optional<LoadError>
+loadParameters(const std::string &path,
+               const std::vector<Parameter *> &params);
 
 } // namespace vaesa::nn
 

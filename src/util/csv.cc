@@ -43,26 +43,34 @@ CsvWriter::cell(double value)
     return buf;
 }
 
+std::string
+CsvWriter::formatRow(const std::vector<std::string> &cells)
+{
+    std::string out;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out += ',';
+        const std::string &c = cells[i];
+        if (c.find_first_of(",\"\n") != std::string::npos) {
+            out += '"';
+            for (char ch : c) {
+                if (ch == '"')
+                    out += '"';
+                out += ch;
+            }
+            out += '"';
+        } else {
+            out += c;
+        }
+    }
+    out += '\n';
+    return out;
+}
+
 void
 CsvWriter::writeRow(const std::vector<std::string> &cells)
 {
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-        if (i)
-            out_ << ',';
-        const std::string &c = cells[i];
-        if (c.find_first_of(",\"\n") != std::string::npos) {
-            out_ << '"';
-            for (char ch : c) {
-                if (ch == '"')
-                    out_ << '"';
-                out_ << ch;
-            }
-            out_ << '"';
-        } else {
-            out_ << c;
-        }
-    }
-    out_ << '\n';
+    out_ << formatRow(cells);
     if (!out_)
         fatal("failed writing CSV file '", path_, "'");
 }

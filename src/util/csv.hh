@@ -36,6 +36,13 @@ class CsvWriter
     /** Format a double for a CSV cell. */
     static std::string cell(double value);
 
+    /**
+     * Format one row (with quoting) as a newline-terminated string,
+     * for callers that assemble a CSV in memory — e.g.\ to write it
+     * atomically via atomicWriteFile().
+     */
+    static std::string formatRow(const std::vector<std::string> &cells);
+
   private:
     void writeRow(const std::vector<std::string> &cells);
 

@@ -1,0 +1,135 @@
+#include "util/fault.hh"
+
+#include <cstdlib>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace vaesa {
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+FaultInjector::FaultInjector()
+{
+    const char *spec = std::getenv("VAESA_FAULT");
+    if (spec && *spec) {
+        const std::string problem = configure(spec);
+        if (!problem.empty())
+            fatal("VAESA_FAULT: ", problem,
+                  " (expected site:N[,site:N...])");
+        inform("fault injection armed from VAESA_FAULT='", spec,
+               "'");
+    }
+}
+
+std::string
+FaultInjector::configure(const std::string &spec)
+{
+    std::map<std::string, Plan> parsed;
+    std::size_t begin = 0;
+    while (begin <= spec.size()) {
+        std::size_t end = spec.find(',', begin);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string entry = spec.substr(begin, end - begin);
+        begin = end + 1;
+        if (entry.empty()) {
+            if (end == spec.size())
+                break;
+            continue;
+        }
+        const std::size_t colon = entry.rfind(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 >= entry.size())
+            return "malformed entry '" + entry + "'";
+        const std::string site = entry.substr(0, colon);
+        const std::string count = entry.substr(colon + 1);
+        char *parse_end = nullptr;
+        const unsigned long long nth =
+            std::strtoull(count.c_str(), &parse_end, 10);
+        if (parse_end == count.c_str() || *parse_end || nth == 0)
+            return "bad hit count in '" + entry + "'";
+        Plan plan;
+        plan.nth = nth;
+        parsed[site] = plan;
+        if (end == spec.size())
+            break;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[site, plan] : parsed)
+        plans_[site] = plan;
+    anyArmed_.store(!plans_.empty(), std::memory_order_release);
+    return {};
+}
+
+void
+FaultInjector::arm(const std::string &site, std::uint64_t nth)
+{
+    if (nth == 0)
+        panic("FaultInjector::arm: hit count must be >= 1");
+    std::lock_guard<std::mutex> lock(mutex_);
+    Plan plan;
+    plan.nth = nth;
+    plans_[site] = plan;
+    anyArmed_.store(true, std::memory_order_release);
+}
+
+void
+FaultInjector::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    plans_.clear();
+    anyArmed_.store(false, std::memory_order_release);
+}
+
+bool
+FaultInjector::shouldFire(const char *site)
+{
+    if (!anyArmed_.load(std::memory_order_acquire))
+        return false;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = plans_.find(site);
+    if (it == plans_.end())
+        return false;
+    Plan &plan = it->second;
+    ++plan.hits;
+    if (!plan.fired && plan.hits == plan.nth) {
+        plan.fired = true;
+        return true;
+    }
+    return false;
+}
+
+void
+FaultInjector::check(const char *site)
+{
+    if (shouldFire(site)) {
+        warn("fault injection: firing at site '", site, "'");
+        throw InjectedFault(site);
+    }
+}
+
+double
+FaultInjector::maybeNan(const char *site, double value)
+{
+    if (shouldFire(site)) {
+        warn("fault injection: NaN-poisoning site '", site, "'");
+        return std::numeric_limits<double>::quiet_NaN();
+    }
+    return value;
+}
+
+std::uint64_t
+FaultInjector::hitCount(const std::string &site) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = plans_.find(site);
+    return it == plans_.end() ? 0 : it->second.hits;
+}
+
+} // namespace vaesa

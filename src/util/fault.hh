@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Deterministic fault injection, so every failure path in the
+ * robustness layer is exercisable from a plain ctest instead of
+ * requiring a real crash, disk error, or numerical blow-up.
+ *
+ * Production code plants named fault sites at the places that can
+ * fail in the field (`faultCheck("io_write")` before a file write,
+ * `faultMaybeNan("eval_nan", v)` on an evaluation result, epoch /
+ * generation / iteration boundaries in the long-running loops). A
+ * disarmed site is a single relaxed atomic load -- effectively free.
+ *
+ * Faults are armed either programmatically (tests) or through the
+ * VAESA_FAULT environment variable, a comma-separated list of
+ * `site:N` entries meaning "the Nth hit of `site` fires once":
+ *
+ *   VAESA_FAULT=io_write:3,eval_nan:17
+ *
+ * fails the 3rd I/O write and injects a NaN into the 17th
+ * evaluation. Firing is deterministic: the same program with the
+ * same spec fails at exactly the same operation every run.
+ */
+
+#ifndef VAESA_UTIL_FAULT_HH
+#define VAESA_UTIL_FAULT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace vaesa {
+
+/** Thrown when an armed fault site fires in throwing mode. */
+class InjectedFault : public std::runtime_error
+{
+  public:
+    /** @param site the fault site that fired. */
+    explicit InjectedFault(const std::string &site)
+        : std::runtime_error("injected fault at site '" + site + "'"),
+          site_(site)
+    {
+    }
+
+    /** The fault site that fired. */
+    const std::string &site() const { return site_; }
+
+  private:
+    std::string site_;
+};
+
+/**
+ * Process-wide registry of armed fault sites and their hit counters.
+ * Thread-safe: sites may be hit from pool workers.
+ */
+class FaultInjector
+{
+  public:
+    /** The process-wide instance (parses VAESA_FAULT once). */
+    static FaultInjector &instance();
+
+    /**
+     * Arm a site: its nth hit (1-based) fires exactly once.
+     * Re-arming a site resets its hit counter.
+     */
+    void arm(const std::string &site, std::uint64_t nth);
+
+    /** Disarm every site and reset all hit counters. */
+    void reset();
+
+    /**
+     * Count a hit of the site; true exactly when this hit is the
+     * armed one. Unarmed sites return false without locking.
+     */
+    bool shouldFire(const char *site);
+
+    /** Count a hit; throw InjectedFault when it fires. */
+    void check(const char *site);
+
+    /** Count a hit; return NaN instead of value when it fires. */
+    double maybeNan(const char *site, double value);
+
+    /** Hits recorded for a site since the last arm/reset. */
+    std::uint64_t hitCount(const std::string &site) const;
+
+    /**
+     * Parse a VAESA_FAULT-style spec into this registry.
+     * @return empty string on success, a description of the first
+     *         malformed entry otherwise (registry unchanged on error).
+     */
+    std::string configure(const std::string &spec);
+
+  private:
+    FaultInjector();
+
+    struct Plan
+    {
+        std::uint64_t nth = 0;   // 1-based firing hit; 0 = disarmed
+        std::uint64_t hits = 0;  // hits since arming
+        bool fired = false;      // fire-once latch
+    };
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Plan> plans_;
+    std::atomic<bool> anyArmed_{false};
+};
+
+/** Shorthand: count a hit of site, throwing InjectedFault on fire. */
+inline void
+faultCheck(const char *site)
+{
+    FaultInjector::instance().check(site);
+}
+
+/** Shorthand: count a hit of site, NaN-poisoning value on fire. */
+inline double
+faultMaybeNan(const char *site, double value)
+{
+    return FaultInjector::instance().maybeNan(site, value);
+}
+
+} // namespace vaesa
+
+#endif // VAESA_UTIL_FAULT_HH

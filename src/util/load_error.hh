@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Structured error reporting for every loader in the tree.
+ *
+ * Historically a corrupt checkpoint or a malformed CSV row called
+ * fatal() and took the whole process down -- unacceptable once runs
+ * last hours and a campaign spans many workers. Loaders now return a
+ * LoadError (via Expected<T>) describing what failed and where, so
+ * callers can fall back to a previous checkpoint, skip a file, or
+ * print a diagnostic and exit cleanly. No loader in src/ may abort
+ * the process on bad input.
+ */
+
+#ifndef VAESA_UTIL_LOAD_ERROR_HH
+#define VAESA_UTIL_LOAD_ERROR_HH
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/logging.hh"
+
+namespace vaesa {
+
+/** What a loader found wrong with its input. */
+struct LoadError
+{
+    /** Failure category (stable across message-text changes). */
+    enum class Kind {
+        /** The file could not be opened or read at all. */
+        OpenFailed,
+
+        /** The magic word does not match the expected format. */
+        BadMagic,
+
+        /** The format version is not supported by this build. */
+        BadVersion,
+
+        /** The input ended before the format says it should. */
+        Truncated,
+
+        /** A record checksum does not match its payload. */
+        BadChecksum,
+
+        /** Structurally invalid content (bad field, bad row, ...). */
+        Malformed,
+
+        /** Content is well-formed but incompatible with the target
+         *  (parameter name/shape mismatch, wrong layer pool, ...). */
+        ShapeMismatch,
+
+        /** The file could not be written (checkpoint save path). */
+        WriteFailed,
+    };
+
+    /** Failure category. */
+    Kind kind = Kind::Malformed;
+
+    /** File the error occurred in (empty for in-memory streams). */
+    std::string file;
+
+    /** 1-based line for text formats; 0 when not applicable. */
+    std::size_t line = 0;
+
+    /** Human-readable description of the problem. */
+    std::string message;
+
+    /** "file:line: message" (omitting empty parts). */
+    std::string
+    describe() const
+    {
+        std::string out;
+        if (!file.empty()) {
+            out += file;
+            if (line > 0)
+                out += ":" + std::to_string(line);
+            out += ": ";
+        }
+        out += message;
+        return out;
+    }
+};
+
+/** Build a LoadError in one expression. */
+inline LoadError
+makeLoadError(LoadError::Kind kind, std::string file, std::size_t line,
+              std::string message)
+{
+    LoadError err;
+    err.kind = kind;
+    err.file = std::move(file);
+    err.line = line;
+    err.message = std::move(message);
+    return err;
+}
+
+/**
+ * A value or the LoadError explaining why there is none. The minimal
+ * subset of std::expected (C++23) the loaders need, so call sites read
+ * as `if (result) use(result.value()) else report(result.error())`.
+ */
+template <typename T>
+class Expected
+{
+  public:
+    /** Success. */
+    Expected(T value) : state_(std::move(value)) {}
+
+    /** Failure. */
+    Expected(LoadError error) : state_(std::move(error)) {}
+
+    /** True when a value is present. */
+    bool ok() const { return std::holds_alternative<T>(state_); }
+
+    /** True when a value is present. */
+    explicit operator bool() const { return ok(); }
+
+    /** The value; panics when called on an error. */
+    T &
+    value()
+    {
+        if (!ok())
+            panic("Expected::value() on error: ",
+                  std::get<LoadError>(state_).describe());
+        return std::get<T>(state_);
+    }
+
+    /** The value; panics when called on an error. */
+    const T &
+    value() const
+    {
+        if (!ok())
+            panic("Expected::value() on error: ",
+                  std::get<LoadError>(state_).describe());
+        return std::get<T>(state_);
+    }
+
+    /** The error; panics when called on a value. */
+    const LoadError &
+    error() const
+    {
+        if (ok())
+            panic("Expected::error() on a success value");
+        return std::get<LoadError>(state_);
+    }
+
+  private:
+    std::variant<T, LoadError> state_;
+};
+
+} // namespace vaesa
+
+#endif // VAESA_UTIL_LOAD_ERROR_HH

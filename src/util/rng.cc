@@ -127,4 +127,24 @@ Rng::split()
     return Rng(next() ^ 0xA5A5A5A55A5A5A5Aull);
 }
 
+RngState
+Rng::state() const
+{
+    RngState snapshot;
+    for (int i = 0; i < 4; ++i)
+        snapshot.words[i] = state_[i];
+    snapshot.hasCachedNormal = hasCachedNormal_;
+    snapshot.cachedNormal = cachedNormal_;
+    return snapshot;
+}
+
+void
+Rng::setState(const RngState &state)
+{
+    for (int i = 0; i < 4; ++i)
+        state_[i] = state.words[i];
+    hasCachedNormal_ = state.hasCachedNormal;
+    cachedNormal_ = state.cachedNormal;
+}
+
 } // namespace vaesa

@@ -17,6 +17,27 @@
 namespace vaesa {
 
 /**
+ * Complete serializable state of an Rng. Restoring it resumes the
+ * stream bit-for-bit (including the Box-Muller cached normal), which
+ * is what makes killed-and-resumed runs identical to uninterrupted
+ * ones.
+ */
+struct RngState
+{
+    /** xoshiro256++ state words. */
+    std::uint64_t words[4] = {0, 0, 0, 0};
+
+    /** Whether a second Box-Muller normal is cached. */
+    bool hasCachedNormal = false;
+
+    /** The cached normal (meaningful only when flagged). */
+    double cachedNormal = 0.0;
+
+    /** Exact equality (for resume tests). */
+    bool operator==(const RngState &other) const = default;
+};
+
+/**
  * A small, fast, explicitly-seeded random number generator.
  *
  * Implements xoshiro256++ with splitmix64 seeding. Provides the handful
@@ -56,6 +77,12 @@ class Rng
 
     /** Spawn an independent child generator (for parallel streams). */
     Rng split();
+
+    /** Snapshot the full generator state (for checkpoints). */
+    RngState state() const;
+
+    /** Restore a snapshot taken by state(). */
+    void setState(const RngState &state);
 
   private:
     std::uint64_t state_[4];

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Binary serialization of RngState for checkpoint payloads. Shared by
+ * training checkpoints (vaesa/) and search snapshots (dse/): both must
+ * capture the generator exactly so a resumed run draws the same stream
+ * as an uninterrupted one.
+ */
+
+#ifndef VAESA_UTIL_STATE_IO_HH
+#define VAESA_UTIL_STATE_IO_HH
+
+#include "util/atomic_io.hh"
+#include "util/rng.hh"
+
+namespace vaesa {
+
+/** Append an RngState to a record payload. */
+inline void
+putRngState(ByteBuffer &out, const RngState &state)
+{
+    for (std::uint64_t word : state.words)
+        out.putU64(word);
+    out.putU32(state.hasCachedNormal ? 1 : 0);
+    out.putF64(state.cachedNormal);
+}
+
+/**
+ * Read an RngState written by putRngState().
+ * @return false on payload overrun or an invalid flag byte.
+ */
+inline bool
+readRngState(ByteReader &in, RngState &state)
+{
+    for (std::uint64_t &word : state.words)
+        word = in.getU64();
+    const std::uint32_t flag = in.getU32();
+    state.cachedNormal = in.getF64();
+    if (in.failed() || flag > 1)
+        return false;
+    state.hasCachedNormal = flag == 1;
+    return true;
+}
+
+} // namespace vaesa
+
+#endif // VAESA_UTIL_STATE_IO_HH

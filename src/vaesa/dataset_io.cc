@@ -1,10 +1,10 @@
 #include "vaesa/dataset_io.hh"
 
-#include <fstream>
+#include <cstdlib>
 #include <sstream>
 
+#include "util/atomic_io.hh"
 #include "util/csv.hh"
-#include "util/logging.hh"
 
 namespace vaesa {
 
@@ -28,51 +28,78 @@ layerFromFields(const std::string &name,
     return layer;
 }
 
-} // namespace
-
+/** Exception-free integer cell parse (whole cell must be a number). */
 bool
-saveDatasetCsv(const std::string &path, const Dataset &data)
+parseI64(const std::string &cell, std::int64_t &out)
 {
-    std::ofstream probe(path);
-    if (!probe)
+    if (cell.empty())
         return false;
-    probe.close();
-
-    CsvWriter csv(path);
-    csv.header({"kind", "name_or_index", "f0", "f1", "f2", "f3",
-                "f4", "f5", "f6", "f7"});
-    for (const LayerShape &layer : data.layerPool()) {
-        csv.row({"layer", layer.name, std::to_string(layer.r),
-                 std::to_string(layer.s), std::to_string(layer.p),
-                 std::to_string(layer.q), std::to_string(layer.c),
-                 std::to_string(layer.k),
-                 std::to_string(layer.strideW),
-                 std::to_string(layer.strideH)});
-    }
-    for (const DataSample &s : data.samples()) {
-        csv.row({"sample", std::to_string(s.layerIndex),
-                 std::to_string(s.config.numPes),
-                 std::to_string(s.config.numMacs),
-                 std::to_string(s.config.accumBufBytes),
-                 std::to_string(s.config.weightBufBytes),
-                 std::to_string(s.config.inputBufBytes),
-                 std::to_string(s.config.globalBufBytes),
-                 CsvWriter::cell(s.logLatency),
-                 CsvWriter::cell(s.logEnergy)});
-    }
-    return true;
+    char *end = nullptr;
+    out = std::strtoll(cell.c_str(), &end, 10);
+    return end == cell.c_str() + cell.size();
 }
 
-std::optional<Dataset>
+/** Exception-free double cell parse (whole cell must be a number). */
+bool
+parseF64(const std::string &cell, double &out)
+{
+    if (cell.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtod(cell.c_str(), &end);
+    return end == cell.c_str() + cell.size();
+}
+
+LoadError
+rowError(const std::string &path, std::size_t line,
+         const std::string &message)
+{
+    return makeLoadError(LoadError::Kind::Malformed, path, line,
+                         message);
+}
+
+} // namespace
+
+std::optional<LoadError>
+saveDatasetCsv(const std::string &path, const Dataset &data)
+{
+    std::string out;
+    out += CsvWriter::formatRow({"kind", "name_or_index", "f0", "f1",
+                                 "f2", "f3", "f4", "f5", "f6", "f7"});
+    for (const LayerShape &layer : data.layerPool()) {
+        out += CsvWriter::formatRow(
+            {"layer", layer.name, std::to_string(layer.r),
+             std::to_string(layer.s), std::to_string(layer.p),
+             std::to_string(layer.q), std::to_string(layer.c),
+             std::to_string(layer.k), std::to_string(layer.strideW),
+             std::to_string(layer.strideH)});
+    }
+    for (const DataSample &s : data.samples()) {
+        out += CsvWriter::formatRow(
+            {"sample", std::to_string(s.layerIndex),
+             std::to_string(s.config.numPes),
+             std::to_string(s.config.numMacs),
+             std::to_string(s.config.accumBufBytes),
+             std::to_string(s.config.weightBufBytes),
+             std::to_string(s.config.inputBufBytes),
+             std::to_string(s.config.globalBufBytes),
+             CsvWriter::cell(s.logLatency),
+             CsvWriter::cell(s.logEnergy)});
+    }
+    return atomicWriteFile(path, out);
+}
+
+Expected<Dataset>
 loadDatasetCsv(const std::string &path)
 {
-    std::ifstream in(path);
-    if (!in)
-        return std::nullopt;
+    Expected<std::string> bytes = readFileBytes(path);
+    if (!bytes)
+        return bytes.error();
 
     std::vector<LayerShape> pool;
     std::vector<DataSample> samples;
 
+    std::istringstream in(bytes.value());
     std::string line;
     std::getline(in, line); // header
     std::size_t line_no = 1;
@@ -86,54 +113,76 @@ loadDatasetCsv(const std::string &path)
         while (std::getline(iss, cell, ','))
             cells.push_back(cell);
         if (cells.size() != 10)
-            fatal("loadDatasetCsv: malformed row at line ", line_no,
-                  " of '", path, "'");
+            return rowError(path, line_no,
+                            "malformed row: expected 10 cells, got " +
+                                std::to_string(cells.size()));
         if (cells[0] == "layer") {
             std::array<std::int64_t, 8> dims{};
             for (int i = 0; i < 8; ++i)
-                dims[i] = std::stoll(cells[2 + i]);
+                if (!parseI64(cells[2 + i], dims[i]))
+                    return rowError(path, line_no,
+                                    "bad layer dimension '" +
+                                        cells[2 + i] + "'");
             pool.push_back(layerFromFields(cells[1], dims));
         } else if (cells[0] == "sample") {
             DataSample s;
-            s.layerIndex =
-                static_cast<std::size_t>(std::stoull(cells[1]));
-            s.config.numPes = std::stoll(cells[2]);
-            s.config.numMacs = std::stoll(cells[3]);
-            s.config.accumBufBytes = std::stoll(cells[4]);
-            s.config.weightBufBytes = std::stoll(cells[5]);
-            s.config.inputBufBytes = std::stoll(cells[6]);
-            s.config.globalBufBytes = std::stoll(cells[7]);
-            s.logLatency = std::stod(cells[8]);
-            s.logEnergy = std::stod(cells[9]);
+            std::int64_t layer_index = 0;
+            std::array<std::int64_t, 6> config{};
+            if (!parseI64(cells[1], layer_index) || layer_index < 0)
+                return rowError(path, line_no,
+                                "bad layer index '" + cells[1] + "'");
+            for (int i = 0; i < 6; ++i)
+                if (!parseI64(cells[2 + i], config[i]))
+                    return rowError(path, line_no,
+                                    "bad configuration value '" +
+                                        cells[2 + i] + "'");
+            if (!parseF64(cells[8], s.logLatency) ||
+                !parseF64(cells[9], s.logEnergy))
+                return rowError(path, line_no, "bad label value");
+            s.layerIndex = static_cast<std::size_t>(layer_index);
+            s.config.numPes = config[0];
+            s.config.numMacs = config[1];
+            s.config.accumBufBytes = config[2];
+            s.config.weightBufBytes = config[3];
+            s.config.inputBufBytes = config[4];
+            s.config.globalBufBytes = config[5];
             samples.push_back(std::move(s));
         } else {
-            fatal("loadDatasetCsv: unknown row kind '", cells[0],
-                  "' at line ", line_no);
+            return rowError(path, line_no,
+                            "unknown row kind '" + cells[0] + "'");
         }
     }
     if (pool.empty() || samples.empty())
-        fatal("loadDatasetCsv: '", path,
-              "' contains no layers or no samples");
+        return makeLoadError(LoadError::Kind::Malformed, path, 0,
+                             "contains no layers or no samples");
 
     // Recompute the feature vectors from the loaded configs/layers.
     for (DataSample &s : samples) {
         if (s.layerIndex >= pool.size())
-            fatal("loadDatasetCsv: sample references layer ",
-                  s.layerIndex, " of ", pool.size());
+            return makeLoadError(
+                LoadError::Kind::Malformed, path, 0,
+                "sample references layer " +
+                    std::to_string(s.layerIndex) + " of " +
+                    std::to_string(pool.size()));
         s.hwFeatures = designSpace().toFeatures(s.config);
         s.layerFeatures = pool[s.layerIndex].toFeatures();
     }
     return Dataset(std::move(samples), std::move(pool));
 }
 
-Dataset
+Expected<Dataset>
 mergeDatasets(const Dataset &a, const Dataset &b)
 {
     if (a.layerPool().size() != b.layerPool().size())
-        fatal("mergeDatasets: layer pools differ in size");
+        return makeLoadError(LoadError::Kind::ShapeMismatch, "", 0,
+                             "mergeDatasets: layer pools differ in "
+                             "size");
     for (std::size_t i = 0; i < a.layerPool().size(); ++i) {
         if (!a.layerPool()[i].sameShape(b.layerPool()[i]))
-            fatal("mergeDatasets: layer pools differ at index ", i);
+            return makeLoadError(
+                LoadError::Kind::ShapeMismatch, "", 0,
+                "mergeDatasets: layer pools differ at index " +
+                    std::to_string(i));
     }
     std::vector<DataSample> merged = a.samples();
     merged.insert(merged.end(), b.samples().begin(),

@@ -10,35 +10,37 @@
 #ifndef VAESA_VAESA_DATASET_IO_HH
 #define VAESA_VAESA_DATASET_IO_HH
 
-#include <optional>
 #include <string>
 
+#include "util/load_error.hh"
 #include "vaesa/dataset.hh"
 
 namespace vaesa {
 
 /**
- * Write a dataset to CSV: one row per sample with the configuration
- * (6 raw parameter values), the layer-pool index, and the log2
- * latency/energy labels. The layer pool itself is written as a
- * sibling header block (rows starting with "layer").
- * @return true on success.
+ * Write a dataset to CSV, atomically: one row per sample with the
+ * configuration (6 raw parameter values), the layer-pool index, and
+ * the log2 latency/energy labels. The layer pool itself is written
+ * as a sibling header block (rows starting with "layer").
+ * @return nullopt on success, the write error otherwise.
  */
-bool saveDatasetCsv(const std::string &path, const Dataset &data);
+std::optional<LoadError> saveDatasetCsv(const std::string &path,
+                                        const Dataset &data);
 
 /**
  * Read a dataset written by saveDatasetCsv(). Normalizers are
  * re-fitted from the loaded samples exactly as the builder would.
- * @return nullopt when the file cannot be opened; fatal() on
- * malformed content.
+ * @return the dataset, or a LoadError carrying the file name and the
+ *         1-based line number of the offending row.
  */
-std::optional<Dataset> loadDatasetCsv(const std::string &path);
+Expected<Dataset> loadDatasetCsv(const std::string &path);
 
 /**
  * Merge two datasets over the same layer pool (the grow-and-retrain
  * flow). Normalizers are re-fitted over the union.
+ * @return the merged dataset, or ShapeMismatch when the pools differ.
  */
-Dataset mergeDatasets(const Dataset &a, const Dataset &b);
+Expected<Dataset> mergeDatasets(const Dataset &a, const Dataset &b);
 
 } // namespace vaesa
 

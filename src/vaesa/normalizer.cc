@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <istream>
-#include <ostream>
 
 #include "util/logging.hh"
 
@@ -115,32 +113,27 @@ Normalizer::setBounds(const std::vector<double> &lo,
 }
 
 void
-Normalizer::serialize(std::ostream &out) const
+Normalizer::serialize(ByteBuffer &out) const
 {
-    const std::uint64_t d = lo_.size();
-    out.write(reinterpret_cast<const char *>(&d), sizeof(d));
-    out.write(reinterpret_cast<const char *>(lo_.data()),
-              static_cast<std::streamsize>(d * sizeof(double)));
-    out.write(reinterpret_cast<const char *>(span_.data()),
-              static_cast<std::streamsize>(d * sizeof(double)));
+    out.putU64(lo_.size());
+    out.putBytes(lo_.data(), lo_.size() * sizeof(double));
+    out.putBytes(span_.data(), span_.size() * sizeof(double));
 }
 
-Normalizer
-Normalizer::deserialize(std::istream &in)
+Expected<Normalizer>
+Normalizer::deserialize(ByteReader &in)
 {
-    std::uint64_t d = 0;
-    in.read(reinterpret_cast<char *>(&d), sizeof(d));
-    if (!in || d > (1u << 20))
-        fatal("Normalizer::deserialize: corrupt stream");
+    const std::uint64_t d = in.getU64();
+    if (in.failed() || d > (1u << 20))
+        return makeLoadError(LoadError::Kind::Malformed, "", 0,
+                             "corrupt normalizer dimension");
     Normalizer norm;
     norm.lo_.resize(d);
     norm.span_.resize(d);
-    in.read(reinterpret_cast<char *>(norm.lo_.data()),
-            static_cast<std::streamsize>(d * sizeof(double)));
-    in.read(reinterpret_cast<char *>(norm.span_.data()),
-            static_cast<std::streamsize>(d * sizeof(double)));
-    if (!in)
-        fatal("Normalizer::deserialize: truncated stream");
+    if (!in.getBytes(norm.lo_.data(), d * sizeof(double)) ||
+        !in.getBytes(norm.span_.data(), d * sizeof(double)))
+        return makeLoadError(LoadError::Kind::Truncated, "", 0,
+                             "truncated normalizer payload");
     return norm;
 }
 

@@ -10,10 +10,10 @@
 #ifndef VAESA_VAESA_NORMALIZER_HH
 #define VAESA_VAESA_NORMALIZER_HH
 
-#include <iosfwd>
 #include <vector>
 
 #include "tensor/matrix.hh"
+#include "util/atomic_io.hh"
 
 namespace vaesa {
 
@@ -54,11 +54,11 @@ class Normalizer
     void setBounds(const std::vector<double> &lo,
                    const std::vector<double> &hi);
 
-    /** Write the exact internal state to a binary stream. */
-    void serialize(std::ostream &out) const;
+    /** Append the exact internal state to a record payload. */
+    void serialize(ByteBuffer &out) const;
 
-    /** Read state written by serialize(); fatal() on corruption. */
-    static Normalizer deserialize(std::istream &in);
+    /** Read state written by serialize(); LoadError on corruption. */
+    static Expected<Normalizer> deserialize(ByteReader &in);
 
     /** Exact state equality (for round-trip tests). */
     bool operator==(const Normalizer &other) const = default;

@@ -1,9 +1,9 @@
 #include "vaesa/serialize.hh"
 
 #include <cstdint>
-#include <fstream>
 
 #include "nn/serialize.hh"
+#include "util/atomic_io.hh"
 #include "util/logging.hh"
 
 namespace vaesa {
@@ -11,122 +11,121 @@ namespace vaesa {
 namespace {
 
 constexpr std::uint32_t frameworkMagic = 0x56534657; // "VSFW"
-constexpr std::uint32_t frameworkVersion = 1;
+constexpr std::uint32_t frameworkVersion = 2;
 
 void
-writeU64(std::ostream &out, std::uint64_t value)
+putSizes(ByteBuffer &out, const std::vector<std::size_t> &sizes)
 {
-    out.write(reinterpret_cast<const char *>(&value), sizeof(value));
-}
-
-std::uint64_t
-readU64(std::istream &in)
-{
-    std::uint64_t value = 0;
-    in.read(reinterpret_cast<char *>(&value), sizeof(value));
-    return value;
-}
-
-void
-writeF64(std::ostream &out, double value)
-{
-    out.write(reinterpret_cast<const char *>(&value), sizeof(value));
-}
-
-double
-readF64(std::istream &in)
-{
-    double value = 0.0;
-    in.read(reinterpret_cast<char *>(&value), sizeof(value));
-    return value;
-}
-
-void
-writeSizes(std::ostream &out, const std::vector<std::size_t> &sizes)
-{
-    writeU64(out, sizes.size());
+    out.putU64(sizes.size());
     for (std::size_t s : sizes)
-        writeU64(out, s);
+        out.putU64(s);
 }
 
-std::vector<std::size_t>
-readSizes(std::istream &in)
+bool
+getSizes(ByteReader &in, std::vector<std::size_t> &sizes)
 {
-    const std::uint64_t n = readU64(in);
-    if (n > 64)
-        fatal("loadFramework: corrupt layer-size list");
-    std::vector<std::size_t> sizes(n);
+    const std::uint64_t n = in.getU64();
+    if (in.failed() || n > 64)
+        return false;
+    sizes.resize(n);
     for (auto &s : sizes)
-        s = static_cast<std::size_t>(readU64(in));
-    return sizes;
+        s = static_cast<std::size_t>(in.getU64());
+    return !in.failed();
+}
+
+/** Load one snapshot file; no fallback (loadFramework adds that). */
+Expected<std::unique_ptr<VaesaFramework>>
+loadFrameworkFile(const std::string &path)
+{
+    Expected<std::string> bytes = readFileBytes(path);
+    if (!bytes)
+        return bytes.error();
+    RecordReader in(bytes.value(), path);
+    std::uint32_t version = 0;
+    if (auto err = in.readHeader(frameworkMagic, frameworkVersion,
+                                 frameworkVersion, &version))
+        return *err;
+
+    Expected<std::string> options_record = in.readRecord();
+    if (!options_record)
+        return options_record.error();
+    ByteReader options_reader(options_record.value().data(),
+                              options_record.value().size());
+    FrameworkOptions options;
+    options.vae.inputDim =
+        static_cast<std::size_t>(options_reader.getU64());
+    if (!getSizes(options_reader, options.vae.hiddenDims))
+        return in.makeError(LoadError::Kind::Malformed,
+                            "corrupt VAE hidden-layer list");
+    options.vae.latentDim =
+        static_cast<std::size_t>(options_reader.getU64());
+    options.vae.leakySlope = options_reader.getF64();
+    if (!getSizes(options_reader, options.predictorHidden) ||
+        !options_reader.atEnd())
+        return in.makeError(LoadError::Kind::Malformed,
+                            "corrupt snapshot options record");
+
+    Expected<std::string> norm_record = in.readRecord();
+    if (!norm_record)
+        return norm_record.error();
+    ByteReader norm_reader(norm_record.value().data(),
+                           norm_record.value().size());
+    Normalizer norms[4];
+    for (Normalizer &norm : norms) {
+        Expected<Normalizer> loaded =
+            Normalizer::deserialize(norm_reader);
+        if (!loaded)
+            return in.makeError(loaded.error().kind,
+                                loaded.error().message);
+        norm = loaded.value();
+    }
+    if (!norm_reader.atEnd())
+        return in.makeError(LoadError::Kind::Malformed,
+                            "trailing bytes in normalizer record");
+
+    auto framework = std::make_unique<VaesaFramework>(
+        options, /*seed=*/0, norms[0], norms[1], norms[2], norms[3]);
+    if (auto err = nn::readParameterRecords(in,
+                                            framework->parameters()))
+        return *err;
+    if (!in.atEnd())
+        return in.makeError(LoadError::Kind::Malformed,
+                            "trailing bytes after last parameter");
+    return framework;
 }
 
 } // namespace
 
-bool
+std::optional<LoadError>
 saveFramework(const std::string &path, VaesaFramework &framework)
 {
-    std::ofstream out(path, std::ios::binary);
-    if (!out) {
-        warn("saveFramework: cannot open '", path, "'");
-        return false;
-    }
-    out.write(reinterpret_cast<const char *>(&frameworkMagic),
-              sizeof(frameworkMagic));
-    out.write(reinterpret_cast<const char *>(&frameworkVersion),
-              sizeof(frameworkVersion));
+    RecordWriter out(frameworkMagic, frameworkVersion);
 
     const FrameworkOptions &options = framework.frameworkOptions();
-    writeU64(out, options.vae.inputDim);
-    writeSizes(out, options.vae.hiddenDims);
-    writeU64(out, options.vae.latentDim);
-    writeF64(out, options.vae.leakySlope);
-    writeSizes(out, options.predictorHidden);
+    ByteBuffer options_payload;
+    options_payload.putU64(options.vae.inputDim);
+    putSizes(options_payload, options.vae.hiddenDims);
+    options_payload.putU64(options.vae.latentDim);
+    options_payload.putF64(options.vae.leakySlope);
+    putSizes(options_payload, options.predictorHidden);
+    out.writeRecord(options_payload);
 
-    framework.hwNormalizer().serialize(out);
-    framework.layerNormalizer().serialize(out);
-    framework.latencyNormalizer().serialize(out);
-    framework.energyNormalizer().serialize(out);
+    ByteBuffer norm_payload;
+    framework.hwNormalizer().serialize(norm_payload);
+    framework.layerNormalizer().serialize(norm_payload);
+    framework.latencyNormalizer().serialize(norm_payload);
+    framework.energyNormalizer().serialize(norm_payload);
+    out.writeRecord(norm_payload);
 
-    nn::saveParametersToStream(out, framework.parameters());
-    return static_cast<bool>(out);
+    nn::writeParameterRecords(out, framework.parameters());
+    return atomicWriteFileWithRotation(path, out.bytes());
 }
 
-std::unique_ptr<VaesaFramework>
+Expected<std::unique_ptr<VaesaFramework>>
 loadFramework(const std::string &path)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        return nullptr;
-    std::uint32_t magic = 0;
-    std::uint32_t version = 0;
-    in.read(reinterpret_cast<char *>(&magic), sizeof(magic));
-    in.read(reinterpret_cast<char *>(&version), sizeof(version));
-    if (magic != frameworkMagic)
-        fatal("loadFramework: '", path,
-              "' is not a VAESA framework snapshot");
-    if (version != frameworkVersion)
-        fatal("loadFramework: unsupported snapshot version ",
-              version);
-
-    FrameworkOptions options;
-    options.vae.inputDim = static_cast<std::size_t>(readU64(in));
-    options.vae.hiddenDims = readSizes(in);
-    options.vae.latentDim = static_cast<std::size_t>(readU64(in));
-    options.vae.leakySlope = readF64(in);
-    options.predictorHidden = readSizes(in);
-    if (!in)
-        fatal("loadFramework: truncated snapshot header");
-
-    const Normalizer hw = Normalizer::deserialize(in);
-    const Normalizer layer = Normalizer::deserialize(in);
-    const Normalizer lat = Normalizer::deserialize(in);
-    const Normalizer en = Normalizer::deserialize(in);
-
-    auto framework = std::make_unique<VaesaFramework>(
-        options, /*seed=*/0, hw, layer, lat, en);
-    nn::loadParametersFromStream(in, framework->parameters());
-    return framework;
+    return loadWithFallback<std::unique_ptr<VaesaFramework>>(
+        path, loadFrameworkFile);
 }
 
 } // namespace vaesa

@@ -4,6 +4,10 @@
  * and every learnable parameter in one file, so a trained VAESA
  * instance can be restored in a fresh process without the training
  * dataset (train once, search many times).
+ *
+ * Snapshots use the checksummed record framing, are written with
+ * last-good rotation (`path` + `path.prev`), and load with automatic
+ * fallback to the rotated copy when the primary is corrupt.
  */
 
 #ifndef VAESA_VAESA_SERIALIZE_HH
@@ -12,22 +16,26 @@
 #include <memory>
 #include <string>
 
+#include "util/load_error.hh"
 #include "vaesa/framework.hh"
 
 namespace vaesa {
 
 /**
- * Save a complete framework snapshot.
- * @return true on success (false when the file cannot be written).
+ * Save a complete framework snapshot atomically, rotating any
+ * existing snapshot at path to `path.prev` first.
+ * @return nullopt on success, the write error otherwise.
  */
-bool saveFramework(const std::string &path, VaesaFramework &framework);
+std::optional<LoadError> saveFramework(const std::string &path,
+                                       VaesaFramework &framework);
 
 /**
- * Restore a snapshot written by saveFramework().
- * @return the restored instance, or nullptr when the file cannot be
- * opened; fatal() on a corrupt or incompatible snapshot.
+ * Restore a snapshot written by saveFramework(). When the primary
+ * file is missing or corrupt but `path.prev` loads, the rotated copy
+ * is returned and a warning is logged.
+ * @return the restored instance, or the error from the primary file.
  */
-std::unique_ptr<VaesaFramework>
+Expected<std::unique_ptr<VaesaFramework>>
 loadFramework(const std::string &path);
 
 } // namespace vaesa

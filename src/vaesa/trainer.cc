@@ -5,7 +5,9 @@
 #include "nn/loss.hh"
 #include "nn/optim.hh"
 #include "util/contracts.hh"
+#include "util/fault.hh"
 #include "util/logging.hh"
+#include "vaesa/checkpoint.hh"
 
 namespace vaesa {
 
@@ -152,9 +154,38 @@ Trainer::train(const Matrix &hw_features, const Matrix &layer_features,
                const Matrix &latency_labels,
                const Matrix &energy_labels, Rng &rng)
 {
+    if (options_.checkpointEvery == 0)
+        fatal("Trainer: checkpointEvery must be >= 1");
+    const bool checkpointing = !options_.checkpointPath.empty();
+
     std::vector<EpochStats> history;
     history.reserve(options_.epochs);
-    for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::size_t start_epoch = 0;
+
+    if (checkpointing) {
+        Expected<TrainCheckpoint> resumed =
+            loadTrainCheckpoint(options_.checkpointPath, *optimizer_);
+        if (resumed) {
+            // Checkpoints are cut at epoch boundaries with the full
+            // RNG state, so continuing from one replays the exact
+            // stream an uninterrupted run would have drawn.
+            start_epoch = static_cast<std::size_t>(
+                resumed.value().epochsDone);
+            history = std::move(resumed.value().history);
+            rng.setState(resumed.value().rng);
+            inform("resuming training from '",
+                   options_.checkpointPath, "' at epoch ",
+                   start_epoch, "/", options_.epochs);
+        } else if (resumed.error().kind !=
+                   LoadError::Kind::OpenFailed) {
+            warn("ignoring unusable checkpoint: ",
+                 resumed.error().describe());
+        }
+    }
+
+    for (std::size_t epoch = start_epoch; epoch < options_.epochs;
+         ++epoch) {
+        faultCheck("train_epoch");
         history.push_back(runEpoch(hw_features, layer_features,
                                    latency_labels, energy_labels,
                                    rng, true));
@@ -163,6 +194,17 @@ Trainer::train(const Matrix &hw_features, const Matrix &layer_features,
                  history.back().kldLoss, " lat=",
                  history.back().latencyLoss, " en=",
                  history.back().energyLoss);
+        if (checkpointing &&
+            ((epoch + 1) % options_.checkpointEvery == 0 ||
+             epoch + 1 == options_.epochs)) {
+            TrainCheckpoint checkpoint;
+            checkpoint.epochsDone = epoch + 1;
+            checkpoint.history = history;
+            checkpoint.rng = rng.state();
+            if (auto err = saveTrainCheckpoint(
+                    options_.checkpointPath, checkpoint, *optimizer_))
+                warn("checkpoint save failed: ", err->describe());
+        }
     }
     return history;
 }

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "nn/optim.hh"
@@ -39,6 +40,17 @@ struct TrainOptions
 
     /** Weight on the summed predictor MSE losses (Eq. 2). */
     double predictorWeight = 1.0;
+
+    /**
+     * When non-empty, write a crash-safe training checkpoint to this
+     * path at epoch boundaries, and resume from it automatically when
+     * one exists. A resumed run is bit-identical to an uninterrupted
+     * one with the same seed.
+     */
+    std::string checkpointPath;
+
+    /** Checkpoint after every Nth completed epoch (must be >= 1). */
+    std::size_t checkpointEvery = 1;
 };
 
 /** Per-epoch mean losses. */
@@ -58,6 +70,9 @@ struct EpochStats
 
     /** Weighted total (Eq. 2). */
     double totalLoss = 0.0;
+
+    /** Exact equality (for resume tests). */
+    bool operator==(const EpochStats &other) const = default;
 };
 
 /** Joint VAE + predictor trainer. */

@@ -1,15 +1,29 @@
 #include "workload/parse.hh"
 
 #include <cctype>
-#include <fstream>
+#include <cstdlib>
 #include <sstream>
 
-#include "util/logging.hh"
+#include "util/atomic_io.hh"
 
 namespace vaesa {
 
+namespace {
+
+/** Report a malformed line without aborting the process. */
 std::optional<LayerShape>
-parseLayerLine(const std::string &line, const std::string &default_name)
+lineError(std::string *error, const std::string &message)
+{
+    if (error)
+        *error = message;
+    return std::nullopt;
+}
+
+} // namespace
+
+std::optional<LayerShape>
+parseLayerLine(const std::string &line, const std::string &default_name,
+               std::string *error)
 {
     // Strip comments and whitespace-only lines.
     std::string body = line;
@@ -33,9 +47,11 @@ parseLayerLine(const std::string &line, const std::string &default_name)
         first = 1;
     }
     if (tokens.size() - first != 8)
-        fatal("parseLayerLine: expected 8 dimensions (R S P Q C K "
-              "strideW strideH), got ",
-              tokens.size() - first, " in '", line, "'");
+        return lineError(
+            error, "expected 8 dimensions (R S P Q C K strideW "
+                   "strideH), got " +
+                       std::to_string(tokens.size() - first) + " in '" +
+                       line + "'");
 
     std::int64_t dims[8];
     for (int i = 0; i < 8; ++i) {
@@ -43,8 +59,9 @@ parseLayerLine(const std::string &line, const std::string &default_name)
         char *end = nullptr;
         dims[i] = std::strtoll(t.c_str(), &end, 10);
         if (end == t.c_str() || *end)
-            fatal("parseLayerLine: '", t, "' is not an integer in '",
-                  line, "'");
+            return lineError(error, "'" + t +
+                                        "' is not an integer in '" +
+                                        line + "'");
     }
 
     LayerShape layer;
@@ -58,29 +75,38 @@ parseLayerLine(const std::string &line, const std::string &default_name)
     layer.strideW = dims[6];
     layer.strideH = dims[7];
     if (!layer.isSane())
-        fatal("parseLayerLine: non-positive dimension in '", line,
-              "'");
+        return lineError(error,
+                         "non-positive dimension in '" + line + "'");
     return layer;
 }
 
-std::optional<std::vector<LayerShape>>
+Expected<std::vector<LayerShape>>
 parseLayerFile(const std::string &path)
 {
-    std::ifstream in(path);
-    if (!in)
-        return std::nullopt;
+    Expected<std::string> bytes = readFileBytes(path);
+    if (!bytes)
+        return bytes.error();
+
     std::vector<LayerShape> layers;
+    std::istringstream in(bytes.value());
     std::string line;
     std::size_t line_no = 0;
     while (std::getline(in, line)) {
         ++line_no;
+        std::string error;
         const auto layer = parseLayerLine(
-            line, "custom.layer" + std::to_string(layers.size() + 1));
-        if (layer)
+            line, "custom.layer" + std::to_string(layers.size() + 1),
+            &error);
+        if (layer) {
             layers.push_back(*layer);
+        } else if (!error.empty()) {
+            return makeLoadError(LoadError::Kind::Malformed, path,
+                                 line_no, error);
+        }
     }
     if (layers.empty())
-        fatal("parseLayerFile: no layers found in '", path, "'");
+        return makeLoadError(LoadError::Kind::Malformed, path, 0,
+                             "no layers found");
     return layers;
 }
 

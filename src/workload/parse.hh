@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "util/load_error.hh"
 #include "workload/layer.hh"
 
 namespace vaesa {
@@ -25,19 +26,24 @@ namespace vaesa {
  * Parse one layer line.
  * @param line text in the format above.
  * @param default_name name to use when the line has none.
- * @return the layer, or nullopt for blank/comment lines; fatal() on
- *         malformed input.
+ * @param error out (optional): set to a description when the line is
+ *        malformed; untouched otherwise.
+ * @return the layer, or nullopt for blank/comment/malformed lines
+ *         (malformed sets *error when given).
  */
 std::optional<LayerShape> parseLayerLine(const std::string &line,
                                          const std::string
-                                             &default_name);
+                                             &default_name,
+                                         std::string *error = nullptr);
 
 /**
  * Parse a whole file of layer lines.
- * @return the layers, or nullopt when the file cannot be opened;
- *         fatal() on malformed content or zero layers.
+ * @return the layers, or a LoadError carrying the file name and the
+ *         1-based line number of the offending line (OpenFailed when
+ *         the file cannot be read, Malformed on bad content or zero
+ *         layers).
  */
-std::optional<std::vector<LayerShape>>
+Expected<std::vector<LayerShape>>
 parseLayerFile(const std::string &path);
 
 } // namespace vaesa

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Lint fixture, never compiled: deliberately opens a raw
+ * std::ofstream so the lint.raw_ofstream_fixture ctest can prove
+ * vaesa_check flags direct file-stream writes everywhere outside
+ * src/util/. Mentions of std::ofstream in this comment must NOT be
+ * reported — the scanner strips comments first.
+ */
+
+#include <fstream>
+#include <string>
+
+namespace vaesa_lint_fixture {
+
+inline void
+writeRawFile(const std::string &path)
+{
+    std::ofstream out(path);
+    out << "not crash-safe: a kill here leaves a truncated file\n";
+    std :: ofstream spaced(path + ".2");
+    spaced << "also banned\n";
+}
+
+} // namespace vaesa_lint_fixture

@@ -28,7 +28,7 @@ TEST_F(SerializeTest, RoundTripsExactly)
 {
     Rng rng_a(1);
     auto source = makeMlp(4, {8, 8}, 2, rng_a);
-    ASSERT_TRUE(saveParameters(tempPath(), source->parameters()));
+    ASSERT_FALSE(saveParameters(tempPath(), source->parameters()));
 
     Rng rng_b(999);
     auto target = makeMlp(4, {8, 8}, 2, rng_b);
@@ -36,37 +36,43 @@ TEST_F(SerializeTest, RoundTripsExactly)
     Matrix x(1, 4, {1.0, -1.0, 0.5, 2.0});
     EXPECT_FALSE(source->forward(x) == target->forward(x));
 
-    ASSERT_TRUE(loadParameters(tempPath(), target->parameters()));
+    ASSERT_FALSE(loadParameters(tempPath(), target->parameters()));
     EXPECT_TRUE(source->forward(x) == target->forward(x));
 }
 
-TEST_F(SerializeTest, LoadMissingFileReturnsFalse)
+TEST_F(SerializeTest, LoadMissingFileReportsOpenFailed)
 {
     Rng rng(1);
     auto net = makeMlp(2, {4}, 1, rng);
-    EXPECT_FALSE(loadParameters(
+    const auto err = loadParameters(
         ::testing::TempDir() + "/does_not_exist.bin",
-        net->parameters()));
+        net->parameters());
+    ASSERT_TRUE(err.has_value());
+    EXPECT_EQ(err->kind, LoadError::Kind::OpenFailed);
 }
 
-TEST_F(SerializeTest, ShapeMismatchIsFatal)
+TEST_F(SerializeTest, ShapeMismatchIsStructuredError)
 {
     Rng rng(1);
     auto source = makeMlp(4, {8}, 2, rng);
-    ASSERT_TRUE(saveParameters(tempPath(), source->parameters()));
+    ASSERT_FALSE(saveParameters(tempPath(), source->parameters()));
     auto other = makeMlp(4, {16}, 2, rng);
-    EXPECT_DEATH(loadParameters(tempPath(), other->parameters()),
-                 "mismatch");
+    const auto err = loadParameters(tempPath(), other->parameters());
+    ASSERT_TRUE(err.has_value());
+    EXPECT_EQ(err->kind, LoadError::Kind::ShapeMismatch);
+    EXPECT_NE(err->message.find("mismatch"), std::string::npos);
 }
 
-TEST_F(SerializeTest, ParameterCountMismatchIsFatal)
+TEST_F(SerializeTest, ParameterCountMismatchIsStructuredError)
 {
     Rng rng(1);
     auto source = makeMlp(4, {8}, 2, rng);
-    ASSERT_TRUE(saveParameters(tempPath(), source->parameters()));
+    ASSERT_FALSE(saveParameters(tempPath(), source->parameters()));
     auto deeper = makeMlp(4, {8, 8}, 2, rng);
-    EXPECT_DEATH(loadParameters(tempPath(), deeper->parameters()),
-                 "parameters");
+    const auto err = loadParameters(tempPath(), deeper->parameters());
+    ASSERT_TRUE(err.has_value());
+    EXPECT_EQ(err->kind, LoadError::Kind::ShapeMismatch);
+    EXPECT_NE(err->message.find("parameter"), std::string::npos);
 }
 
 TEST_F(SerializeTest, RejectsNonModelFile)
@@ -74,13 +80,25 @@ TEST_F(SerializeTest, RejectsNonModelFile)
     {
         std::FILE *f = std::fopen(tempPath().c_str(), "wb");
         ASSERT_NE(f, nullptr);
-        std::fputs("garbage", f);
+        std::fputs("garbage42", f);
         std::fclose(f);
     }
     Rng rng(1);
     auto net = makeMlp(2, {4}, 1, rng);
-    EXPECT_DEATH(loadParameters(tempPath(), net->parameters()),
-                 "not a VAESA model");
+    const auto err = loadParameters(tempPath(), net->parameters());
+    ASSERT_TRUE(err.has_value());
+    EXPECT_EQ(err->kind, LoadError::Kind::BadMagic);
+}
+
+TEST_F(SerializeTest, ErrorDescribesFile)
+{
+    Rng rng(1);
+    auto net = makeMlp(2, {4}, 1, rng);
+    const std::string missing =
+        ::testing::TempDir() + "/does_not_exist.bin";
+    const auto err = loadParameters(missing, net->parameters());
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->describe().find(missing), std::string::npos);
 }
 
 } // namespace

@@ -1,0 +1,107 @@
+/** @file Unit tests for the deterministic fault-injection registry. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/fault.hh"
+
+namespace vaesa {
+namespace {
+
+class FaultTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { FaultInjector::instance().reset(); }
+    void TearDown() override { FaultInjector::instance().reset(); }
+};
+
+TEST_F(FaultTest, NthHitFiresExactlyOnce)
+{
+    auto &inj = FaultInjector::instance();
+    inj.arm("site_a", 3);
+    EXPECT_FALSE(inj.shouldFire("site_a")); // hit 1
+    EXPECT_FALSE(inj.shouldFire("site_a")); // hit 2
+    EXPECT_TRUE(inj.shouldFire("site_a"));  // hit 3: fires
+    EXPECT_FALSE(inj.shouldFire("site_a")); // fire-once latch
+    EXPECT_FALSE(inj.shouldFire("site_a"));
+    EXPECT_EQ(inj.hitCount("site_a"), 5u);
+}
+
+TEST_F(FaultTest, UnarmedSitesNeverFire)
+{
+    auto &inj = FaultInjector::instance();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(inj.shouldFire("never_armed"));
+}
+
+TEST_F(FaultTest, CheckThrowsInjectedFaultNamingSite)
+{
+    auto &inj = FaultInjector::instance();
+    inj.arm("io_op", 1);
+    try {
+        inj.check("io_op");
+        FAIL() << "expected InjectedFault";
+    } catch (const InjectedFault &fault) {
+        EXPECT_EQ(fault.site(), "io_op");
+        EXPECT_NE(std::string(fault.what()).find("io_op"),
+                  std::string::npos);
+    }
+    inj.check("io_op"); // latched: must not throw again
+}
+
+TEST_F(FaultTest, MaybeNanPoisonsExactlyTheArmedHit)
+{
+    auto &inj = FaultInjector::instance();
+    inj.arm("eval", 2);
+    EXPECT_EQ(inj.maybeNan("eval", 1.5), 1.5);
+    EXPECT_TRUE(std::isnan(inj.maybeNan("eval", 2.5)));
+    EXPECT_EQ(inj.maybeNan("eval", 3.5), 3.5);
+}
+
+TEST_F(FaultTest, RearmingResetsTheCounter)
+{
+    auto &inj = FaultInjector::instance();
+    inj.arm("site", 2);
+    EXPECT_FALSE(inj.shouldFire("site"));
+    inj.arm("site", 2);
+    EXPECT_FALSE(inj.shouldFire("site")); // counter restarted
+    EXPECT_TRUE(inj.shouldFire("site"));
+}
+
+TEST_F(FaultTest, ResetDisarmsEverything)
+{
+    auto &inj = FaultInjector::instance();
+    inj.arm("site", 1);
+    inj.reset();
+    EXPECT_FALSE(inj.shouldFire("site"));
+    // Reset also discards the hit counters with the plans.
+    EXPECT_EQ(inj.hitCount("site"), 0u);
+}
+
+TEST_F(FaultTest, ConfigureParsesEnvStyleSpec)
+{
+    auto &inj = FaultInjector::instance();
+    EXPECT_EQ(inj.configure("io_write:3,eval_nan:17"), "");
+    EXPECT_FALSE(inj.shouldFire("io_write"));
+    EXPECT_FALSE(inj.shouldFire("io_write"));
+    EXPECT_TRUE(inj.shouldFire("io_write"));
+    for (int i = 1; i < 17; ++i)
+        EXPECT_EQ(inj.maybeNan("eval_nan", 1.0), 1.0);
+    EXPECT_TRUE(std::isnan(inj.maybeNan("eval_nan", 1.0)));
+}
+
+TEST_F(FaultTest, ConfigureRejectsMalformedSpecs)
+{
+    auto &inj = FaultInjector::instance();
+    EXPECT_NE(inj.configure("no_colon"), "");
+    EXPECT_NE(inj.configure("site:0"), "");
+    EXPECT_NE(inj.configure("site:abc"), "");
+    EXPECT_NE(inj.configure("site:"), "");
+    // A rejected spec must not have armed anything.
+    EXPECT_FALSE(inj.shouldFire("no_colon"));
+    EXPECT_FALSE(inj.shouldFire("site"));
+}
+
+} // namespace
+} // namespace vaesa

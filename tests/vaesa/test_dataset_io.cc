@@ -30,39 +30,41 @@ TEST_F(DatasetIoTest, RoundTripsSamplesAndPool)
     Rng rng(77);
     const Dataset original =
         DatasetBuilder(ev, alexNetLayers()).build(120, rng);
-    ASSERT_TRUE(saveDatasetCsv(tempPath(), original));
+    ASSERT_FALSE(saveDatasetCsv(tempPath(), original));
 
-    const auto loaded = loadDatasetCsv(tempPath());
-    ASSERT_TRUE(loaded.has_value());
-    ASSERT_EQ(loaded->size(), original.size());
-    ASSERT_EQ(loaded->layerPool().size(),
+    auto loaded = loadDatasetCsv(tempPath());
+    ASSERT_TRUE(loaded.ok());
+    const Dataset &restored = loaded.value();
+    ASSERT_EQ(restored.size(), original.size());
+    ASSERT_EQ(restored.layerPool().size(),
               original.layerPool().size());
     for (std::size_t i = 0; i < original.size(); ++i) {
-        EXPECT_EQ(loaded->samples()[i].config,
+        EXPECT_EQ(restored.samples()[i].config,
                   original.samples()[i].config);
-        EXPECT_EQ(loaded->samples()[i].layerIndex,
+        EXPECT_EQ(restored.samples()[i].layerIndex,
                   original.samples()[i].layerIndex);
-        EXPECT_NEAR(loaded->samples()[i].logLatency,
+        EXPECT_NEAR(restored.samples()[i].logLatency,
                     original.samples()[i].logLatency, 1e-6);
-        EXPECT_NEAR(loaded->samples()[i].logEnergy,
+        EXPECT_NEAR(restored.samples()[i].logEnergy,
                     original.samples()[i].logEnergy, 1e-6);
     }
     // Normalized matrices match too (same normalizer fit).
     for (std::size_t i = 0; i < original.size(); i += 17) {
         for (int p = 0; p < numHwParams; ++p)
-            EXPECT_NEAR(loaded->hwFeatures()(i, p),
+            EXPECT_NEAR(restored.hwFeatures()(i, p),
                         original.hwFeatures()(i, p), 1e-9);
     }
 }
 
-TEST_F(DatasetIoTest, MissingFileReturnsNullopt)
+TEST_F(DatasetIoTest, MissingFileReportsOpenFailed)
 {
-    EXPECT_FALSE(loadDatasetCsv(::testing::TempDir() +
-                                "/no_such_dataset.csv")
-                     .has_value());
+    auto loaded = loadDatasetCsv(::testing::TempDir() +
+                                 "/no_such_dataset.csv");
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().kind, LoadError::Kind::OpenFailed);
 }
 
-TEST_F(DatasetIoTest, MalformedRowIsFatal)
+TEST_F(DatasetIoTest, MalformedRowNamesFileAndLine)
 {
     {
         std::ofstream out(tempPath());
@@ -70,17 +72,27 @@ TEST_F(DatasetIoTest, MalformedRowIsFatal)
         out << "layer,x,1,1,1,1,1,1,1,1\n";
         out << "sample,0,16\n"; // too few cells
     }
-    EXPECT_DEATH(loadDatasetCsv(tempPath()), "malformed");
+    auto loaded = loadDatasetCsv(tempPath());
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().kind, LoadError::Kind::Malformed);
+    EXPECT_EQ(loaded.error().file, tempPath());
+    EXPECT_EQ(loaded.error().line, 3u);
+    EXPECT_NE(loaded.error().message.find("malformed"),
+              std::string::npos);
 }
 
-TEST_F(DatasetIoTest, UnknownKindIsFatal)
+TEST_F(DatasetIoTest, UnknownKindIsStructuredError)
 {
     {
         std::ofstream out(tempPath());
         out << "kind,name_or_index,f0,f1,f2,f3,f4,f5,f6,f7\n";
         out << "bogus,x,1,1,1,1,1,1,1,1\n";
     }
-    EXPECT_DEATH(loadDatasetCsv(tempPath()), "unknown row kind");
+    auto loaded = loadDatasetCsv(tempPath());
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().kind, LoadError::Kind::Malformed);
+    EXPECT_NE(loaded.error().message.find("unknown row kind"),
+              std::string::npos);
 }
 
 TEST(DatasetMerge, CombinesSamplesOverSamePool)
@@ -92,10 +104,13 @@ TEST(DatasetMerge, CombinesSamplesOverSamePool)
         DatasetBuilder(ev, alexNetLayers()).build(60, rng_a);
     const Dataset b =
         DatasetBuilder(ev, alexNetLayers()).build(40, rng_b);
-    const Dataset merged = mergeDatasets(a, b);
-    EXPECT_EQ(merged.size(), 100u);
-    EXPECT_EQ(merged.samples()[0].config, a.samples()[0].config);
-    EXPECT_EQ(merged.samples()[60].config, b.samples()[0].config);
+    auto merged = mergeDatasets(a, b);
+    ASSERT_TRUE(merged.ok());
+    EXPECT_EQ(merged.value().size(), 100u);
+    EXPECT_EQ(merged.value().samples()[0].config,
+              a.samples()[0].config);
+    EXPECT_EQ(merged.value().samples()[60].config,
+              b.samples()[0].config);
 }
 
 TEST(DatasetMerge, RejectsMismatchedPools)
@@ -106,7 +121,11 @@ TEST(DatasetMerge, RejectsMismatchedPools)
         DatasetBuilder(ev, alexNetLayers()).build(20, rng);
     const Dataset b =
         DatasetBuilder(ev, deepBenchLayers()).build(20, rng);
-    EXPECT_DEATH(mergeDatasets(a, b), "layer pools differ");
+    auto merged = mergeDatasets(a, b);
+    ASSERT_FALSE(merged.ok());
+    EXPECT_EQ(merged.error().kind, LoadError::Kind::ShapeMismatch);
+    EXPECT_NE(merged.error().message.find("layer pools differ"),
+              std::string::npos);
 }
 
 TEST(FineTune, ImprovesOnNewData)

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Kill-and-resume tests for training: a checkpointed run interrupted
+ * at adversarial points (epoch boundary, mid-checkpoint-save, during
+ * rotation) must resume to a model bit-identical to an uninterrupted
+ * run under the same seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "../common/temp_path.hh"
+#include "fixtures.hh"
+#include "util/atomic_io.hh"
+#include "util/fault.hh"
+
+namespace vaesa {
+namespace {
+
+FrameworkOptions
+smallOptions()
+{
+    FrameworkOptions options;
+    options.vae.hiddenDims = {16, 8};
+    options.vae.latentDim = 2;
+    options.predictorHidden = {8};
+    options.train.epochs = 6;
+    return options;
+}
+
+Dataset
+smallDataset()
+{
+    Rng rng(77);
+    return DatasetBuilder(testing::sharedEvaluator(),
+                          alexNetLayers())
+        .build(150, rng);
+}
+
+void
+expectSameModel(VaesaFramework &a, VaesaFramework &b)
+{
+    const auto pa = a.parameters();
+    const auto pb = b.parameters();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i)
+        EXPECT_TRUE(pa[i]->value == pb[i]->value)
+            << "parameter " << pa[i]->name << " diverged";
+    ASSERT_EQ(a.history().size(), b.history().size());
+    for (std::size_t i = 0; i < a.history().size(); ++i)
+        EXPECT_TRUE(a.history()[i] == b.history()[i])
+            << "epoch " << i << " stats diverged";
+}
+
+class TrainResumeTest : public ::testing::Test
+{
+  protected:
+    std::string
+    checkpointPath()
+    {
+        return testing::uniqueTempPath("vaesa_train_ckpt", ".bin");
+    }
+
+    void
+    TearDown() override
+    {
+        FaultInjector::instance().reset();
+        std::remove(checkpointPath().c_str());
+        std::remove((checkpointPath() + ".tmp").c_str());
+        std::remove(
+            previousCheckpointPath(checkpointPath()).c_str());
+    }
+};
+
+TEST_F(TrainResumeTest, KilledAtEpochBoundaryResumesBitIdentical)
+{
+    const Dataset data = smallDataset();
+    FrameworkOptions options = smallOptions();
+    VaesaFramework baseline(data, options, 7);
+
+    options.train.checkpointPath = checkpointPath();
+    FaultInjector::instance().arm("train_epoch", 4);
+    EXPECT_THROW(VaesaFramework(data, options, 7),
+                 InjectedFault);
+    FaultInjector::instance().reset();
+
+    VaesaFramework resumed(data, options, 7);
+    expectSameModel(baseline, resumed);
+}
+
+TEST_F(TrainResumeTest, CheckpointingAloneDoesNotPerturbTraining)
+{
+    const Dataset data = smallDataset();
+    FrameworkOptions options = smallOptions();
+    VaesaFramework baseline(data, options, 7);
+
+    options.train.checkpointPath = checkpointPath();
+    VaesaFramework checkpointed(data, options, 7);
+    expectSameModel(baseline, checkpointed);
+}
+
+TEST_F(TrainResumeTest, CrashDuringCheckpointSaveLosesNothing)
+{
+    const Dataset data = smallDataset();
+    FrameworkOptions options = smallOptions();
+    VaesaFramework baseline(data, options, 7);
+
+    options.train.checkpointPath = checkpointPath();
+    // The 4th epoch's save dies before any bytes reach disk; the
+    // epoch-3 checkpoint must carry the resumed run.
+    FaultInjector::instance().arm("checkpoint_save", 4);
+    EXPECT_THROW(VaesaFramework(data, options, 7),
+                 InjectedFault);
+    FaultInjector::instance().reset();
+
+    VaesaFramework resumed(data, options, 7);
+    expectSameModel(baseline, resumed);
+}
+
+TEST_F(TrainResumeTest, CrashDuringRotationLosesNothing)
+{
+    const Dataset data = smallDataset();
+    FrameworkOptions options = smallOptions();
+    VaesaFramework baseline(data, options, 7);
+
+    options.train.checkpointPath = checkpointPath();
+    // Kill inside the rotation of the 3rd checkpoint write: at least
+    // one complete checkpoint must survive for the resume.
+    FaultInjector::instance().arm("checkpoint_rotate", 3);
+    EXPECT_THROW(VaesaFramework(data, options, 7),
+                 InjectedFault);
+    FaultInjector::instance().reset();
+
+    VaesaFramework resumed(data, options, 7);
+    expectSameModel(baseline, resumed);
+}
+
+TEST_F(TrainResumeTest, CorruptPrimaryCheckpointFallsBackToPrev)
+{
+    const Dataset data = smallDataset();
+    FrameworkOptions options = smallOptions();
+    VaesaFramework baseline(data, options, 7);
+
+    options.train.checkpointPath = checkpointPath();
+    FaultInjector::instance().arm("train_epoch", 5);
+    EXPECT_THROW(VaesaFramework(data, options, 7),
+                 InjectedFault);
+    FaultInjector::instance().reset();
+
+    // Clobber the primary; the epoch-3 copy in .prev must carry the
+    // resume, and the final model must still match the baseline.
+    ASSERT_FALSE(
+        atomicWriteFile(checkpointPath(), "scribbled over"));
+    VaesaFramework resumed(data, options, 7);
+    expectSameModel(baseline, resumed);
+}
+
+TEST_F(TrainResumeTest, UnusableCheckpointStartsFresh)
+{
+    const Dataset data = smallDataset();
+    FrameworkOptions options = smallOptions();
+    VaesaFramework baseline(data, options, 7);
+
+    options.train.checkpointPath = checkpointPath();
+    // Both copies corrupt: training must warn, start from scratch,
+    // and still reach the baseline model.
+    ASSERT_FALSE(
+        atomicWriteFile(checkpointPath(), "garbage primary"));
+    ASSERT_FALSE(atomicWriteFile(
+        previousCheckpointPath(checkpointPath()), "garbage prev"));
+    VaesaFramework fresh(data, options, 7);
+    expectSameModel(baseline, fresh);
+}
+
+} // namespace
+} // namespace vaesa

@@ -8,6 +8,7 @@
 
 #include "../common/temp_path.hh"
 #include "fixtures.hh"
+#include "util/atomic_io.hh"
 #include "vaesa/serialize.hh"
 
 namespace vaesa {
@@ -22,16 +23,23 @@ class FrameworkSnapshotTest : public ::testing::Test
         return testing::uniqueTempPath("vaesa_snapshot", ".bin");
     }
 
-    void TearDown() override { std::remove(tempPath().c_str()); }
+    void
+    TearDown() override
+    {
+        std::remove(tempPath().c_str());
+        std::remove(previousCheckpointPath(tempPath()).c_str());
+    }
 };
 
 TEST_F(FrameworkSnapshotTest, RoundTripsEverything)
 {
     VaesaFramework &original = testing::sharedFramework();
-    ASSERT_TRUE(saveFramework(tempPath(), original));
+    ASSERT_FALSE(saveFramework(tempPath(), original));
 
+    auto loaded = loadFramework(tempPath());
+    ASSERT_TRUE(loaded.ok());
     std::unique_ptr<VaesaFramework> restored =
-        loadFramework(tempPath());
+        std::move(loaded.value());
     ASSERT_NE(restored, nullptr);
     EXPECT_EQ(restored->latentDim(), original.latentDim());
     EXPECT_TRUE(restored->hwNormalizer() ==
@@ -63,11 +71,12 @@ TEST_F(FrameworkSnapshotTest, RoundTripsEverything)
               restored->encodeConfig(config));
 }
 
-TEST_F(FrameworkSnapshotTest, MissingFileReturnsNull)
+TEST_F(FrameworkSnapshotTest, MissingFileReportsOpenFailed)
 {
-    EXPECT_EQ(loadFramework(::testing::TempDir() +
-                            "/does_not_exist.bin"),
-              nullptr);
+    auto loaded = loadFramework(::testing::TempDir() +
+                                "/does_not_exist.bin");
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().kind, LoadError::Kind::OpenFailed);
 }
 
 TEST_F(FrameworkSnapshotTest, RejectsForeignFile)
@@ -76,13 +85,15 @@ TEST_F(FrameworkSnapshotTest, RejectsForeignFile)
         std::ofstream out(tempPath(), std::ios::binary);
         out << "this is not a snapshot at all, not even close";
     }
-    EXPECT_DEATH(loadFramework(tempPath()), "not a VAESA framework");
+    auto loaded = loadFramework(tempPath());
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().kind, LoadError::Kind::BadMagic);
 }
 
 TEST_F(FrameworkSnapshotTest, RejectsTruncatedSnapshot)
 {
     VaesaFramework &original = testing::sharedFramework();
-    ASSERT_TRUE(saveFramework(tempPath(), original));
+    ASSERT_FALSE(saveFramework(tempPath(), original));
     // Truncate to half length.
     std::ifstream in(tempPath(), std::ios::binary);
     std::stringstream buffer;
@@ -94,17 +105,48 @@ TEST_F(FrameworkSnapshotTest, RejectsTruncatedSnapshot)
         out.write(bytes.data(),
                   static_cast<std::streamsize>(bytes.size() / 2));
     }
-    EXPECT_DEATH(loadFramework(tempPath()), "truncated|corrupt");
+    auto loaded = loadFramework(tempPath());
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_TRUE(loaded.error().kind == LoadError::Kind::Truncated ||
+                loaded.error().kind == LoadError::Kind::BadChecksum);
+}
+
+TEST_F(FrameworkSnapshotTest, CorruptPrimaryFallsBackToPrevious)
+{
+    VaesaFramework &original = testing::sharedFramework();
+    // Two saves rotate the first snapshot into the .prev slot.
+    ASSERT_FALSE(saveFramework(tempPath(), original));
+    ASSERT_FALSE(saveFramework(tempPath(), original));
+    {
+        std::ofstream out(tempPath(), std::ios::binary);
+        out << "primary got clobbered";
+    }
+    auto loaded = loadFramework(tempPath());
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded.value()->latentDim(), original.latentDim());
 }
 
 TEST(NormalizerSerialize, ExactRoundTrip)
 {
     Normalizer norm;
     norm.setBounds({-3.5, 0.0, 2.25}, {1.5, 10.0, 2.26});
-    std::stringstream buffer;
+    ByteBuffer buffer;
     norm.serialize(buffer);
-    const Normalizer back = Normalizer::deserialize(buffer);
-    EXPECT_TRUE(norm == back);
+    ByteReader reader(buffer.data().data(), buffer.size());
+    auto back = Normalizer::deserialize(reader);
+    ASSERT_TRUE(back.ok());
+    EXPECT_TRUE(norm == back.value());
+}
+
+TEST(NormalizerSerialize, TruncatedPayloadReportsError)
+{
+    Normalizer norm;
+    norm.setBounds({-3.5, 0.0}, {1.5, 10.0});
+    ByteBuffer buffer;
+    norm.serialize(buffer);
+    ByteReader reader(buffer.data().data(), buffer.size() / 2);
+    auto back = Normalizer::deserialize(reader);
+    EXPECT_FALSE(back.ok());
 }
 
 } // namespace

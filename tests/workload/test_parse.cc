@@ -34,31 +34,45 @@ TEST(ParseLayerLine, NamedLayer)
 
 TEST(ParseLayerLine, CommentsAndBlanksAreSkipped)
 {
-    EXPECT_FALSE(parseLayerLine("", "d").has_value());
-    EXPECT_FALSE(parseLayerLine("   ", "d").has_value());
-    EXPECT_FALSE(parseLayerLine("# a comment", "d").has_value());
+    std::string error;
+    EXPECT_FALSE(parseLayerLine("", "d", &error).has_value());
+    EXPECT_FALSE(parseLayerLine("   ", "d", &error).has_value());
+    EXPECT_FALSE(
+        parseLayerLine("# a comment", "d", &error).has_value());
+    // Skipped lines are not errors.
+    EXPECT_TRUE(error.empty());
     const auto layer =
         parseLayerLine("1 1 1 1 256 128 1 1 # trailing", "d");
     ASSERT_TRUE(layer.has_value());
     EXPECT_EQ(layer->c, 256);
 }
 
-TEST(ParseLayerLine, WrongColumnCountIsFatal)
+TEST(ParseLayerLine, WrongColumnCountIsReported)
 {
-    EXPECT_DEATH(parseLayerLine("3 3 56 56 64 128 1", "d"),
-                 "expected 8 dimensions");
+    std::string error;
+    EXPECT_FALSE(
+        parseLayerLine("3 3 56 56 64 128 1", "d", &error)
+            .has_value());
+    EXPECT_NE(error.find("expected 8 dimensions"),
+              std::string::npos);
 }
 
-TEST(ParseLayerLine, NonIntegerIsFatal)
+TEST(ParseLayerLine, NonIntegerIsReported)
 {
-    EXPECT_DEATH(parseLayerLine("3 3 56 x 64 128 1 1", "d"),
-                 "not an integer");
+    std::string error;
+    EXPECT_FALSE(
+        parseLayerLine("3 3 56 x 64 128 1 1", "d", &error)
+            .has_value());
+    EXPECT_NE(error.find("not an integer"), std::string::npos);
 }
 
-TEST(ParseLayerLine, NonPositiveDimensionIsFatal)
+TEST(ParseLayerLine, NonPositiveDimensionIsReported)
 {
-    EXPECT_DEATH(parseLayerLine("3 3 0 56 64 128 1 1", "d"),
-                 "non-positive");
+    std::string error;
+    EXPECT_FALSE(
+        parseLayerLine("3 3 0 56 64 128 1 1", "d", &error)
+            .has_value());
+    EXPECT_NE(error.find("non-positive"), std::string::npos);
 }
 
 class ParseFileTest : public ::testing::Test
@@ -83,28 +97,50 @@ TEST_F(ParseFileTest, ParsesMixedFile)
         out << "3 3 56 56 64 64 1 1\n";
         out << "fc 1 1 1 1 2048 1000 1 1\n";
     }
-    const auto layers = parseLayerFile(tempPath());
-    ASSERT_TRUE(layers.has_value());
-    ASSERT_EQ(layers->size(), 3u);
-    EXPECT_EQ((*layers)[0].name, "stem");
-    EXPECT_EQ((*layers)[1].name, "custom.layer2");
-    EXPECT_EQ((*layers)[2].k, 1000);
+    auto layers = parseLayerFile(tempPath());
+    ASSERT_TRUE(layers.ok());
+    ASSERT_EQ(layers.value().size(), 3u);
+    EXPECT_EQ(layers.value()[0].name, "stem");
+    EXPECT_EQ(layers.value()[1].name, "custom.layer2");
+    EXPECT_EQ(layers.value()[2].k, 1000);
 }
 
-TEST_F(ParseFileTest, MissingFileReturnsNullopt)
+TEST_F(ParseFileTest, MissingFileReportsOpenFailed)
 {
-    EXPECT_FALSE(parseLayerFile(::testing::TempDir() +
-                                "/no_layers_here.txt")
-                     .has_value());
+    auto layers = parseLayerFile(::testing::TempDir() +
+                                 "/no_layers_here.txt");
+    ASSERT_FALSE(layers.ok());
+    EXPECT_EQ(layers.error().kind, LoadError::Kind::OpenFailed);
 }
 
-TEST_F(ParseFileTest, EmptyFileIsFatal)
+TEST_F(ParseFileTest, MalformedLineNamesFileAndLine)
+{
+    {
+        std::ofstream out(tempPath());
+        out << "# header comment\n";
+        out << "stem 7 7 112 112 3 64 2 2\n";
+        out << "3 3 56 56 64\n"; // too few dimensions
+    }
+    auto layers = parseLayerFile(tempPath());
+    ASSERT_FALSE(layers.ok());
+    EXPECT_EQ(layers.error().kind, LoadError::Kind::Malformed);
+    EXPECT_EQ(layers.error().file, tempPath());
+    EXPECT_EQ(layers.error().line, 3u);
+    EXPECT_NE(layers.error().message.find("expected 8 dimensions"),
+              std::string::npos);
+}
+
+TEST_F(ParseFileTest, EmptyFileIsStructuredError)
 {
     {
         std::ofstream out(tempPath());
         out << "# nothing but comments\n";
     }
-    EXPECT_DEATH(parseLayerFile(tempPath()), "no layers");
+    auto layers = parseLayerFile(tempPath());
+    ASSERT_FALSE(layers.ok());
+    EXPECT_EQ(layers.error().kind, LoadError::Kind::Malformed);
+    EXPECT_NE(layers.error().message.find("no layers"),
+              std::string::npos);
 }
 
 } // namespace

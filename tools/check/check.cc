@@ -191,6 +191,38 @@ const std::vector<BannedStdName> bannedStdConcurrency = {
 };
 
 /**
+ * Raw file-stream output banned outside src/util/ (directory-prefix
+ * allowance, unlike the suffix lists above): persistent artifacts
+ * must be written through atomicWriteFile() /
+ * atomicWriteFileWithRotation() (util/atomic_io.hh) or CsvWriter so
+ * a crash mid-write can never leave a truncated or half-written file
+ * at the destination path.
+ */
+struct BannedStdIo
+{
+    std::string name;
+    std::string instead;
+    std::vector<std::string> allowedDirPrefixes;
+};
+
+const std::vector<BannedStdIo> bannedStdIo = {
+    {"ofstream",
+     "atomicWriteFile() (util/atomic_io.hh) or CsvWriter",
+     {"src/util/"}},
+};
+
+bool
+pathInDirs(const std::string &relPath,
+           const std::vector<std::string> &prefixes)
+{
+    return std::any_of(prefixes.begin(), prefixes.end(),
+                       [&](const std::string &prefix) {
+                           return relPath.compare(0, prefix.size(),
+                                                  prefix) == 0;
+                       });
+}
+
+/**
  * True when the identifier starting at `pos` is qualified as
  * `std::name` (whitespace allowed around the `::`), so bare uses of
  * e.g. a local variable called `thread` never trip the ban.
@@ -278,6 +310,22 @@ checkBannedIdentifiers(const std::string &relPath,
     }
     for (const BannedStdName &ban : bannedStdConcurrency) {
         if (pathAllowed(relPath, ban.allowedIn))
+            continue;
+        std::size_t pos = 0;
+        while ((pos = code.find(ban.name, pos)) != std::string::npos) {
+            const std::size_t end = pos + ban.name.size();
+            const bool boundedRight =
+                end >= code.size() || !isIdentChar(code[end]);
+            if (boundedRight && precededByStdQualifier(code, pos)) {
+                report(relPath, lineOfOffset(code, pos),
+                       "use of 'std::" + ban.name + "' (use " +
+                           ban.instead + " instead)");
+            }
+            pos = end;
+        }
+    }
+    for (const BannedStdIo &ban : bannedStdIo) {
+        if (pathInDirs(relPath, ban.allowedDirPrefixes))
             continue;
         std::size_t pos = 0;
         while ((pos = code.find(ban.name, pos)) != std::string::npos) {
