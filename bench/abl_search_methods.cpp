@@ -80,8 +80,11 @@ main()
         const double mu = mean(bests);
         if (std::string(method) == "random")
             random_mean = mu;
-        std::printf("%-8s %16.4g %16.3g %9.2fx\n", method, mu,
-                    stddev(bests), random_mean / mu);
+        // stddev() is NaN for a single seed; print "n/a", not a
+        // fabricated 0.0 band.
+        std::printf("%-8s %16.4g %16s %9.2fx\n", method, mu,
+                    sigmaText(stddev(bests)).c_str(),
+                    random_mean / mu);
     }
 
     // Demonstrate the memoizing evaluator on a GA run (elitist

@@ -1,5 +1,6 @@
 #include "common.hh"
 
+#include <cmath>
 #include <filesystem>
 
 namespace vaesa::bench {
@@ -54,6 +55,26 @@ csvPath(const std::string &name)
 {
     std::filesystem::create_directories("bench_out");
     return "bench_out/" + name;
+}
+
+std::string
+repoRootPath(const std::string &name)
+{
+#ifdef VAESA_SOURCE_ROOT
+    return std::string(VAESA_SOURCE_ROOT) + "/" + name;
+#else
+    return name;
+#endif
+}
+
+std::string
+sigmaText(double sigma)
+{
+    if (std::isnan(sigma))
+        return "n/a";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3g", sigma);
+    return buf;
 }
 
 void

@@ -66,10 +66,13 @@ main()
                     bests.push_back(best);
                 }
                 const double mu = mean(bests);
+                // NaN for a single seed: the band is undefined, so
+                // both the table and the CSV say "n/a".
                 const double sd = stddev(bests);
-                std::printf(" %14.4g (%7.2g) ", mu, sd);
+                std::printf(" %14.4g (%7s) ", mu,
+                            sigmaText(sd).c_str());
                 csv.row({w.name, m, std::to_string(c),
-                         CsvWriter::cell(mu), CsvWriter::cell(sd)});
+                         CsvWriter::cell(mu), sigmaText(sd)});
             }
             std::printf("\n");
         }

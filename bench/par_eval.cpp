@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "common.hh"
 #include "sched/parallel_evaluator.hh"
@@ -146,8 +147,10 @@ main()
         rowsJson += row;
     }
 
-    // Baseline JSON for regression tracking across commits.
-    std::ofstream json(bench::csvPath("par_eval.json"));
+    // Baseline JSON for regression tracking across commits: one
+    // working copy under bench_out/ and the checked-in snapshot at
+    // the repo root.
+    std::ostringstream json;
     json << "{\n"
          << "  \"bench\": \"par_eval\",\n"
          << "  \"workload\": \"resnet50\",\n"
@@ -160,10 +163,13 @@ main()
          << (allIdentical ? "true" : "false") << ",\n"
          << "  \"runs\": [\n"
          << rowsJson << "\n  ]\n}\n";
+    std::ofstream(bench::csvPath("par_eval.json")) << json.str();
+    std::ofstream(bench::repoRootPath("BENCH_par_eval.json"))
+        << json.str();
 
     bench::rule();
     std::printf("results %s; baseline written to "
-                "bench_out/par_eval.json\n",
+                "BENCH_par_eval.json\n",
                 allIdentical ? "bit-identical at every width"
                              : "DIVERGED (bug!)");
     return allIdentical ? 0 : 1;

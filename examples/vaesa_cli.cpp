@@ -23,8 +23,18 @@
  *       interrupted run (vae_bo/bo/random/ga only).
  *   vaesa_cli decode MODEL.BIN Z1 Z2 [...]
  *       Decode a latent point to a configuration and score it.
+ *
+ * train and search additionally take --metrics-out FILE and
+ * --trace-out FILE, which arm the util/metrics registry and the
+ * util/trace span buffer and, on exit, write a versioned JSON run
+ * manifest and a Chrome trace (docs/OBSERVABILITY.md).
+ *
+ * Flag parsing is strict: an unknown or value-less --flag aborts
+ * with the usage text and a nonzero exit instead of being silently
+ * ignored.
  */
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,6 +48,8 @@
 #include "dse/random_search.hh"
 #include "dse/search_state.hh"
 #include "sched/evaluator.hh"
+#include "util/metrics.hh"
+#include "util/trace.hh"
 #include "vaesa/latent_dse.hh"
 #include "vaesa/serialize.hh"
 #include "workload/networks.hh"
@@ -47,22 +59,76 @@ namespace {
 
 using namespace vaesa;
 
-/** Tiny flag parser: --name value pairs after the positionals. */
+/** Usage summary printed on any command-line error. */
+void
+printUsage(std::FILE *out, const char *prog)
+{
+    std::fprintf(
+        out,
+        "usage: %s COMMAND [args...]\n"
+        "\n"
+        "commands:\n"
+        "  space\n"
+        "  eval PES MACS ACCUM_KB WEIGHT_KB INPUT_KB GLOBAL_KB\n"
+        "       [--workload NAME | --layers FILE]\n"
+        "  train MODEL.BIN [--latent N] [--epochs N] [--dataset N]\n"
+        "       [--alpha X] [--seed N] [--checkpoint CKPT]\n"
+        "       [--checkpoint-every N] [--metrics-out FILE]\n"
+        "       [--trace-out FILE]\n"
+        "  search MODEL.BIN [--workload NAME | --layers FILE]\n"
+        "       [--metric edp|latency|energy] [--samples N]\n"
+        "       [--method vae_bo|bo|random|ga|sa] [--seed N]\n"
+        "       [--radius X] [--checkpoint SNAP]\n"
+        "       [--checkpoint-every N] [--metrics-out FILE]\n"
+        "       [--trace-out FILE]\n"
+        "  decode MODEL.BIN Z1 [Z2 ...]\n"
+        "       [--workload NAME | --layers FILE]\n"
+        "\n"
+        "--metrics-out writes a JSON run manifest (metrics + run\n"
+        "identity); --trace-out writes a Chrome trace of the run\n"
+        "(load in chrome://tracing or Perfetto). See\n"
+        "docs/OBSERVABILITY.md.\n",
+        prog);
+}
+
+/**
+ * Tiny flag parser: --name value pairs after the positionals.
+ * Every token starting with "--" must be in the command's allowed
+ * set and must be followed by a value; anything else is a parse
+ * error (reported via error()), never a silently-dropped flag --
+ * a typo like --epocks must fail loudly, not train with defaults.
+ */
 class Args
 {
   public:
-    Args(int argc, char **argv, int first)
+    Args(int argc, char **argv, int first,
+         std::vector<std::string> allowed)
+        : allowed_(std::move(allowed))
     {
         for (int i = first; i < argc; ++i) {
-            if (std::strncmp(argv[i], "--", 2) == 0 &&
-                i + 1 < argc) {
-                flags_.emplace_back(argv[i] + 2, argv[i + 1]);
-                ++i;
-            } else {
+            if (std::strncmp(argv[i], "--", 2) != 0) {
                 positional_.push_back(argv[i]);
+                continue;
             }
+            const std::string name(argv[i] + 2);
+            bool known = false;
+            for (const std::string &a : allowed_)
+                known = known || a == name;
+            if (!known) {
+                error_ = "unknown flag '--" + name + "'";
+                return;
+            }
+            if (i + 1 >= argc) {
+                error_ = "flag '--" + name + "' needs a value";
+                return;
+            }
+            flags_.emplace_back(name, argv[i + 1]);
+            ++i;
         }
     }
+
+    /** Non-empty when parsing failed. */
+    const std::string &error() const { return error_; }
 
     std::string
     flag(const std::string &name, const std::string &fallback) const
@@ -96,8 +162,82 @@ class Args
     }
 
   private:
+    std::vector<std::string> allowed_;
     std::vector<std::pair<std::string, std::string>> flags_;
     std::vector<std::string> positional_;
+    std::string error_;
+};
+
+/** Join argv into the command line recorded in the run manifest. */
+std::string
+joinCommandLine(int argc, char **argv)
+{
+    std::string line;
+    for (int i = 0; i < argc; ++i) {
+        if (i > 0)
+            line += ' ';
+        line += argv[i];
+    }
+    return line;
+}
+
+/**
+ * Arms metrics/tracing when --metrics-out / --trace-out were given
+ * and writes both files when the command returns (any path, success
+ * or failure -- a failed run's partial manifest is still useful).
+ */
+class ObservabilityScope
+{
+  public:
+    ObservabilityScope(const Args &args, std::string command,
+                       std::string command_line)
+        : metricsOut_(args.flag("metrics-out", "")),
+          traceOut_(args.flag("trace-out", "")),
+          command_(std::move(command)),
+          commandLine_(std::move(command_line))
+    {
+        if (!metricsOut_.empty())
+            metrics::setMetricsEnabled(true);
+        if (!traceOut_.empty())
+            trace::setTraceEnabled(true);
+    }
+
+    void setSeed(std::uint64_t seed) { seed_ = seed; }
+
+    ~ObservabilityScope()
+    {
+        if (!metricsOut_.empty()) {
+            metrics::ManifestInfo info;
+            info.tool = "vaesa_cli";
+            info.command = command_;
+            info.commandLine = commandLine_;
+            info.seed = seed_;
+            if (!metrics::writeManifest(metricsOut_, info))
+                std::fprintf(stderr,
+                             "warning: could not write %s\n",
+                             metricsOut_.c_str());
+            else
+                std::printf("metrics manifest: %s\n",
+                            metricsOut_.c_str());
+        }
+        if (!traceOut_.empty()) {
+            if (!trace::writeChromeTrace(traceOut_))
+                std::fprintf(stderr,
+                             "warning: could not write %s\n",
+                             traceOut_.c_str());
+            else
+                std::printf("chrome trace: %s (%zu events)\n",
+                            traceOut_.c_str(),
+                            trace::eventCount());
+        }
+    }
+
+  private:
+    std::string metricsOut_;
+    std::string traceOut_;
+    std::string command_;
+    std::string commandLine_;
+    std::uint64_t seed_ = 0;
 };
 
 /**
@@ -194,7 +334,7 @@ cmdEval(const Args &args)
 }
 
 int
-cmdTrain(const Args &args)
+cmdTrain(const Args &args, ObservabilityScope &obs)
 {
     if (args.positional().empty()) {
         std::fprintf(stderr, "train needs: MODEL.BIN\n");
@@ -210,6 +350,7 @@ cmdTrain(const Args &args)
     const double alpha = args.flagDouble("alpha", 1e-4);
     const auto seed =
         static_cast<std::uint64_t>(args.flagInt("seed", 7));
+    obs.setSeed(seed);
 
     Evaluator evaluator;
     std::vector<LayerShape> pool;
@@ -242,7 +383,7 @@ cmdTrain(const Args &args)
 }
 
 int
-cmdSearch(const Args &args)
+cmdSearch(const Args &args, ObservabilityScope &obs)
 {
     if (args.positional().empty()) {
         std::fprintf(stderr, "search needs: MODEL.BIN\n");
@@ -256,6 +397,7 @@ cmdSearch(const Args &args)
     const std::string method = args.flag("method", "vae_bo");
     const auto seed =
         static_cast<std::uint64_t>(args.flagInt("seed", 1));
+    obs.setSeed(seed);
     SearchCheckpointConfig checkpoint_config;
     checkpoint_config.path = args.flag("checkpoint", "");
     checkpoint_config.every = static_cast<std::size_t>(
@@ -369,24 +511,52 @@ int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        std::fprintf(stderr,
-                     "usage: %s space|eval|train|search|decode "
-                     "[args...]\n",
-                     argv[0]);
+        printUsage(stderr, argv[0]);
         return 1;
     }
     const std::string command = argv[1];
-    const Args args(argc, argv, 2);
+
+    std::vector<std::string> allowed;
+    if (command == "space") {
+        // no flags
+    } else if (command == "eval") {
+        allowed = {"workload", "layers"};
+    } else if (command == "train") {
+        allowed = {"latent", "epochs", "dataset", "alpha", "seed",
+                   "checkpoint", "checkpoint-every", "metrics-out",
+                   "trace-out"};
+    } else if (command == "search") {
+        allowed = {"workload", "layers", "metric", "samples",
+                   "method", "seed", "radius", "checkpoint",
+                   "checkpoint-every", "metrics-out", "trace-out"};
+    } else if (command == "decode") {
+        allowed = {"workload", "layers"};
+    } else {
+        std::fprintf(stderr, "unknown command '%s'\n",
+                     command.c_str());
+        printUsage(stderr, argv[0]);
+        return 1;
+    }
+
+    const Args args(argc, argv, 2, std::move(allowed));
+    if (!args.error().empty()) {
+        std::fprintf(stderr, "%s: %s\n", command.c_str(),
+                     args.error().c_str());
+        printUsage(stderr, argv[0]);
+        return 1;
+    }
+
     if (command == "space")
         return cmdSpace();
     if (command == "eval")
         return cmdEval(args);
-    if (command == "train")
-        return cmdTrain(args);
-    if (command == "search")
-        return cmdSearch(args);
-    if (command == "decode")
-        return cmdDecode(args);
-    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
-    return 1;
+    if (command == "train" || command == "search") {
+        // The scope's destructor writes metrics.json / trace.json
+        // after the command returns, whatever its exit path.
+        ObservabilityScope obs(args, command,
+                               joinCommandLine(argc, argv));
+        return command == "train" ? cmdTrain(args, obs)
+                                  : cmdSearch(args, obs);
+    }
+    return cmdDecode(args);
 }

@@ -55,23 +55,24 @@ CostModel::checkMapping(const AcceleratorConfig &arch,
     if (mapping.spatialC > mapping.tilePe[DimC])
         return fail("spatialC exceeds the per-PE C tile");
 
+    // Word counts are computed in double (widened per-factor in
+    // Mapping), so an absurdly large tile compares as too big
+    // instead of wrapping negative and "fitting".
     const double bpw = params_.bytesPerWord;
-    if (static_cast<double>(mapping.weightTileWords()) * bpw >
+    if (mapping.weightTileWords() * bpw >
         static_cast<double>(arch.weightBufBytes)) {
         return fail("weight tile exceeds weight buffer");
     }
-    if (static_cast<double>(mapping.inputTileWords(layer)) * bpw >
+    if (mapping.inputTileWords(layer) * bpw >
         static_cast<double>(arch.inputBufBytes)) {
         return fail("input tile exceeds input buffer");
     }
-    if (static_cast<double>(mapping.psumTileWords()) *
-            params_.bytesPerPsum >
+    if (mapping.psumTileWords() * params_.bytesPerPsum >
         static_cast<double>(arch.accumBufBytes)) {
         return fail("psum tile exceeds accumulation buffer");
     }
     const double gb_words =
-        static_cast<double>(mapping.inputGbTileWords(layer)) +
-        static_cast<double>(mapping.outputGbTileWords());
+        mapping.inputGbTileWords(layer) + mapping.outputGbTileWords();
     if (gb_words * bpw > static_cast<double>(arch.globalBufBytes))
         return fail("global-buffer tile exceeds global buffer");
 
@@ -131,8 +132,7 @@ CostModel::evaluate(const AcceleratorConfig &arch, const LayerShape &layer,
     double n_gb_all = 1.0;
     for (int d = 0; d < numDims; ++d)
         n_gb_all *= n_gb[d];
-    result.dramInputReads =
-        n_gb_all * static_cast<double>(mapping.inputGbTileWords(layer));
+    result.dramInputReads = n_gb_all * mapping.inputGbTileWords(layer);
 
     result.dramOutputWrites = static_cast<double>(layer.outputWords());
 
@@ -141,7 +141,7 @@ CostModel::evaluate(const AcceleratorConfig &arch, const LayerShape &layer,
     // pass-through.
     const double gb_input_writes = result.dramInputReads;
     const double gb_input_reads =
-        n_total * static_cast<double>(mapping.inputTileWords(layer));
+        n_total * mapping.inputTileWords(layer);
     const double gb_output_writes = result.dramOutputWrites;
     const double gb_output_reads = result.dramOutputWrites;
 

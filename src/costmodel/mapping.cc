@@ -20,42 +20,54 @@ Mapping::arrayTilePe(int dim) const
     return tilePe[dim];
 }
 
-std::int64_t
+namespace {
+
+/** Widen-before-multiply (see the header's overflow note). */
+inline double
+d(std::int64_t v)
+{
+    return static_cast<double>(v);
+}
+
+} // namespace
+
+double
 Mapping::weightTileWords() const
 {
-    return tilePe[DimR] * tilePe[DimS] * tilePe[DimC] * tilePe[DimK];
+    return d(tilePe[DimR]) * d(tilePe[DimS]) * d(tilePe[DimC]) *
+           d(tilePe[DimK]);
 }
 
-std::int64_t
+double
 Mapping::inputTileWords(const LayerShape &layer) const
 {
-    const std::int64_t in_w =
-        (tilePe[DimP] - 1) * layer.strideW + tilePe[DimR];
-    const std::int64_t in_h =
-        (tilePe[DimQ] - 1) * layer.strideH + tilePe[DimS];
-    return in_w * in_h * tilePe[DimC];
+    const double in_w =
+        d(tilePe[DimP] - 1) * d(layer.strideW) + d(tilePe[DimR]);
+    const double in_h =
+        d(tilePe[DimQ] - 1) * d(layer.strideH) + d(tilePe[DimS]);
+    return in_w * in_h * d(tilePe[DimC]);
 }
 
-std::int64_t
+double
 Mapping::psumTileWords() const
 {
-    return tilePe[DimP] * tilePe[DimQ] * tilePe[DimK];
+    return d(tilePe[DimP]) * d(tilePe[DimQ]) * d(tilePe[DimK]);
 }
 
-std::int64_t
+double
 Mapping::inputGbTileWords(const LayerShape &layer) const
 {
-    const std::int64_t in_w =
-        (tileGb[DimP] - 1) * layer.strideW + tileGb[DimR];
-    const std::int64_t in_h =
-        (tileGb[DimQ] - 1) * layer.strideH + tileGb[DimS];
-    return in_w * in_h * tileGb[DimC];
+    const double in_w =
+        d(tileGb[DimP] - 1) * d(layer.strideW) + d(tileGb[DimR]);
+    const double in_h =
+        d(tileGb[DimQ] - 1) * d(layer.strideH) + d(tileGb[DimS]);
+    return in_w * in_h * d(tileGb[DimC]);
 }
 
-std::int64_t
+double
 Mapping::outputGbTileWords() const
 {
-    return tileGb[DimP] * tileGb[DimQ] * tileGb[DimK];
+    return d(tileGb[DimP]) * d(tileGb[DimQ]) * d(tileGb[DimK]);
 }
 
 std::string

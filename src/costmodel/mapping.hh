@@ -77,20 +77,29 @@ struct Mapping
     /** Tile the whole PE array covers concurrently in dimension d. */
     std::int64_t arrayTilePe(int dim) const;
 
+    // Word counts are products of up to four tile extents. At the
+    // corners of the design space (and for adversarial mappings fed
+    // to the fit check) the int64 product overflows, wraps negative,
+    // and makes an impossibly large tile "fit" its buffer — so every
+    // factor is widened to double BEFORE multiplying. Each factor is
+    // far below 2^53, so the result is exact whenever it matters and
+    // merely saturates gracefully when it would not fit an int64 at
+    // all. Callers consume these in double arithmetic anyway.
+
     /** Words of one PE's weight tile: r*s*c*k. */
-    std::int64_t weightTileWords() const;
+    double weightTileWords() const;
 
     /** Words of one PE's input tile, halo included. */
-    std::int64_t inputTileWords(const LayerShape &layer) const;
+    double inputTileWords(const LayerShape &layer) const;
 
     /** Partial sums in one PE's accumulation buffer: p*q*k. */
-    std::int64_t psumTileWords() const;
+    double psumTileWords() const;
 
     /** Words of the global buffer's input tile, halo included. */
-    std::int64_t inputGbTileWords(const LayerShape &layer) const;
+    double inputGbTileWords(const LayerShape &layer) const;
 
     /** Words of the global buffer's output tile: p*q*k. */
-    std::int64_t outputGbTileWords() const;
+    double outputGbTileWords() const;
 
     /** One-line description for logs. */
     std::string describe() const;

@@ -6,12 +6,32 @@
 #include "util/atomic_io.hh"
 #include "util/fault.hh"
 #include "util/logging.hh"
+#include "util/metrics.hh"
 #include "util/numeric.hh"
 #include "util/thread_pool.hh"
+#include "util/trace.hh"
 
 namespace vaesa {
 
 namespace {
+
+/** BO driver instruments, resolved once. */
+struct BoMetrics
+{
+    metrics::Counter &iterations =
+        metrics::counter("search.bo.iterations");
+    metrics::Histogram &fitNs =
+        metrics::histogram("search.bo.fit_ns");
+    metrics::Histogram &acqNs =
+        metrics::histogram("search.bo.acq_ns");
+};
+
+BoMetrics &
+boMetrics()
+{
+    static BoMetrics m;
+    return m;
+}
 
 /** BO snapshot payload: surrogate hyper-state at an iteration
  *  boundary (the GP itself is refit from the trace every iteration,
@@ -58,7 +78,14 @@ BayesOpt::BayesOpt(const BoOptions &options)
 double
 expectedImprovement(const GaussianProcess::Prediction &pred, double best)
 {
-    const double sigma = std::sqrt(std::max(pred.var, 0.0));
+    // NaN-safe clamp: std::max(NaN, 0.0) returns NaN, so a predictive
+    // variance poisoned upstream (near-duplicate training points can
+    // drive the Cholesky solve slightly negative or non-finite) would
+    // make sigma NaN and every EI comparison false -- the acquisition
+    // would silently fall back to its unscored candidate forever.
+    // The (var > 0) test is false for negatives, zero, and NaN alike.
+    const double var = pred.var > 0.0 ? pred.var : 0.0;
+    const double sigma = std::sqrt(var);
     if (sigma < 1e-12)
         return std::max(best - pred.mean, 0.0);
     const double z = (best - pred.mean) / sigma;
@@ -174,7 +201,10 @@ BayesOpt::continueRun(Objective &objective, SearchTrace &trace,
     };
     maybeSnapshot(); // cover the warm-up before the first iteration
 
+    BoMetrics &bm = boMetrics();
     while (trace.points.size() < samples) {
+        const trace::Span iterSpan("bo.iteration");
+        bm.iterations.inc();
         faultCheck("bo_iteration");
         // Penalize invalid observations to a finite value so the GP
         // learns to avoid the region instead of ignoring it.
@@ -242,15 +272,22 @@ BayesOpt::continueRun(Objective &objective, SearchTrace &trace,
                              : penalty);
         }
 
-        if (iterations_since_refit >= options_.hyperRefitInterval) {
-            gp.fitWithHyperSearch(xs, ys);
-            iterations_since_refit = 0;
-            hyper_known = true;
-        } else {
-            gp.fit(xs, ys);
+        {
+            const metrics::ScopedTimer fitTimer(bm.fitNs);
+            if (iterations_since_refit >=
+                options_.hyperRefitInterval) {
+                gp.fitWithHyperSearch(xs, ys);
+                iterations_since_refit = 0;
+                hyper_known = true;
+            } else {
+                gp.fit(xs, ys);
+            }
         }
         ++iterations_since_refit;
 
+        const bool instrument = metrics::metricsEnabled();
+        const std::uint64_t acq_t0 =
+            instrument ? metrics::monotonicNowNs() : 0;
         // Acquisition: random + local candidates, take the best EI.
         // Candidates are drawn serially (the rng stream must not
         // depend on the worker count); their EI scores are
@@ -301,6 +338,8 @@ BayesOpt::continueRun(Objective &objective, SearchTrace &trace,
             }
         }
         const std::vector<double> &best_x = candidates[best_idx];
+        if (instrument)
+            bm.acqNs.observe(metrics::monotonicNowNs() - acq_t0);
 
         trace.add(best_x, evaluateRecovered(objective, best_x));
         ++iterations;

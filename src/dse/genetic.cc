@@ -6,7 +6,9 @@
 #include "util/atomic_io.hh"
 #include "util/fault.hh"
 #include "util/logging.hh"
+#include "util/metrics.hh"
 #include "util/numeric.hh"
+#include "util/trace.hh"
 
 namespace vaesa {
 
@@ -169,7 +171,15 @@ GeneticSearch::run(Objective &objective, std::size_t samples, Rng &rng,
         return *best;
     };
 
+    static metrics::Counter &generationsMetric =
+        metrics::counter("search.ga.generations");
+    static metrics::Histogram &generationNsMetric =
+        metrics::histogram("search.ga.generation_ns");
     while (trace.points.size() < samples) {
+        const trace::Span generationSpan("ga.generation");
+        const metrics::ScopedTimer generationTimer(
+            generationNsMetric);
+        generationsMetric.inc();
         faultCheck("ga_generation");
         std::sort(population.begin(), population.end(),
                   [&](const Individual &a, const Individual &b) {

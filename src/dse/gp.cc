@@ -47,7 +47,11 @@ GaussianProcess::fit(const std::vector<std::vector<double>> &xs,
 
     yMean_ = mean(ys);
     yStd_ = stddev(ys);
-    if (yStd_ < 1e-12)
+    // stddev() is NaN for fewer than two observations and ~0 for
+    // identical ones; !(x > t) is the NaN-safe form of (x < t), so
+    // both degenerate sets fall back to unit scale instead of
+    // dividing by NaN/0 and poisoning every standardized label.
+    if (!(yStd_ > 1e-12))
         yStd_ = 1.0;
     std::vector<double> y_std(ys.size());
     for (std::size_t i = 0; i < ys.size(); ++i)
@@ -97,7 +101,12 @@ GaussianProcess::predict(const std::vector<double> &x) const
     double var_std = kernelValue(x, x);
     for (double vi : v)
         var_std -= vi * vi;
-    if (var_std < 0.0)
+    // Clamp BEFORE the caller takes sqrt: near-duplicate rows make
+    // the subtraction catastrophically cancel, which can leave a
+    // slightly negative or (through a degenerate solve) NaN residual
+    // variance. (var_std < 0.0) is false for NaN and would let it
+    // through, so test the NaN-safe complement instead.
+    if (!(var_std > 0.0))
         var_std = 0.0;
 
     return {yMean_ + yStd_ * mean_std, yStd_ * yStd_ * var_std};

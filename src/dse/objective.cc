@@ -7,14 +7,44 @@
 
 #include "util/fault.hh"
 #include "util/logging.hh"
+#include "util/metrics.hh"
 #include "util/numeric.hh"
 #include "util/thread_pool.hh"
 
 namespace vaesa {
 
+namespace {
+
+/**
+ * Objective-evaluation instruments. Every search driver funnels
+ * candidate scoring through evaluateRecovered(), so counting here
+ * covers random/GA/BO/SA uniformly, including pool-parallel batches
+ * (counters and histograms are safe under concurrent writers).
+ */
+struct EvalMetrics
+{
+    metrics::Counter &evals = metrics::counter("search.evals");
+    metrics::Counter &invalid =
+        metrics::counter("search.eval_invalid");
+    metrics::Histogram &evalNs =
+        metrics::histogram("search.eval_ns");
+};
+
+EvalMetrics &
+evalMetrics()
+{
+    static EvalMetrics m;
+    return m;
+}
+
+} // namespace
+
 double
 evaluateRecovered(Objective &objective, const std::vector<double> &x)
 {
+    EvalMetrics &em = evalMetrics();
+    em.evals.inc();
+    const metrics::ScopedTimer timer(em.evalNs);
     // Two attempts: injected faults fire once, so the retry separates
     // transient failures (which succeed on attempt two) from
     // persistent ones (which score invalid).
@@ -37,6 +67,7 @@ evaluateRecovered(Objective &objective, const std::vector<double> &x)
     }
     warn("marking candidate invalid after ", maxAttempts,
          " failed evaluations");
+    em.invalid.inc();
     return invalidScore;
 }
 

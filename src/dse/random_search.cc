@@ -4,6 +4,8 @@
 
 #include "util/fault.hh"
 #include "util/logging.hh"
+#include "util/metrics.hh"
+#include "util/trace.hh"
 
 namespace vaesa {
 
@@ -28,7 +30,14 @@ RandomSearch::run(Objective &objective, std::size_t samples, Rng &rng,
     const std::size_t chunk =
         checkpoint ? std::max<std::size_t>(1, checkpoint->every)
                    : samples;
+    static metrics::Counter &chunksMetric =
+        metrics::counter("search.random.chunks");
+    static metrics::Histogram &chunkNsMetric =
+        metrics::histogram("search.random.chunk_ns");
     while (trace.points.size() < samples) {
+        const trace::Span chunkSpan("random.chunk");
+        const metrics::ScopedTimer chunkTimer(chunkNsMetric);
+        chunksMetric.inc();
         faultCheck("random_chunk");
         const std::size_t count =
             std::min(chunk, samples - trace.points.size());

@@ -37,6 +37,23 @@ mix64(std::uint64_t x)
     return x ^ (x >> 31);
 }
 
+/** Process-wide mirrors of the per-instance cache counters. */
+struct GlobalCacheMetrics
+{
+    metrics::Counter &hits = metrics::counter("cache.hit");
+    metrics::Counter &misses = metrics::counter("cache.miss");
+    metrics::Counter &evictions = metrics::counter("cache.evict");
+    metrics::Counter &contention =
+        metrics::counter("cache.shard_contention");
+};
+
+GlobalCacheMetrics &
+globalCacheMetrics()
+{
+    static GlobalCacheMetrics m;
+    return m;
+}
+
 } // namespace
 
 std::size_t
@@ -111,20 +128,26 @@ CachingEvaluator::evaluateLayer(const AcceleratorConfig &arch,
     Shard &shard = shards_[KeyHash{}(key) % numShards];
 
     {
-        const std::lock_guard<std::mutex> lock(shard.mutex);
+        lockShard(shard);
+        const std::lock_guard<std::mutex> lock(shard.mutex,
+                                               std::adopt_lock);
         const auto it = shard.entries.find(key);
         if (it != shard.entries.end()) {
-            hits_.fetch_add(1, std::memory_order_relaxed);
+            hits_.inc();
+            globalCacheMetrics().hits.inc();
             return it->second;
         }
     }
     // Evaluate OUTSIDE the shard lock so a slow inner evaluation
     // never serializes unrelated lookups; a concurrent miss of the
     // same key just recomputes the identical deterministic result.
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_.inc();
+    globalCacheMetrics().misses.inc();
     const EvalResult result = inner_.evaluateLayer(snapped, layer);
     {
-        const std::lock_guard<std::mutex> lock(shard.mutex);
+        lockShard(shard);
+        const std::lock_guard<std::mutex> lock(shard.mutex,
+                                               std::adopt_lock);
         shard.entries.emplace(key, result); // no-op if raced
     }
     return result;
@@ -154,16 +177,44 @@ CachingEvaluator::evaluateWorkload(
 }
 
 void
+CachingEvaluator::lockShard(const Shard &shard)
+{
+    // try_lock first purely to observe contention; the blocking lock
+    // below is what actually serializes. The counter increment is a
+    // relaxed sharded add, cheap enough for the lookup path.
+    if (shard.mutex.try_lock())
+        return;
+    shard.contention.inc();
+    globalCacheMetrics().contention.inc();
+    shard.mutex.lock();
+}
+
+std::uint64_t
+CachingEvaluator::contention() const
+{
+    std::uint64_t total = 0;
+    for (const Shard &shard : shards_)
+        total += shard.contention.value();
+    return total;
+}
+
+void
 CachingEvaluator::clear()
 {
     const std::unique_lock<std::shared_mutex> lock(registryMutex_);
+    std::uint64_t dropped = 0;
     for (Shard &shard : shards_) {
         const std::lock_guard<std::mutex> shardLock(shard.mutex);
+        dropped += shard.entries.size();
         shard.entries.clear();
     }
     layerRegistry_.clear();
-    hits_.store(0, std::memory_order_relaxed);
-    misses_.store(0, std::memory_order_relaxed);
+    if (dropped > 0) {
+        evictions_.inc(dropped);
+        globalCacheMetrics().evictions.inc(dropped);
+    }
+    hits_.reset();
+    misses_.reset();
 }
 
 } // namespace vaesa

@@ -11,7 +11,6 @@
 #ifndef VAESA_SCHED_CACHING_EVALUATOR_HH
 #define VAESA_SCHED_CACHING_EVALUATOR_HH
 
-#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <shared_mutex>
@@ -19,6 +18,7 @@
 #include <vector>
 
 #include "sched/evaluator.hh"
+#include "util/metrics.hh"
 
 namespace vaesa {
 
@@ -34,7 +34,8 @@ namespace vaesa {
  * mutex and keyed by the mixed (config, layer) hash, so concurrent
  * lookups of different keys rarely contend; the layer registry is
  * append-only under a shared_mutex (read-mostly); hit/miss counters
- * are atomic. Shard locks are only held for the table lookup/insert,
+ * are sharded relaxed atomics (util/metrics.hh). Shard locks are
+ * only held for the table lookup/insert,
  * never across the inner evaluation — two threads missing the same
  * key concurrently both evaluate (the results are deterministic and
  * identical) and the second insert is dropped, so misses() counts
@@ -65,16 +66,21 @@ class CachingEvaluator
                                     &layers) const;
 
     /** Number of cache hits so far. */
-    std::uint64_t hits() const
-    {
-        return hits_.load(std::memory_order_relaxed);
-    }
+    std::uint64_t hits() const { return hits_.value(); }
 
     /** Number of cache misses (real inner evaluations) so far. */
-    std::uint64_t misses() const
-    {
-        return misses_.load(std::memory_order_relaxed);
-    }
+    std::uint64_t misses() const { return misses_.value(); }
+
+    /** Entries dropped by clear() over this instance's lifetime. */
+    std::uint64_t evictions() const { return evictions_.value(); }
+
+    /**
+     * Shard-lock acquisitions that found the lock already held
+     * (summed over shards). A rising ratio of contention() to
+     * hits()+misses() means the shard count no longer matches the
+     * thread count.
+     */
+    std::uint64_t contention() const;
 
     /**
      * Drop all cached entries, the layer registry, and both
@@ -110,7 +116,12 @@ class CachingEvaluator
     {
         mutable std::mutex mutex;
         std::unordered_map<Key, EvalResult, KeyHash> entries;
+        /** Lock acquisitions that had to wait (try_lock failed). */
+        mutable metrics::Counter contention;
     };
+
+    /** Lock shard.mutex, counting contended acquisitions. */
+    static void lockShard(const Shard &shard);
 
     std::uint64_t configKey(const AcceleratorConfig &arch) const;
     std::uint32_t layerId(const LayerShape &layer) const;
@@ -121,8 +132,14 @@ class CachingEvaluator
     mutable std::shared_mutex registryMutex_;
     mutable std::vector<LayerShape> layerRegistry_;
     mutable Shard shards_[numShards];
-    mutable std::atomic<std::uint64_t> hits_{0};
-    mutable std::atomic<std::uint64_t> misses_{0};
+    // Sharded metrics counters (util/metrics.hh) instead of ad-hoc
+    // atomics: same relaxed-increment semantics, but writers on
+    // different cores stop bouncing one cache line, and the values
+    // are mirrored into the process-wide registry ("cache.*") for
+    // the run manifest.
+    mutable metrics::Counter hits_;
+    mutable metrics::Counter misses_;
+    mutable metrics::Counter evictions_;
 };
 
 } // namespace vaesa

@@ -15,15 +15,16 @@ bool
 peTileFits(const CostModel &model, const AcceleratorConfig &arch,
            const LayerShape &layer, const Mapping &m)
 {
+    // Word counts are already double (widened before multiplying in
+    // Mapping, so corner-of-space tiles can't overflow into "fits").
     const double bpw = model.params().bytesPerWord;
-    if (static_cast<double>(m.weightTileWords()) * bpw >
+    if (m.weightTileWords() * bpw >
         static_cast<double>(arch.weightBufBytes))
         return false;
-    if (static_cast<double>(m.inputTileWords(layer)) * bpw >
+    if (m.inputTileWords(layer) * bpw >
         static_cast<double>(arch.inputBufBytes))
         return false;
-    if (static_cast<double>(m.psumTileWords()) *
-            model.params().bytesPerPsum >
+    if (m.psumTileWords() * model.params().bytesPerPsum >
         static_cast<double>(arch.accumBufBytes))
         return false;
     return true;
@@ -35,8 +36,7 @@ gbTileFits(const CostModel &model, const AcceleratorConfig &arch,
            const LayerShape &layer, const Mapping &m)
 {
     const double words =
-        static_cast<double>(m.inputGbTileWords(layer)) +
-        static_cast<double>(m.outputGbTileWords());
+        m.inputGbTileWords(layer) + m.outputGbTileWords();
     return words * model.params().bytesPerWord <=
            static_cast<double>(arch.globalBufBytes);
 }
@@ -65,8 +65,7 @@ Scheduler::peTrafficProxy(const LayerShape &layer, const Mapping &m) const
     for (int d = 0; d < numDims; ++d)
         n_tiles *= static_cast<double>(
             ceilDiv(dims[d], m.arrayTilePe(d)));
-    const double input_traffic =
-        n_tiles * static_cast<double>(m.inputTileWords(layer));
+    const double input_traffic = n_tiles * m.inputTileWords(layer);
 
     return weight_traffic + input_traffic +
            static_cast<double>(layer.outputWords());
@@ -79,7 +78,7 @@ Scheduler::gbTrafficProxy(const LayerShape &layer, const Mapping &m) const
     double n_gb = 1.0;
     for (int d = 0; d < numDims; ++d)
         n_gb *= static_cast<double>(ceilDiv(dims[d], m.tileGb[d]));
-    return n_gb * static_cast<double>(m.inputGbTileWords(layer));
+    return n_gb * m.inputGbTileWords(layer);
 }
 
 std::optional<Mapping>

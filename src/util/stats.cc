@@ -27,8 +27,12 @@ Summary::add(double x)
 double
 Summary::variance() const
 {
+    // The unbiased estimator divides by n-1, so it is undefined for
+    // n < 2. Returning 0 here dressed up "no spread information" as
+    // "zero spread" and let single-seed benches print +/- 0.0 as if
+    // it were a measured band; NaN forces callers to say "n/a".
     if (count_ < 2)
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     return m2_ / static_cast<double>(count_ - 1);
 }
 
@@ -52,8 +56,11 @@ mean(const std::vector<double> &xs)
 double
 stddev(const std::vector<double> &xs)
 {
+    // Undefined for fewer than two samples; NaN, not 0 (see
+    // Summary::variance). NaN-aware consumers: gp.cc guards its
+    // standardization scale with !(x > eps); benches print "n/a".
     if (xs.size() < 2)
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     const double m = mean(xs);
     double acc = 0.0;
     for (double x : xs)

@@ -31,10 +31,11 @@ class Summary
     /** Arithmetic mean (0 when empty). */
     double mean() const { return count_ ? mean_ : 0.0; }
 
-    /** Unbiased sample variance (0 with fewer than two samples). */
+    /** Unbiased sample variance (NaN with fewer than two samples —
+     *  undefined, not zero; report it as "n/a"). */
     double variance() const;
 
-    /** Sample standard deviation. */
+    /** Sample standard deviation (NaN with fewer than two samples). */
     double stddev() const;
 
     /** Smallest observation (+inf when empty). */
@@ -54,7 +55,8 @@ class Summary
 /** Mean of a vector (0 when empty). */
 double mean(const std::vector<double> &xs);
 
-/** Sample standard deviation of a vector (0 with fewer than 2 items). */
+/** Sample standard deviation of a vector (NaN with fewer than 2
+ *  items — undefined, not zero; report it as "n/a"). */
 double stddev(const std::vector<double> &xs);
 
 /** Geometric mean; requires strictly positive entries. */

@@ -5,8 +5,30 @@
 
 #include "util/env.hh"
 #include "util/logging.hh"
+#include "util/metrics.hh"
 
 namespace vaesa {
+
+namespace {
+
+/** Pool-wide observability instruments, resolved once. */
+struct PoolMetrics
+{
+    metrics::Counter &tasks = metrics::counter("pool.tasks");
+    metrics::Counter &busyNs = metrics::counter("pool.busy_ns");
+    metrics::Gauge &queueDepth = metrics::gauge("pool.queue_depth");
+    metrics::Histogram &taskNs =
+        metrics::histogram("pool.task_ns");
+};
+
+PoolMetrics &
+poolMetrics()
+{
+    static PoolMetrics m;
+    return m;
+}
+
+} // namespace
 
 ThreadPool::ThreadPool(std::size_t threads)
 {
@@ -43,8 +65,22 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
-        // packaged_task captures any exception into the future.
-        task();
+        PoolMetrics &m = poolMetrics();
+        m.queueDepth.add(-1.0);
+        // Task latency (and the busy-time counter behind worker
+        // utilization) needs two clock reads per task, so it is
+        // gated on the process-wide metrics switch.
+        if (metrics::metricsEnabled()) {
+            const std::uint64_t start = metrics::monotonicNowNs();
+            // packaged_task captures any exception into the future.
+            task();
+            const std::uint64_t ns =
+                metrics::monotonicNowNs() - start;
+            m.taskNs.observe(ns);
+            m.busyNs.inc(ns);
+        } else {
+            task();
+        }
     }
 }
 
@@ -59,6 +95,9 @@ ThreadPool::submit(std::function<void()> task)
             panic("ThreadPool::submit on a stopping pool");
         queue_.push_back(std::move(packaged));
     }
+    PoolMetrics &m = poolMetrics();
+    m.tasks.inc();
+    m.queueDepth.add(1.0);
     wake_.notify_one();
     return future;
 }

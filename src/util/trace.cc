@@ -1,0 +1,162 @@
+#include "util/trace.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "util/atomic_io.hh"
+#include "util/logging.hh"
+#include "util/metrics.hh"
+
+namespace vaesa::trace {
+
+namespace {
+
+std::atomic<bool> enabled{false};
+
+struct Event
+{
+    const char *name;
+    std::uint32_t tid;
+    std::uint64_t startNs;
+    std::uint64_t durNs;
+};
+
+/**
+ * Completed-span buffer. One mutex is enough: spans are coarse
+ * (epochs, search iterations, checkpoint writes), so the lock is
+ * taken a few times per second, not per evaluation — and only while
+ * tracing is enabled at all.
+ */
+struct Collector
+{
+    std::mutex mutex;
+    std::vector<Event> events;
+    std::atomic<std::uint64_t> dropped{0};
+};
+
+Collector &
+collector()
+{
+    // Leaked for the same destruction-order reason as the metrics
+    // registry: spans may close during static teardown.
+    static Collector *c = new Collector;
+    return *c;
+}
+
+/** Small dense per-thread id for the "tid" field. */
+std::uint32_t
+traceThreadId()
+{
+    static std::atomic<std::uint32_t> next{1};
+    thread_local const std::uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+} // namespace
+
+bool
+traceEnabled()
+{
+    return enabled.load(std::memory_order_relaxed);
+}
+
+void
+setTraceEnabled(bool on)
+{
+    enabled.store(on, std::memory_order_relaxed);
+}
+
+std::size_t
+eventCount()
+{
+    Collector &c = collector();
+    const std::lock_guard<std::mutex> lock(c.mutex);
+    return c.events.size();
+}
+
+std::uint64_t
+droppedCount()
+{
+    return collector().dropped.load(std::memory_order_relaxed);
+}
+
+void
+clear()
+{
+    Collector &c = collector();
+    const std::lock_guard<std::mutex> lock(c.mutex);
+    c.events.clear();
+    c.dropped.store(0, std::memory_order_relaxed);
+}
+
+Span::Span(const char *name)
+    : name_(name), startNs_(0), armed_(traceEnabled())
+{
+    if (armed_)
+        startNs_ = metrics::monotonicNowNs();
+}
+
+Span::~Span()
+{
+    if (!armed_)
+        return;
+    const std::uint64_t end = metrics::monotonicNowNs();
+    Collector &c = collector();
+    const std::lock_guard<std::mutex> lock(c.mutex);
+    if (c.events.size() >= maxEvents) {
+        c.dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    c.events.push_back(
+        {name_, traceThreadId(), startNs_, end - startNs_});
+}
+
+std::string
+chromeTraceJson()
+{
+    Collector &c = collector();
+    std::vector<Event> events;
+    {
+        const std::lock_guard<std::mutex> lock(c.mutex);
+        events = c.events;
+    }
+    std::string out;
+    out.reserve(128 + events.size() * 96);
+    out += "{\"traceEvents\": [";
+    char buf[256];
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const Event &e = events[i];
+        // Chrome trace "ts"/"dur" are microseconds; emit three
+        // decimals to keep nanosecond resolution.
+        std::snprintf(buf, sizeof(buf),
+                      "%s\n{\"name\": \"%s\", \"ph\": \"X\", "
+                      "\"pid\": 1, \"tid\": %" PRIu32
+                      ", \"ts\": %" PRIu64 ".%03" PRIu64
+                      ", \"dur\": %" PRIu64 ".%03" PRIu64 "}",
+                      i ? "," : "", e.name, e.tid,
+                      e.startNs / 1000, e.startNs % 1000,
+                      e.durNs / 1000, e.durNs % 1000);
+        out += buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "\n], \"displayTimeUnit\": \"ms\", "
+                  "\"droppedSpans\": %" PRIu64 "}\n",
+                  droppedCount());
+    out += buf;
+    return out;
+}
+
+bool
+writeChromeTrace(const std::string &path)
+{
+    if (auto err = atomicWriteFile(path, chromeTraceJson())) {
+        warn("trace write failed: ", err->describe());
+        return false;
+    }
+    return true;
+}
+
+} // namespace vaesa::trace

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Scoped RAII trace spans serialized to Chrome `chrome://tracing`
+ * JSON (also loadable in Perfetto). A Span records wall time between
+ * construction and destruction; completed spans land in a bounded
+ * process-wide buffer that writeChromeTrace() dumps through the
+ * crash-safe atomicWriteFile() path.
+ *
+ * Tracing is off by default: a disabled Span costs one relaxed bool
+ * load and touches no clock. Span names must be string literals (or
+ * otherwise outlive the process) — the collector stores the pointer,
+ * not a copy, so the hot path never allocates. The buffer is capped
+ * at maxEvents; spans past the cap are counted in "trace.dropped"
+ * rather than grown into unbounded memory.
+ */
+
+#ifndef VAESA_UTIL_TRACE_HH
+#define VAESA_UTIL_TRACE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace vaesa::trace {
+
+/** Hard cap on buffered completed spans. */
+constexpr std::size_t maxEvents = 1u << 20;
+
+/** True when span collection is active (default: off). */
+bool traceEnabled();
+
+/** Turn span collection on or off process-wide. */
+void setTraceEnabled(bool enabled);
+
+/** Completed spans currently buffered. */
+std::size_t eventCount();
+
+/** Spans dropped because the buffer was full. */
+std::uint64_t droppedCount();
+
+/** Discard all buffered spans (tests and between-run reuse). */
+void clear();
+
+/**
+ * Scoped span: timestamps its scope and records one complete ("ph":
+ * "X") event at destruction. Enabled-ness is latched at construction
+ * so a span open across a setTraceEnabled() flip stays consistent.
+ */
+class Span
+{
+  public:
+    /** @param name event label; MUST outlive the process (literal). */
+    explicit Span(const char *name);
+
+    ~Span();
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    const char *name_;
+    std::uint64_t startNs_;
+    bool armed_;
+};
+
+/**
+ * Serialize buffered spans as Chrome trace-event JSON (object format
+ * with a "traceEvents" array; timestamps in microseconds, durations
+ * preserved to sub-microsecond as fractions) and atomically write
+ * them to path. @return true on success (failures are warn()ed).
+ */
+bool writeChromeTrace(const std::string &path);
+
+/** The serialized trace JSON (exposed for schema tests). */
+std::string chromeTraceJson();
+
+} // namespace vaesa::trace
+
+#endif // VAESA_UTIL_TRACE_HH

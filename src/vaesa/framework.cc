@@ -5,6 +5,7 @@
 #include "nn/loss.hh"
 #include "util/stats.hh"
 #include "util/logging.hh"
+#include "util/metrics.hh"
 
 namespace vaesa {
 
@@ -96,6 +97,16 @@ VaesaFramework::encodeConfig(const AcceleratorConfig &config)
 AcceleratorConfig
 VaesaFramework::decodeLatent(const std::vector<double> &z)
 {
+    // Every latent-space driver (BO/GA/random/GD) decodes through
+    // here, so this one site covers decode counting + timing for all
+    // of them. Thread-safe: called from pool workers during batched
+    // candidate evaluation.
+    static metrics::Counter &decodesMetric =
+        metrics::counter("search.decodes");
+    static metrics::Histogram &decodeNsMetric =
+        metrics::histogram("search.decode_ns");
+    decodesMetric.inc();
+    const metrics::ScopedTimer timer(decodeNsMetric);
     if (z.size() != latentDim())
         panic("decodeLatent: latent width ", z.size(), " != ",
               latentDim());

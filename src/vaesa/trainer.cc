@@ -2,11 +2,15 @@
 
 #include <algorithm>
 
+#include <cmath>
+
 #include "nn/loss.hh"
 #include "nn/optim.hh"
 #include "util/contracts.hh"
 #include "util/fault.hh"
 #include "util/logging.hh"
+#include "util/metrics.hh"
+#include "util/trace.hh"
 #include "vaesa/checkpoint.hh"
 
 namespace vaesa {
@@ -22,6 +26,43 @@ gatherRows(const Matrix &src, const std::vector<std::size_t> &idx,
     for (std::size_t i = begin; i < end; ++i)
         out.setRow(i - begin, src.row(idx[i]));
     return out;
+}
+
+/** Training-loop observability instruments, resolved once. */
+struct TrainMetrics
+{
+    metrics::Counter &epochs = metrics::counter("train.epochs");
+    metrics::Gauge &reconLoss = metrics::gauge("train.recon_loss");
+    metrics::Gauge &kldLoss = metrics::gauge("train.kld_loss");
+    metrics::Gauge &latencyLoss =
+        metrics::gauge("train.latency_loss");
+    metrics::Gauge &energyLoss = metrics::gauge("train.energy_loss");
+    metrics::Gauge &totalLoss = metrics::gauge("train.total_loss");
+    metrics::Gauge &gradNorm = metrics::gauge("train.grad_norm");
+    metrics::Histogram &epochNs =
+        metrics::histogram("train.epoch_ns");
+    metrics::Histogram &checkpointNs =
+        metrics::histogram("train.checkpoint_ns");
+};
+
+TrainMetrics &
+trainMetrics()
+{
+    static TrainMetrics m;
+    return m;
+}
+
+/** L2 norm over every accumulated parameter gradient. */
+double
+gradientNorm(const std::vector<nn::Parameter *> &params)
+{
+    double sumSq = 0.0;
+    for (const nn::Parameter *p : params) {
+        const double *g = p->grad.data();
+        for (std::size_t i = 0; i < p->grad.size(); ++i)
+            sumSq += g[i] * g[i];
+    }
+    return std::sqrt(sumSq);
 }
 
 } // namespace
@@ -183,12 +224,33 @@ Trainer::train(const Matrix &hw_features, const Matrix &layer_features,
         }
     }
 
+    TrainMetrics &tm = trainMetrics();
     for (std::size_t epoch = start_epoch; epoch < options_.epochs;
          ++epoch) {
         faultCheck("train_epoch");
-        history.push_back(runEpoch(hw_features, layer_features,
-                                   latency_labels, energy_labels,
-                                   rng, true));
+        const bool instrument = metrics::metricsEnabled();
+        const std::uint64_t epoch_t0 =
+            instrument ? metrics::monotonicNowNs() : 0;
+        {
+            const trace::Span span("train.epoch");
+            history.push_back(runEpoch(hw_features, layer_features,
+                                       latency_labels, energy_labels,
+                                       rng, true));
+        }
+        tm.epochs.inc();
+        const EpochStats &stats = history.back();
+        tm.reconLoss.set(stats.reconLoss);
+        tm.kldLoss.set(stats.kldLoss);
+        tm.latencyLoss.set(stats.latencyLoss);
+        tm.energyLoss.set(stats.energyLoss);
+        tm.totalLoss.set(stats.totalLoss);
+        if (instrument) {
+            tm.epochNs.observe(metrics::monotonicNowNs() - epoch_t0);
+            // The last minibatch's gradients are still in the
+            // accumulators; their norm is the standard divergence
+            // early-warning signal. O(parameters), so gated.
+            tm.gradNorm.set(gradientNorm(optimizer_->params()));
+        }
         debugLog("epoch ", epoch, " recon=",
                  history.back().reconLoss, " kld=",
                  history.back().kldLoss, " lat=",
@@ -201,9 +263,19 @@ Trainer::train(const Matrix &hw_features, const Matrix &layer_features,
             checkpoint.epochsDone = epoch + 1;
             checkpoint.history = history;
             checkpoint.rng = rng.state();
-            if (auto err = saveTrainCheckpoint(
-                    options_.checkpointPath, checkpoint, *optimizer_))
-                warn("checkpoint save failed: ", err->describe());
+            const std::uint64_t ckpt_t0 =
+                instrument ? metrics::monotonicNowNs() : 0;
+            {
+                const trace::Span span("train.checkpoint");
+                if (auto err = saveTrainCheckpoint(
+                        options_.checkpointPath, checkpoint,
+                        *optimizer_))
+                    warn("checkpoint save failed: ",
+                         err->describe());
+            }
+            if (instrument)
+                tm.checkpointNs.observe(metrics::monotonicNowNs() -
+                                        ckpt_t0);
         }
     }
     return history;

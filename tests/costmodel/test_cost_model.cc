@@ -71,6 +71,36 @@ TEST(CostModel, RejectsOversizedWeightTile)
     EXPECT_NE(reason.find("weight"), std::string::npos);
 }
 
+TEST(CostModel, RejectsCornerOfSpaceTileWithoutOverflow)
+{
+    // Regression: word counts were int64 products, so a whole-layer
+    // tile of this (absurd but structurally legal) layer computed
+    // 2^32 * 2^32 = 2^64 -> wrapped to 0 words and "fit" every
+    // buffer, making the mapping valid. With per-factor widening to
+    // double the product stays positive and enormous, and the
+    // mapping is rejected for the right reason.
+    LayerShape l;
+    l.name = "unit.huge";
+    l.r = 1;
+    l.s = 1;
+    l.p = 65536;
+    l.q = 65536;
+    l.c = std::int64_t{1} << 32;
+    l.k = std::int64_t{1} << 32;
+    ASSERT_TRUE(l.isSane());
+
+    Mapping m;
+    m.spatialK = 1;
+    m.spatialC = 1;
+    m.tilePe = layerDims(l);
+    m.tileGb = layerDims(l);
+
+    CostModel model;
+    std::string reason;
+    EXPECT_FALSE(model.checkMapping(midConfig(), l, m, &reason));
+    EXPECT_NE(reason.find("exceeds"), std::string::npos) << reason;
+}
+
 TEST(CostModel, RejectsOversizedInputTile)
 {
     CostModel model;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "costmodel/mapping.hh"
 
 namespace vaesa {
@@ -71,6 +73,39 @@ TEST(Mapping, GlobalBufferTileWords)
     m.tileGb = {3, 3, 8, 8, 16, 32};
     EXPECT_EQ(m.inputGbTileWords(l), 10 * 10 * 16);
     EXPECT_EQ(m.outputGbTileWords(), 8 * 8 * 32);
+}
+
+TEST(Mapping, HugeTileWordCountsDoNotOverflow)
+{
+    // Regression: the word counts used to be int64 products, so a
+    // corner-of-design-space tile (four ~2^20 extents) wrapped
+    // negative and "fit" every buffer. In double, each factor is
+    // widened before multiplying: the product is exact (each factor
+    // is far below 2^53 and the true product below 2^80 keeps 53
+    // significant bits here by construction of the powers of two)
+    // and, crucially, positive and enormous.
+    const std::int64_t big = std::int64_t{1} << 20; // 2^20
+    Mapping m;
+    m.tilePe = {big, big, big, big, big, big};
+    m.tileGb = {big, big, big, big, big, big};
+
+    const double words = m.weightTileWords(); // (2^20)^4 = 2^80
+    EXPECT_GT(words, 0.0);
+    EXPECT_EQ(words, std::pow(2.0, 80.0));
+
+    const double psum = m.psumTileWords(); // 2^60
+    EXPECT_GT(psum, 0.0);
+    EXPECT_EQ(psum, std::pow(2.0, 60.0));
+
+    const double out_gb = m.outputGbTileWords(); // 2^60
+    EXPECT_GT(out_gb, 0.0);
+    EXPECT_EQ(out_gb, std::pow(2.0, 60.0));
+
+    LayerShape l = smallLayer();
+    l.strideW = 2;
+    l.strideH = 2;
+    EXPECT_GT(m.inputTileWords(l), std::pow(2.0, 60.0));
+    EXPECT_GT(m.inputGbTileWords(l), std::pow(2.0, 60.0));
 }
 
 TEST(Mapping, DescribeMentionsTiles)

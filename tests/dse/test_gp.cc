@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
+#include "dse/bo.hh"
 #include "dse/gp.hh"
 #include "util/rng.hh"
 
@@ -110,6 +112,48 @@ TEST(GaussianProcess, HandlesConstantLabels)
     GaussianProcess gp;
     gp.fit({{0.0}, {1.0}, {2.0}}, {3.0, 3.0, 3.0});
     EXPECT_NEAR(gp.predict({0.5}).mean, 3.0, 1e-6);
+}
+
+TEST(GaussianProcess, DuplicateObservationsKeepSigmaFinite)
+{
+    // Regression: two identical observations drive the predictive
+    // variance at the duplicated point negative (or, with a
+    // degenerate solve, NaN) through catastrophic cancellation; the
+    // old (var < 0) clamp passed NaN straight through, so
+    // sqrt(var) -> NaN sigma poisoned every EI comparison and the
+    // acquisition loop went blind. The clamp must be NaN-safe.
+    GaussianProcess gp(GaussianProcess::Kernel::Rbf, {0.5, 1e-10});
+    gp.fit({{0.25, 0.75}, {0.25, 0.75}}, {2.0, 2.0});
+    const auto pred = gp.predict({0.25, 0.75});
+    ASSERT_TRUE(std::isfinite(pred.mean));
+    ASSERT_TRUE(std::isfinite(pred.var));
+    EXPECT_GE(pred.var, 0.0);
+    const double ei = expectedImprovement(pred, 1.0);
+    EXPECT_TRUE(std::isfinite(ei));
+    EXPECT_GE(ei, 0.0);
+}
+
+TEST(GaussianProcess, ExpectedImprovementIsNanSafe)
+{
+    // std::max(NaN, 0.0) returns NaN; the EI clamp must not use it.
+    GaussianProcess::Prediction pred;
+    pred.mean = 2.0;
+    pred.var = std::numeric_limits<double>::quiet_NaN();
+    const double ei = expectedImprovement(pred, 5.0);
+    EXPECT_TRUE(std::isfinite(ei));
+    EXPECT_DOUBLE_EQ(ei, 3.0); // sigma clamps to 0: best - mean
+}
+
+TEST(GaussianProcess, SingleObservationFitIsFinite)
+{
+    // stddev() of one label is NaN; fit() must fall back to unit
+    // scale instead of standardizing by NaN.
+    GaussianProcess gp;
+    gp.fit({{0.5}}, {4.0});
+    const auto pred = gp.predict({0.5});
+    EXPECT_TRUE(std::isfinite(pred.mean));
+    EXPECT_TRUE(std::isfinite(pred.var));
+    EXPECT_NEAR(pred.mean, 4.0, 1e-3);
 }
 
 TEST(GaussianProcess, RejectsBadInputs)

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Lint fixture, never compiled: deliberately reads the raw
+ * monotonic clock so the lint.raw_clock_fixture ctest can prove
+ * vaesa_check flags direct steady_clock use everywhere outside
+ * src/util/. Mentions of steady_clock in this comment must NOT be
+ * reported — the scanner strips comments first.
+ */
+
+#include <chrono>
+#include <cstdint>
+
+namespace vaesa_lint_fixture {
+
+inline std::uint64_t
+rawClockRead()
+{
+    // Both the qualified and the using-decl spelling must trip the
+    // token scan: timing belongs behind metrics::metricsEnabled().
+    const auto t0 = std::chrono::steady_clock::now();
+    using clock = std::chrono::steady_clock;
+    const auto t1 = clock::now();
+    return static_cast<std::uint64_t>((t1 - t0).count()) +
+           static_cast<std::uint64_t>(
+               t0.time_since_epoch().count());
+}
+
+} // namespace vaesa_lint_fixture

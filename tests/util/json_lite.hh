@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON syntax validator for schema tests
+ * (run manifest, Chrome trace). Validates well-formedness only; key
+ * presence is asserted by the tests with plain substring checks.
+ * Test-only — production code never parses JSON.
+ */
+
+#ifndef VAESA_TESTS_UTIL_JSON_LITE_HH
+#define VAESA_TESTS_UTIL_JSON_LITE_HH
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace vaesa::testjson {
+
+class Validator
+{
+  public:
+    explicit Validator(const std::string &text) : s_(text) {}
+
+    bool
+    valid()
+    {
+        i_ = 0;
+        skipSpace();
+        if (!value())
+            return false;
+        skipSpace();
+        return i_ == s_.size();
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (i_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[i_])))
+            ++i_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::char_traits<char>::length(word);
+        if (s_.compare(i_, n, word) != 0)
+            return false;
+        i_ += n;
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (i_ >= s_.size() || s_[i_] != '"')
+            return false;
+        ++i_;
+        while (i_ < s_.size() && s_[i_] != '"') {
+            if (s_[i_] == '\\')
+                ++i_;
+            ++i_;
+        }
+        if (i_ >= s_.size())
+            return false;
+        ++i_; // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        std::size_t start = i_;
+        if (i_ < s_.size() && s_[i_] == '-')
+            ++i_;
+        while (i_ < s_.size() &&
+               std::isdigit(static_cast<unsigned char>(s_[i_])))
+            ++i_;
+        if (i_ == start || (s_[start] == '-' && i_ == start + 1))
+            return false;
+        if (i_ < s_.size() && s_[i_] == '.') {
+            ++i_;
+            while (i_ < s_.size() &&
+                   std::isdigit(static_cast<unsigned char>(s_[i_])))
+                ++i_;
+        }
+        if (i_ < s_.size() && (s_[i_] == 'e' || s_[i_] == 'E')) {
+            ++i_;
+            if (i_ < s_.size() && (s_[i_] == '+' || s_[i_] == '-'))
+                ++i_;
+            while (i_ < s_.size() &&
+                   std::isdigit(static_cast<unsigned char>(s_[i_])))
+                ++i_;
+        }
+        return true;
+    }
+
+    bool
+    object()
+    {
+        ++i_; // '{'
+        skipSpace();
+        if (i_ < s_.size() && s_[i_] == '}') {
+            ++i_;
+            return true;
+        }
+        while (true) {
+            skipSpace();
+            if (!string())
+                return false;
+            skipSpace();
+            if (i_ >= s_.size() || s_[i_] != ':')
+                return false;
+            ++i_;
+            skipSpace();
+            if (!value())
+                return false;
+            skipSpace();
+            if (i_ >= s_.size())
+                return false;
+            if (s_[i_] == ',') {
+                ++i_;
+                continue;
+            }
+            if (s_[i_] == '}') {
+                ++i_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++i_; // '['
+        skipSpace();
+        if (i_ < s_.size() && s_[i_] == ']') {
+            ++i_;
+            return true;
+        }
+        while (true) {
+            skipSpace();
+            if (!value())
+                return false;
+            skipSpace();
+            if (i_ >= s_.size())
+                return false;
+            if (s_[i_] == ',') {
+                ++i_;
+                continue;
+            }
+            if (s_[i_] == ']') {
+                ++i_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    value()
+    {
+        if (i_ >= s_.size())
+            return false;
+        switch (s_[i_]) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    const std::string &s_;
+    std::size_t i_ = 0;
+};
+
+/** True when text is one syntactically well-formed JSON value. */
+inline bool
+jsonValid(const std::string &text)
+{
+    return Validator(text).valid();
+}
+
+} // namespace vaesa::testjson
+
+#endif // VAESA_TESTS_UTIL_JSON_LITE_HH

@@ -14,7 +14,9 @@ TEST(Summary, EmptyIsZeroCount)
     Summary s;
     EXPECT_EQ(s.count(), 0u);
     EXPECT_DOUBLE_EQ(s.mean(), 0.0);
-    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    // Spread is undefined without observations: NaN, never 0.0.
+    EXPECT_TRUE(std::isnan(s.variance()));
+    EXPECT_TRUE(std::isnan(s.stddev()));
 }
 
 TEST(Summary, SingleValue)
@@ -23,9 +25,22 @@ TEST(Summary, SingleValue)
     s.add(3.5);
     EXPECT_EQ(s.count(), 1u);
     EXPECT_DOUBLE_EQ(s.mean(), 3.5);
-    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    // One sample pins the mean but says nothing about spread; the
+    // unbiased estimator (n-1 divisor) must report NaN, not a fake
+    // "+/- 0.0" band.
+    EXPECT_TRUE(std::isnan(s.variance()));
+    EXPECT_TRUE(std::isnan(s.stddev()));
     EXPECT_DOUBLE_EQ(s.min(), 3.5);
     EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(Summary, TwoSamplesHaveFiniteVariance)
+{
+    Summary s;
+    s.add(1.0);
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 2.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), std::sqrt(2.0));
 }
 
 TEST(Summary, KnownMoments)
@@ -50,8 +65,12 @@ TEST(Stats, MeanAndStddev)
 TEST(Stats, MeanOfEmptyIsZero)
 {
     EXPECT_DOUBLE_EQ(mean({}), 0.0);
-    EXPECT_DOUBLE_EQ(stddev({}), 0.0);
-    EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+}
+
+TEST(Stats, StddevUndersampledIsNan)
+{
+    EXPECT_TRUE(std::isnan(stddev({})));
+    EXPECT_TRUE(std::isnan(stddev({5.0})));
 }
 
 TEST(Stats, GeomeanOfPowers)

@@ -211,6 +211,21 @@ const std::vector<BannedStdIo> bannedStdIo = {
      {"src/util/"}},
 };
 
+/**
+ * Clock tokens banned outside src/util/ (directory-prefix
+ * allowance): library timing must go through
+ * metrics::monotonicNowNs() / metrics::ScopedTimer / trace::Span
+ * (util/metrics.hh, util/trace.hh) so every clock read is centrally
+ * gated on metricsEnabled() and instrumentation cannot silently put
+ * a syscall-class clock on a hot path. Matched as a bare token (not
+ * std::-qualified) so a using-declaration cannot smuggle it in.
+ */
+const std::vector<BannedStdIo> bannedClockTokens = {
+    {"steady_clock",
+     "metrics::monotonicNowNs()/ScopedTimer (util/metrics.hh)",
+     {"src/util/"}},
+};
+
 bool
 pathInDirs(const std::string &relPath,
            const std::vector<std::string> &prefixes)
@@ -335,6 +350,24 @@ checkBannedIdentifiers(const std::string &relPath,
             if (boundedRight && precededByStdQualifier(code, pos)) {
                 report(relPath, lineOfOffset(code, pos),
                        "use of 'std::" + ban.name + "' (use " +
+                           ban.instead + " instead)");
+            }
+            pos = end;
+        }
+    }
+    for (const BannedStdIo &ban : bannedClockTokens) {
+        if (pathInDirs(relPath, ban.allowedDirPrefixes))
+            continue;
+        std::size_t pos = 0;
+        while ((pos = code.find(ban.name, pos)) != std::string::npos) {
+            const std::size_t end = pos + ban.name.size();
+            const bool boundedLeft =
+                pos == 0 || !isIdentChar(code[pos - 1]);
+            const bool boundedRight =
+                end >= code.size() || !isIdentChar(code[end]);
+            if (boundedLeft && boundedRight) {
+                report(relPath, lineOfOffset(code, pos),
+                       "use of '" + ban.name + "' (use " +
                            ban.instead + " instead)");
             }
             pos = end;
