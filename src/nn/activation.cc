@@ -2,36 +2,60 @@
 
 #include <cmath>
 
+#include "tensor/kernels/kernels.hh"
 #include "util/logging.hh"
 
 namespace vaesa::nn {
 
+namespace {
+
+/** Copy input into slot 0 shaped like it (the activation output). */
+Matrix &
+copyToScratch(Matrix &dst, const Matrix &src)
+{
+    std::copy(src.data(), src.data() + src.size(), dst.data());
+    return dst;
+}
+
+} // namespace
+
 LeakyReLU::LeakyReLU(std::size_t width, double slope)
     : width_(width), slope_(slope)
 {
+    if (slope < 0.0)
+        panic("LeakyReLU slope must be >= 0, got ", slope);
 }
 
-Matrix
+const Matrix &
 LeakyReLU::forward(const Matrix &input)
 {
     if (input.cols() != width_)
         panic("LeakyReLU width mismatch: ", input.cols(), " != ", width_);
-    cachedInput_ = input;
-    Matrix out = input;
-    out.apply([this](double x) { return x > 0.0 ? x : slope_ * x; });
+    cachedRows_ = input.rows();
+    Matrix &out =
+        copyToScratch(scratch(0, input.rows(), width_), input);
+    kernels::leakyReluForward(out.data(), out.size(), slope_);
     return out;
 }
 
-Matrix
+const Matrix &
 LeakyReLU::backward(const Matrix &grad_output)
 {
-    Matrix grad = grad_output;
-    if (grad.rows() != cachedInput_.rows() || grad.cols() != width_)
+    if (!training())
+        panic("LeakyReLU backward in eval mode");
+    if (grad_output.rows() != cachedRows_ ||
+        grad_output.cols() != width_)
         panic("LeakyReLU backward shape mismatch");
-    for (std::size_t r = 0; r < grad.rows(); ++r)
-        for (std::size_t c = 0; c < grad.cols(); ++c)
-            if (cachedInput_(r, c) <= 0.0)
-                grad(r, c) *= slope_;
+    // slope >= 0 keeps the activation sign-preserving, so the cached
+    // OUTPUT carries the branch: out > 0 iff in > 0, and NaN inputs
+    // (slope-scaled to NaN in forward) fail the > test in both
+    // passes. One predicate, one derivative convention: f'(0) =
+    // slope.
+    const Matrix &out = scratch(0, cachedRows_, width_);
+    Matrix &grad =
+        copyToScratch(scratch(1, cachedRows_, width_), grad_output);
+    kernels::leakyReluBackward(grad.data(), out.data(), grad.size(),
+                               slope_);
     return grad;
 }
 
@@ -40,29 +64,30 @@ Sigmoid::Sigmoid(std::size_t width)
 {
 }
 
-Matrix
+const Matrix &
 Sigmoid::forward(const Matrix &input)
 {
     if (input.cols() != width_)
         panic("Sigmoid width mismatch: ", input.cols(), " != ", width_);
-    Matrix out = input;
-    out.apply([](double x) { return 1.0 / (1.0 + std::exp(-x)); });
-    cachedOutput_ = out;
+    cachedRows_ = input.rows();
+    Matrix &out =
+        copyToScratch(scratch(0, input.rows(), width_), input);
+    kernels::sigmoidForward(out.data(), out.size());
     return out;
 }
 
-Matrix
+const Matrix &
 Sigmoid::backward(const Matrix &grad_output)
 {
-    Matrix grad = grad_output;
-    if (grad.rows() != cachedOutput_.rows() || grad.cols() != width_)
+    if (!training())
+        panic("Sigmoid backward in eval mode");
+    if (grad_output.rows() != cachedRows_ ||
+        grad_output.cols() != width_)
         panic("Sigmoid backward shape mismatch");
-    for (std::size_t r = 0; r < grad.rows(); ++r) {
-        for (std::size_t c = 0; c < grad.cols(); ++c) {
-            const double y = cachedOutput_(r, c);
-            grad(r, c) *= y * (1.0 - y);
-        }
-    }
+    const Matrix &out = scratch(0, cachedRows_, width_);
+    Matrix &grad =
+        copyToScratch(scratch(1, cachedRows_, width_), grad_output);
+    kernels::sigmoidBackward(grad.data(), out.data(), grad.size());
     return grad;
 }
 
@@ -71,29 +96,30 @@ Tanh::Tanh(std::size_t width)
 {
 }
 
-Matrix
+const Matrix &
 Tanh::forward(const Matrix &input)
 {
     if (input.cols() != width_)
         panic("Tanh width mismatch: ", input.cols(), " != ", width_);
-    Matrix out = input;
-    out.apply([](double x) { return std::tanh(x); });
-    cachedOutput_ = out;
+    cachedRows_ = input.rows();
+    Matrix &out =
+        copyToScratch(scratch(0, input.rows(), width_), input);
+    kernels::tanhForward(out.data(), out.size());
     return out;
 }
 
-Matrix
+const Matrix &
 Tanh::backward(const Matrix &grad_output)
 {
-    Matrix grad = grad_output;
-    if (grad.rows() != cachedOutput_.rows() || grad.cols() != width_)
+    if (!training())
+        panic("Tanh backward in eval mode");
+    if (grad_output.rows() != cachedRows_ ||
+        grad_output.cols() != width_)
         panic("Tanh backward shape mismatch");
-    for (std::size_t r = 0; r < grad.rows(); ++r) {
-        for (std::size_t c = 0; c < grad.cols(); ++c) {
-            const double y = cachedOutput_(r, c);
-            grad(r, c) *= 1.0 - y * y;
-        }
-    }
+    const Matrix &out = scratch(0, cachedRows_, width_);
+    Matrix &grad =
+        copyToScratch(scratch(1, cachedRows_, width_), grad_output);
+    kernels::tanhBackward(grad.data(), out.data(), grad.size());
     return grad;
 }
 

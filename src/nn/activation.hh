@@ -3,6 +3,12 @@
  * Element-wise activation modules: LeakyReLU (the paper's choice for
  * the VAE and predictor MLPs), Sigmoid (output head for [0,1) features)
  * and Tanh.
+ *
+ * All three cache only their own output buffer: LeakyReLU with slope
+ * in (0, 1] is sign-preserving, so its backward branches on the
+ * output's sign, and Sigmoid/Tanh derivatives are functions of the
+ * output. backward() scales the incoming gradient in a second
+ * arena buffer.
  */
 
 #ifndef VAESA_NN_ACTIVATION_HH
@@ -12,15 +18,28 @@
 
 namespace vaesa::nn {
 
-/** LeakyReLU: x for x > 0, slope * x otherwise. */
+/**
+ * LeakyReLU: x for x > 0, slope * x otherwise.
+ *
+ * Forward and backward share the single predicate (value > 0), so
+ * at exactly x = 0 both take the slope branch (f(0) = 0, f'(0) =
+ * slope) and a NaN input gets slope-scaled in both passes -- the
+ * historical mismatch (forward on input > 0, backward on input <= 0)
+ * disagreed for NaN.
+ */
 class LeakyReLU : public Module
 {
   public:
-    /** @param width feature width; @param slope negative-side slope. */
+    /**
+     * @param width feature width.
+     * @param slope negative-side slope; must be >= 0 so the
+     *        activation never flips a sign (out > 0 iff in > 0,
+     *        which backward's output-side branch relies on).
+     */
     explicit LeakyReLU(std::size_t width, double slope = 0.01);
 
-    Matrix forward(const Matrix &input) override;
-    Matrix backward(const Matrix &grad_output) override;
+    const Matrix &forward(const Matrix &input) override;
+    const Matrix &backward(const Matrix &grad_output) override;
 
     std::size_t inputSize() const override { return width_; }
     std::size_t outputSize() const override { return width_; }
@@ -28,10 +47,13 @@ class LeakyReLU : public Module
     /** Negative-side slope. */
     double slope() const { return slope_; }
 
+  protected:
+    std::size_t workspaceSlots() const override { return 2; }
+
   private:
     std::size_t width_;
     double slope_;
-    Matrix cachedInput_;
+    std::size_t cachedRows_ = 0;
 };
 
 /** Logistic sigmoid, 1 / (1 + e^-x). */
@@ -40,15 +62,18 @@ class Sigmoid : public Module
   public:
     explicit Sigmoid(std::size_t width);
 
-    Matrix forward(const Matrix &input) override;
-    Matrix backward(const Matrix &grad_output) override;
+    const Matrix &forward(const Matrix &input) override;
+    const Matrix &backward(const Matrix &grad_output) override;
 
     std::size_t inputSize() const override { return width_; }
     std::size_t outputSize() const override { return width_; }
 
+  protected:
+    std::size_t workspaceSlots() const override { return 2; }
+
   private:
     std::size_t width_;
-    Matrix cachedOutput_;
+    std::size_t cachedRows_ = 0;
 };
 
 /** Hyperbolic tangent. */
@@ -57,15 +82,18 @@ class Tanh : public Module
   public:
     explicit Tanh(std::size_t width);
 
-    Matrix forward(const Matrix &input) override;
-    Matrix backward(const Matrix &grad_output) override;
+    const Matrix &forward(const Matrix &input) override;
+    const Matrix &backward(const Matrix &grad_output) override;
 
     std::size_t inputSize() const override { return width_; }
     std::size_t outputSize() const override { return width_; }
 
+  protected:
+    std::size_t workspaceSlots() const override { return 2; }
+
   private:
     std::size_t width_;
-    Matrix cachedOutput_;
+    std::size_t cachedRows_ = 0;
 };
 
 } // namespace vaesa::nn

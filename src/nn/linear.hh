@@ -20,24 +20,41 @@ namespace vaesa::nn {
  * Affine layer: output = input * W^T + b.
  *
  * W is stored (out x in) so each output neuron's weights are one
- * contiguous row. Initialization is Kaiming-uniform by default (the
- * library targets LeakyReLU stacks).
+ * contiguous row. Initialization is Kaiming-uniform: the bound is
+ * gain * sqrt(3 / fan_in), with the gain chosen for the nonlinearity
+ * the layer feeds (leakyReluGain() for LeakyReLU stacks; the
+ * kDefaultInitGain sqrt(2) keeps heads and output layers on the
+ * historical bound).
+ *
+ * Checkpoint compatibility: the init change is gated behind fresh
+ * construction only -- the versioned parameter records
+ * (nn/serialize.hh) overwrite both value matrices wholesale on load,
+ * so resuming from any existing checkpoint remains bit-identical
+ * regardless of how the replacement weights were first drawn.
  */
 class Linear : public Module
 {
   public:
+    /** Kaiming gain for a plain/unknown following nonlinearity. */
+    static constexpr double kDefaultInitGain = 1.4142135623730951;
+
+    /** Kaiming gain sqrt(2 / (1 + slope^2)) for LeakyReLU. */
+    static double leakyReluGain(double slope);
+
     /**
      * Construct with Kaiming-uniform init.
      * @param in number of input features.
      * @param out number of output features.
      * @param rng seeded generator for the weight draw.
      * @param name parameter-name prefix.
+     * @param init_gain nonlinearity gain scaling the uniform bound.
      */
     Linear(std::size_t in, std::size_t out, Rng &rng,
-           const std::string &name = "linear");
+           const std::string &name = "linear",
+           double init_gain = kDefaultInitGain);
 
-    Matrix forward(const Matrix &input) override;
-    Matrix backward(const Matrix &grad_output) override;
+    const Matrix &forward(const Matrix &input) override;
+    const Matrix &backward(const Matrix &grad_output) override;
     std::vector<Parameter *> parameters() override;
 
     std::size_t inputSize() const override { return in_; }
@@ -49,12 +66,21 @@ class Linear : public Module
     /** Bias parameter, (1 x out). */
     Parameter &bias() { return bias_; }
 
+  protected:
+    std::size_t workspaceSlots() const override { return 2; }
+
   private:
     std::size_t in_;
     std::size_t out_;
     Parameter weight_;
     Parameter bias_;
-    Matrix cachedInput_;
+
+    /**
+     * View of the last training-mode forward input (caller- or
+     * arena-owned; the producer's buffer outlives our backward by
+     * the reverse-order backward contract). Null in eval mode.
+     */
+    const Matrix *cachedInput_ = nullptr;
 };
 
 } // namespace vaesa::nn

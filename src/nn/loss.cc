@@ -7,8 +7,9 @@
 
 namespace vaesa::nn {
 
-LossResult
-mseLoss(const Matrix &pred, const Matrix &target)
+void
+mseLossInto(const Matrix &pred, const Matrix &target,
+            LossResult &result)
 {
     if (pred.rows() != target.rows() || pred.cols() != target.cols())
         panic("mseLoss shape mismatch: ", pred.rows(), "x", pred.cols(),
@@ -17,7 +18,7 @@ mseLoss(const Matrix &pred, const Matrix &target)
     if (n == 0.0)
         panic("mseLoss on empty matrices");
 
-    LossResult result{0.0, Matrix(pred.rows(), pred.cols())};
+    result.grad.resizeBuffer(pred.rows(), pred.cols());
     double acc = 0.0;
     for (std::size_t r = 0; r < pred.rows(); ++r) {
         for (std::size_t c = 0; c < pred.cols(); ++c) {
@@ -29,11 +30,19 @@ mseLoss(const Matrix &pred, const Matrix &target)
     result.value = acc / n;
     VAESA_CHECK_FINITE(result.value, "MSE loss over ", pred.rows(),
                        "x", pred.cols());
+}
+
+LossResult
+mseLoss(const Matrix &pred, const Matrix &target)
+{
+    LossResult result{0.0, Matrix()};
+    mseLossInto(pred, target, result);
     return result;
 }
 
-KldResult
-gaussianKld(const Matrix &mu, const Matrix &logvar)
+void
+gaussianKldInto(const Matrix &mu, const Matrix &logvar,
+                KldResult &result)
 {
     if (mu.rows() != logvar.rows() || mu.cols() != logvar.cols())
         panic("gaussianKld shape mismatch");
@@ -41,8 +50,8 @@ gaussianKld(const Matrix &mu, const Matrix &logvar)
     if (batch == 0.0)
         panic("gaussianKld on empty batch");
 
-    KldResult result{0.0, Matrix(mu.rows(), mu.cols()),
-                     Matrix(mu.rows(), mu.cols())};
+    result.gradMu.resizeBuffer(mu.rows(), mu.cols());
+    result.gradLogvar.resizeBuffer(mu.rows(), mu.cols());
     double acc = 0.0;
     for (std::size_t r = 0; r < mu.rows(); ++r) {
         for (std::size_t c = 0; c < mu.cols(); ++c) {
@@ -57,6 +66,13 @@ gaussianKld(const Matrix &mu, const Matrix &logvar)
     result.value = acc / batch;
     VAESA_CHECK_FINITE(result.value, "Gaussian KLD over batch of ",
                        mu.rows());
+}
+
+KldResult
+gaussianKld(const Matrix &mu, const Matrix &logvar)
+{
+    KldResult result{0.0, Matrix(), Matrix()};
+    gaussianKldInto(mu, logvar, result);
     return result;
 }
 

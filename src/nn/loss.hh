@@ -28,6 +28,14 @@ struct LossResult
  */
 LossResult mseLoss(const Matrix &pred, const Matrix &target);
 
+/**
+ * mseLoss writing into a caller-owned result; the gradient buffer is
+ * reshaped with capacity retention so repeated calls at a steady
+ * batch size allocate nothing.
+ */
+void mseLossInto(const Matrix &pred, const Matrix &target,
+                 LossResult &result);
+
 /** Gradients of the Gaussian KLD w.r.t.\ mu and log-variance. */
 struct KldResult
 {
@@ -47,6 +55,11 @@ struct KldResult
  * KLD = -0.5 * mean_batch sum_dims(1 + logvar - mu^2 - exp(logvar)).
  */
 KldResult gaussianKld(const Matrix &mu, const Matrix &logvar);
+
+/** gaussianKld writing into a caller-owned result (allocation-free
+ * at a steady batch size, like mseLossInto). */
+void gaussianKldInto(const Matrix &mu, const Matrix &logvar,
+                     KldResult &result);
 
 } // namespace vaesa::nn
 

@@ -1,0 +1,31 @@
+#include "nn/module.hh"
+
+#include "util/logging.hh"
+
+namespace vaesa::nn {
+
+void
+Module::attachWorkspace(kernels::Workspace &arena)
+{
+    if (privateArena_)
+        panic("Module::attachWorkspace after scratch buffers were "
+              "already drawn from a private arena");
+    arena_ = &arena;
+    arenaBase_ = arena.reserveSlots(workspaceSlots());
+}
+
+Matrix &
+Module::scratch(std::size_t index, std::size_t rows, std::size_t cols)
+{
+    if (index >= workspaceSlots())
+        panic("Module::scratch: slot ", index, " out of ",
+              workspaceSlots());
+    if (arena_ == nullptr) {
+        privateArena_ = std::make_unique<kernels::Workspace>();
+        arena_ = privateArena_.get();
+        arenaBase_ = arena_->reserveSlots(workspaceSlots());
+    }
+    return arena_->buffer(arenaBase_ + index, rows, cols);
+}
+
+} // namespace vaesa::nn

@@ -7,14 +7,23 @@
  * a module-based design with explicit backward passes (each module
  * caches whatever its gradient needs) is simpler and faster than a
  * general autodiff tape, and gradients are exact by construction.
+ *
+ * forward()/backward() return references to module-owned scratch
+ * buffers drawn from a kernels::Workspace arena, so a steady-state
+ * training step performs no heap allocation. A returned reference is
+ * valid until the SAME module runs the same pass again; callers that
+ * need the values across another pass must copy them out
+ * (Matrix::copyFrom reuses capacity).
  */
 
 #ifndef VAESA_NN_MODULE_HH
 #define VAESA_NN_MODULE_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "tensor/kernels/workspace.hh"
 #include "tensor/matrix.hh"
 
 namespace vaesa::nn {
@@ -53,22 +62,30 @@ struct Parameter
  * backward() consumes dL/d(output) and returns dL/d(input), adding
  * parameter gradients into the module's Parameters. backward() must be
  * called after the forward() whose intermediates it needs, with a
- * matching batch size.
+ * matching batch size, and only in training mode: eval-mode forward
+ * skips gradient caching entirely (setTraining(false) is the
+ * inference fast path) and backward() then panics.
  */
 class Module
 {
   public:
     virtual ~Module() = default;
 
-    /** Run the stage on a batch; caches intermediates for backward. */
-    virtual Matrix forward(const Matrix &input) = 0;
+    /**
+     * Run the stage on a batch; in training mode, caches
+     * intermediates for backward.
+     * @return reference to the module-owned output buffer, valid
+     *         until this module's next forward().
+     */
+    virtual const Matrix &forward(const Matrix &input) = 0;
 
     /**
      * Back-propagate through the cached forward pass.
      * @param grad_output dL/d(output), same shape as forward's result.
-     * @return dL/d(input), same shape as forward's argument.
+     * @return dL/d(input) in a module-owned buffer, valid until this
+     *         module's next backward().
      */
-    virtual Matrix backward(const Matrix &grad_output) = 0;
+    virtual const Matrix &backward(const Matrix &grad_output) = 0;
 
     /** Learnable parameters of this stage (possibly empty). */
     virtual std::vector<Parameter *> parameters() { return {}; }
@@ -79,6 +96,23 @@ class Module
     /** Number of output features. */
     virtual std::size_t outputSize() const = 0;
 
+    /**
+     * Toggle training mode (the default). Eval mode skips gradient
+     * caching; backward() is rejected until training is re-enabled.
+     */
+    virtual void setTraining(bool training) { training_ = training; }
+
+    /** Whether gradient intermediates are being cached. */
+    bool training() const { return training_; }
+
+    /**
+     * Bind this module's scratch buffers to a shared arena (a
+     * Sequential attaches its stages to one workspace on add()).
+     * Must be called before the first forward(); unattached modules
+     * fall back to a lazily created private arena.
+     */
+    virtual void attachWorkspace(kernels::Workspace &arena);
+
     /** Zero all parameter gradients. */
     void
     zeroGrad()
@@ -86,6 +120,20 @@ class Module
         for (Parameter *p : parameters())
             p->zeroGrad();
     }
+
+  protected:
+    /** Arena slots this module type needs (see scratch()). */
+    virtual std::size_t workspaceSlots() const { return 0; }
+
+    /** This module's scratch buffer `index`, shaped rows x cols. */
+    Matrix &scratch(std::size_t index, std::size_t rows,
+                    std::size_t cols);
+
+  private:
+    bool training_ = true;
+    kernels::Workspace *arena_ = nullptr;
+    std::size_t arenaBase_ = 0;
+    std::unique_ptr<kernels::Workspace> privateArena_;
 };
 
 } // namespace vaesa::nn

@@ -15,25 +15,27 @@ Sequential::add(std::unique_ptr<Module> module)
         panic("Sequential: stage width mismatch: ",
               stages_.back()->outputSize(), " -> ", module->inputSize());
     }
+    module->setTraining(training());
+    module->attachWorkspace(*arena_);
     stages_.push_back(std::move(module));
 }
 
-Matrix
+const Matrix &
 Sequential::forward(const Matrix &input)
 {
-    Matrix current = input;
+    const Matrix *current = &input;
     for (auto &stage : stages_)
-        current = stage->forward(current);
-    return current;
+        current = &stage->forward(*current);
+    return *current;
 }
 
-Matrix
+const Matrix &
 Sequential::backward(const Matrix &grad_output)
 {
-    Matrix grad = grad_output;
+    const Matrix *grad = &grad_output;
     for (auto it = stages_.rbegin(); it != stages_.rend(); ++it)
-        grad = (*it)->backward(grad);
-    return grad;
+        grad = &(*it)->backward(*grad);
+    return *grad;
 }
 
 std::vector<Parameter *>
@@ -62,17 +64,35 @@ Sequential::outputSize() const
     return stages_.back()->outputSize();
 }
 
+void
+Sequential::setTraining(bool training)
+{
+    Module::setTraining(training);
+    for (auto &stage : stages_)
+        stage->setTraining(training);
+}
+
+void
+Sequential::attachWorkspace(kernels::Workspace &arena)
+{
+    if (!stages_.empty())
+        panic("Sequential::attachWorkspace after stages were added");
+    arena_ = &arena;
+}
+
 std::unique_ptr<Sequential>
 makeMlp(std::size_t in, const std::vector<std::size_t> &hidden,
         std::size_t out, Rng &rng, OutputActivation output_act,
         double leaky_slope)
 {
     auto net = std::make_unique<Sequential>();
+    const double hidden_gain = Linear::leakyReluGain(leaky_slope);
     std::size_t prev = in;
     int index = 0;
     for (std::size_t width : hidden) {
         net->add(std::make_unique<Linear>(
-            prev, width, rng, "fc" + std::to_string(index++)));
+            prev, width, rng, "fc" + std::to_string(index++),
+            hidden_gain));
         net->add(std::make_unique<LeakyReLU>(width, leaky_slope));
         prev = width;
     }

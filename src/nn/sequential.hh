@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "nn/module.hh"
+#include "tensor/kernels/workspace.hh"
 
 namespace vaesa {
 class Rng;
@@ -20,6 +21,14 @@ namespace vaesa::nn {
 /**
  * A chain of modules applied in order; backward runs in reverse.
  * Adjacent widths are validated when modules are appended.
+ *
+ * The container owns one kernels::Workspace arena; every appended
+ * stage binds its scratch buffers to it, so a whole-chain
+ * forward/backward is allocation-free once each slot has grown to
+ * the largest batch seen. The chain passes buffer references between
+ * stages (no copies); a Linear stage's cached input is a view of the
+ * previous stage's output buffer, which the reverse-order backward
+ * contract keeps intact for exactly as long as it is needed.
  */
 class Sequential : public Module
 {
@@ -29,18 +38,29 @@ class Sequential : public Module
     /** Append a stage; its input width must match the current output. */
     void add(std::unique_ptr<Module> module);
 
-    Matrix forward(const Matrix &input) override;
-    Matrix backward(const Matrix &grad_output) override;
+    const Matrix &forward(const Matrix &input) override;
+    const Matrix &backward(const Matrix &grad_output) override;
     std::vector<Parameter *> parameters() override;
 
     std::size_t inputSize() const override;
     std::size_t outputSize() const override;
 
+    /** Propagated to every stage. */
+    void setTraining(bool training) override;
+
+    /** Re-bind every stage to a caller-provided arena. */
+    void attachWorkspace(kernels::Workspace &arena) override;
+
     /** Number of stages. */
     std::size_t stageCount() const { return stages_.size(); }
 
+    /** The arena currently backing the stages' scratch buffers. */
+    const kernels::Workspace &workspace() const { return *arena_; }
+
   private:
     std::vector<std::unique_ptr<Module>> stages_;
+    kernels::Workspace ownArena_;
+    kernels::Workspace *arena_ = &ownArena_;
 };
 
 /** Output nonlinearity choice for makeMlp. */
@@ -49,6 +69,10 @@ enum class OutputActivation { None, Sigmoid, Tanh };
 /**
  * Build the paper's MLP shape: Linear / LeakyReLU stacks with an
  * optional output nonlinearity.
+ *
+ * Hidden Linear layers feed a LeakyReLU, so they are initialized
+ * with the matching Kaiming gain sqrt(2 / (1 + leaky_slope^2)); the
+ * output layer keeps Linear's default gain.
  *
  * @param in input feature width.
  * @param hidden widths of the hidden layers (may be empty).

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The naive reference GEMM bodies, in their own translation unit so
+ * they keep the project's baseline optimization flags: with
+ * VAESA_KERNEL=naive the math layer reproduces the pre-kernel-layer
+ * numerics exactly, which is what makes naive a trustworthy ground
+ * truth for the equivalence tests and A/B benchmarks.
+ *
+ * These are the seed implementations minus the old
+ * `if (aik == 0.0) continue` sparsity skips: skipping a zero
+ * multiplier silently swallowed NaN/Inf in the other operand
+ * (0 * NaN must be NaN), so every product is now always formed.
+ */
+
+#include "tensor/kernels/kernels_detail.hh"
+
+#include <algorithm>
+
+namespace vaesa::kernels::detail {
+
+void
+gemmNaive(std::size_t i0, std::size_t i1, std::size_t n, std::size_t k,
+          const double *a, const double *b, double *c, bool accumulate)
+{
+    // i-k-j order keeps the inner loop contiguous in b and c.
+    for (std::size_t i = i0; i < i1; ++i) {
+        const double *a_row = a + i * k;
+        double *c_row = c + i * n;
+        if (!accumulate)
+            std::fill(c_row, c_row + n, 0.0);
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const double aik = a_row[kk];
+            const double *b_row = b + kk * n;
+            for (std::size_t j = 0; j < n; ++j)
+                c_row[j] += aik * b_row[j];
+        }
+    }
+}
+
+void
+gemmTransANaive(std::size_t i0, std::size_t i1, std::size_t n,
+                std::size_t k, std::size_t m, const double *a,
+                const double *b, double *c, bool accumulate)
+{
+    if (!accumulate) {
+        for (std::size_t i = i0; i < i1; ++i)
+            std::fill(c + i * n, c + (i + 1) * n, 0.0);
+    }
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        const double *a_row = a + kk * m;
+        const double *b_row = b + kk * n;
+        for (std::size_t i = i0; i < i1; ++i) {
+            const double aki = a_row[i];
+            double *c_row = c + i * n;
+            for (std::size_t j = 0; j < n; ++j)
+                c_row[j] += aki * b_row[j];
+        }
+    }
+}
+
+void
+gemmTransBNaive(std::size_t i0, std::size_t i1, std::size_t n,
+                std::size_t k, const double *a, const double *b,
+                double *c, bool accumulate)
+{
+    for (std::size_t i = i0; i < i1; ++i) {
+        const double *a_row = a + i * k;
+        double *c_row = c + i * n;
+        for (std::size_t j = 0; j < n; ++j) {
+            const double *b_row = b + j * k;
+            double acc = accumulate ? c_row[j] : 0.0;
+            for (std::size_t kk = 0; kk < k; ++kk)
+                acc += a_row[kk] * b_row[kk];
+            c_row[j] = acc;
+        }
+    }
+}
+
+} // namespace vaesa::kernels::detail

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/kernels/kernels.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -44,6 +45,22 @@ Matrix::operator()(std::size_t r, std::size_t c) const
     return data_[r * cols_ + c];
 }
 
+void
+Matrix::resizeBuffer(std::size_t rows, std::size_t cols)
+{
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+}
+
+void
+Matrix::copyFrom(const Matrix &other)
+{
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    data_.assign(other.data_.begin(), other.data_.end());
+}
+
 std::vector<double>
 Matrix::row(std::size_t r) const
 {
@@ -51,6 +68,16 @@ Matrix::row(std::size_t r) const
         panic("Matrix row ", r, " out of ", rows_);
     return std::vector<double>(data_.begin() + r * cols_,
                                data_.begin() + (r + 1) * cols_);
+}
+
+void
+Matrix::copyRowInto(std::size_t r, std::vector<double> &out) const
+{
+    if (r >= rows_)
+        panic("Matrix row ", r, " out of ", rows_);
+    out.resize(cols_);
+    std::copy(data_.begin() + r * cols_,
+              data_.begin() + (r + 1) * cols_, out.begin());
 }
 
 void
@@ -174,67 +201,58 @@ Matrix::transposed() const
 Matrix
 Matrix::multiply(const Matrix &a, const Matrix &b)
 {
-    if (a.cols_ != b.rows_)
-        panic("Matrix multiply shape mismatch: ", a.rows_, "x", a.cols_,
-              " * ", b.rows_, "x", b.cols_);
-    Matrix c(a.rows_, b.cols_);
-    // i-k-j loop order keeps the inner loop contiguous in both b and c.
-    for (std::size_t i = 0; i < a.rows_; ++i) {
-        const double *a_row = a.data_.data() + i * a.cols_;
-        double *c_row = c.data_.data() + i * c.cols_;
-        for (std::size_t k = 0; k < a.cols_; ++k) {
-            const double aik = a_row[k];
-            if (aik == 0.0)
-                continue;
-            const double *b_row = b.data_.data() + k * b.cols_;
-            for (std::size_t j = 0; j < b.cols_; ++j)
-                c_row[j] += aik * b_row[j];
-        }
-    }
+    Matrix c;
+    multiplyInto(a, b, c);
     return c;
 }
 
 Matrix
 Matrix::multiplyTransB(const Matrix &a, const Matrix &b)
 {
-    if (a.cols_ != b.cols_)
-        panic("Matrix multiplyTransB shape mismatch: ", a.rows_, "x",
-              a.cols_, " * (", b.rows_, "x", b.cols_, ")^T");
-    Matrix c(a.rows_, b.rows_);
-    for (std::size_t i = 0; i < a.rows_; ++i) {
-        const double *a_row = a.data_.data() + i * a.cols_;
-        double *c_row = c.data_.data() + i * c.cols_;
-        for (std::size_t j = 0; j < b.rows_; ++j) {
-            const double *b_row = b.data_.data() + j * b.cols_;
-            double acc = 0.0;
-            for (std::size_t k = 0; k < a.cols_; ++k)
-                acc += a_row[k] * b_row[k];
-            c_row[j] = acc;
-        }
-    }
+    Matrix c;
+    multiplyTransBInto(a, b, c);
     return c;
 }
 
 Matrix
 Matrix::multiplyTransA(const Matrix &a, const Matrix &b)
 {
+    Matrix c;
+    multiplyTransAInto(a, b, c);
+    return c;
+}
+
+void
+Matrix::multiplyInto(const Matrix &a, const Matrix &b, Matrix &c)
+{
+    if (a.cols_ != b.rows_)
+        panic("Matrix multiply shape mismatch: ", a.rows_, "x", a.cols_,
+              " * ", b.rows_, "x", b.cols_);
+    c.resizeBuffer(a.rows_, b.cols_);
+    kernels::gemm(a.rows_, b.cols_, a.cols_, a.data_.data(),
+                  b.data_.data(), c.data_.data());
+}
+
+void
+Matrix::multiplyTransBInto(const Matrix &a, const Matrix &b, Matrix &c)
+{
+    if (a.cols_ != b.cols_)
+        panic("Matrix multiplyTransB shape mismatch: ", a.rows_, "x",
+              a.cols_, " * (", b.rows_, "x", b.cols_, ")^T");
+    c.resizeBuffer(a.rows_, b.rows_);
+    kernels::gemmTransB(a.rows_, b.rows_, a.cols_, a.data_.data(),
+                        b.data_.data(), c.data_.data());
+}
+
+void
+Matrix::multiplyTransAInto(const Matrix &a, const Matrix &b, Matrix &c)
+{
     if (a.rows_ != b.rows_)
         panic("Matrix multiplyTransA shape mismatch: (", a.rows_, "x",
               a.cols_, ")^T * ", b.rows_, "x", b.cols_);
-    Matrix c(a.cols_, b.cols_);
-    for (std::size_t k = 0; k < a.rows_; ++k) {
-        const double *a_row = a.data_.data() + k * a.cols_;
-        const double *b_row = b.data_.data() + k * b.cols_;
-        for (std::size_t i = 0; i < a.cols_; ++i) {
-            const double aki = a_row[i];
-            if (aki == 0.0)
-                continue;
-            double *c_row = c.data_.data() + i * c.cols_;
-            for (std::size_t j = 0; j < b.cols_; ++j)
-                c_row[j] += aki * b_row[j];
-        }
-    }
-    return c;
+    c.resizeBuffer(a.cols_, b.cols_);
+    kernels::gemmTransA(a.cols_, b.cols_, a.rows_, a.data_.data(),
+                        b.data_.data(), c.data_.data());
 }
 
 void

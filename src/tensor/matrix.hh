@@ -64,8 +64,26 @@ class Matrix
     /** Raw row-major storage, const. */
     const double *data() const { return data_.data(); }
 
+    /**
+     * Reshape in place to rows x cols. Element values are
+     * unspecified afterwards; the backing store is retained (and
+     * never shrunk), so reshaping within the high-water mark is
+     * allocation-free. The scratch-buffer primitive behind the
+     * kernels::Workspace arena.
+     */
+    void resizeBuffer(std::size_t rows, std::size_t cols);
+
+    /** Become a deep copy of other, reusing existing capacity. */
+    void copyFrom(const Matrix &other);
+
+    /** Allocated element capacity of the backing store. */
+    std::size_t capacityElements() const { return data_.capacity(); }
+
     /** One row as a copied vector. */
     std::vector<double> row(std::size_t r) const;
+
+    /** Copy one row into out (resized to cols(), capacity reused). */
+    void copyRowInto(std::size_t r, std::vector<double> &out) const;
 
     /** Overwrite one row from a vector of length cols(). */
     void setRow(std::size_t r, const std::vector<double> &values);
@@ -106,7 +124,11 @@ class Matrix
     /** Transposed copy. */
     Matrix transposed() const;
 
-    /** C = A * B. */
+    /**
+     * C = A * B. Dispatches to the runtime-selected GEMM kernel
+     * (tensor/kernels); every product term is always formed, so
+     * NaN/Inf in either operand propagates even across zeros.
+     */
     static Matrix multiply(const Matrix &a, const Matrix &b);
 
     /** C = A * B^T (B given untransposed). */
@@ -114,6 +136,18 @@ class Matrix
 
     /** C = A^T * B (A given untransposed). */
     static Matrix multiplyTransA(const Matrix &a, const Matrix &b);
+
+    /** C = A * B without allocating when C has capacity. */
+    static void multiplyInto(const Matrix &a, const Matrix &b,
+                             Matrix &c);
+
+    /** C = A * B^T without allocating when C has capacity. */
+    static void multiplyTransBInto(const Matrix &a, const Matrix &b,
+                                   Matrix &c);
+
+    /** C = A^T * B without allocating when C has capacity. */
+    static void multiplyTransAInto(const Matrix &a, const Matrix &b,
+                                   Matrix &c);
 
     /** Fill with i.i.d. N(mean, stddev) draws. */
     void randomNormal(Rng &rng, double mean, double stddev);

@@ -111,14 +111,21 @@ Rng::normal(double mean, double stddev)
 std::vector<std::size_t>
 Rng::permutation(std::size_t n)
 {
-    std::vector<std::size_t> perm(n);
+    std::vector<std::size_t> perm;
+    permutationInto(n, perm);
+    return perm;
+}
+
+void
+Rng::permutationInto(std::size_t n, std::vector<std::size_t> &out)
+{
+    out.resize(n);
     for (std::size_t i = 0; i < n; ++i)
-        perm[i] = i;
+        out[i] = i;
     for (std::size_t i = n; i > 1; --i) {
         const std::size_t j = index(i);
-        std::swap(perm[i - 1], perm[j]);
+        std::swap(out[i - 1], out[j]);
     }
-    return perm;
 }
 
 Rng

@@ -75,6 +75,9 @@ class Rng
     /** Fisher-Yates shuffle of an index permutation [0, n). */
     std::vector<std::size_t> permutation(std::size_t n);
 
+    /** permutation() into a caller-owned vector (capacity reused). */
+    void permutationInto(std::size_t n, std::vector<std::size_t> &out);
+
     /** Spawn an independent child generator (for parallel streams). */
     Rng split();
 

@@ -99,8 +99,9 @@ VaesaFramework::decodeLatent(const std::vector<double> &z)
 {
     // Every latent-space driver (BO/GA/random/GD) decodes through
     // here, so this one site covers decode counting + timing for all
-    // of them. Thread-safe: called from pool workers during batched
-    // candidate evaluation.
+    // of them. Runs on the calling thread (latent objectives declare
+    // threadSafeEvaluate() == false), which is what lets it reuse
+    // the member scratch buffers allocation-free.
     static metrics::Counter &decodesMetric =
         metrics::counter("search.decodes");
     static metrics::Histogram &decodeNsMetric =
@@ -110,10 +111,11 @@ VaesaFramework::decodeLatent(const std::vector<double> &z)
     if (z.size() != latentDim())
         panic("decodeLatent: latent width ", z.size(), " != ",
               latentDim());
-    Matrix zm(1, z.size());
-    zm.setRow(0, z);
-    const std::vector<double> feats_unit = vae_->decode(zm).row(0);
-    return designSpace().fromFeatures(hwNorm_.inverse(feats_unit));
+    zBuf_.resizeBuffer(1, z.size());
+    zBuf_.setRow(0, z);
+    vae_->decode(zBuf_).copyRowInto(0, featsUnitBuf_);
+    hwNorm_.inverseInto(featsUnitBuf_, invBuf_);
+    return designSpace().fromFeatures(invBuf_);
 }
 
 std::vector<double>
@@ -127,23 +129,21 @@ VaesaFramework::predictScore(const std::vector<double> &z,
                              const std::vector<double> &layer_feats,
                              std::vector<double> *grad_z)
 {
-    Matrix zm(1, z.size());
-    zm.setRow(0, z);
-    Matrix fm(1, layer_feats.size());
-    fm.setRow(0, layer_feats);
+    zBuf_.resizeBuffer(1, z.size());
+    zBuf_.setRow(0, z);
+    featsBuf_.resizeBuffer(1, layer_feats.size());
+    featsBuf_.setRow(0, layer_feats);
+    onesBuf_.resizeBuffer(1, 1);
+    onesBuf_(0, 0) = 1.0;
 
-    const Matrix lat = latencyPred_->forward(zm, fm);
-    double score = lat(0, 0);
-    Matrix ones(1, 1, 1.0);
-    Matrix grad;
+    double score = latencyPred_->forward(zBuf_, featsBuf_)(0, 0);
     if (grad_z)
-        grad = latencyPred_->backward(ones);
+        gradBuf_.copyFrom(latencyPred_->backward(onesBuf_));
 
-    const Matrix en = energyPred_->forward(zm, fm);
-    score += en(0, 0);
+    score += energyPred_->forward(zBuf_, featsBuf_)(0, 0);
     if (grad_z) {
-        grad.add(energyPred_->backward(ones));
-        *grad_z = grad.row(0);
+        gradBuf_.add(energyPred_->backward(onesBuf_));
+        gradBuf_.copyRowInto(0, *grad_z);
     }
     return score;
 }
@@ -152,11 +152,11 @@ double
 VaesaFramework::predictedLatency(const std::vector<double> &z,
                                  const std::vector<double> &layer_feats)
 {
-    Matrix zm(1, z.size());
-    zm.setRow(0, z);
-    Matrix fm(1, layer_feats.size());
-    fm.setRow(0, layer_feats);
-    const double unit = latencyPred_->forward(zm, fm)(0, 0);
+    zBuf_.resizeBuffer(1, z.size());
+    zBuf_.setRow(0, z);
+    featsBuf_.resizeBuffer(1, layer_feats.size());
+    featsBuf_.setRow(0, layer_feats);
+    const double unit = latencyPred_->forward(zBuf_, featsBuf_)(0, 0);
     return std::exp2(latNorm_.inverse({unit})[0]);
 }
 
@@ -164,11 +164,11 @@ double
 VaesaFramework::predictedEnergy(const std::vector<double> &z,
                                 const std::vector<double> &layer_feats)
 {
-    Matrix zm(1, z.size());
-    zm.setRow(0, z);
-    Matrix fm(1, layer_feats.size());
-    fm.setRow(0, layer_feats);
-    const double unit = energyPred_->forward(zm, fm)(0, 0);
+    zBuf_.resizeBuffer(1, z.size());
+    zBuf_.setRow(0, z);
+    featsBuf_.resizeBuffer(1, layer_feats.size());
+    featsBuf_.setRow(0, layer_feats);
+    const double unit = energyPred_->forward(zBuf_, featsBuf_)(0, 0);
     return std::exp2(enNorm_.inverse({unit})[0]);
 }
 

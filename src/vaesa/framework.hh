@@ -167,6 +167,17 @@ class VaesaFramework
     Normalizer latNorm_;
     Normalizer enNorm_;
     std::vector<EpochStats> history_;
+
+    // Scratch for the decode/predict hot paths (reused so the
+    // LatentObjective evaluation loop is allocation-free after
+    // warm-up). NOT thread-safe; latent-space objectives declare
+    // threadSafeEvaluate() == false and run on the calling thread.
+    Matrix zBuf_;
+    Matrix featsBuf_;
+    Matrix onesBuf_;
+    Matrix gradBuf_;
+    std::vector<double> featsUnitBuf_;
+    std::vector<double> invBuf_;
 };
 
 } // namespace vaesa

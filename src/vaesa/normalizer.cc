@@ -61,12 +61,20 @@ Normalizer::transform(const Matrix &data) const
 std::vector<double>
 Normalizer::inverse(const std::vector<double> &row) const
 {
+    std::vector<double> out;
+    inverseInto(row, out);
+    return out;
+}
+
+void
+Normalizer::inverseInto(const std::vector<double> &row,
+                        std::vector<double> &out) const
+{
     if (row.size() != lo_.size())
         panic("Normalizer::inverse: width mismatch");
-    std::vector<double> out(row.size());
+    out.resize(row.size());
     for (std::size_t c = 0; c < row.size(); ++c)
         out[c] = row[c] * span_[c] + lo_[c];
-    return out;
 }
 
 Matrix

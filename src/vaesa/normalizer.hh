@@ -38,6 +38,10 @@ class Normalizer
     /** Invert the scaling of one row. */
     std::vector<double> inverse(const std::vector<double> &row) const;
 
+    /** inverse() into a caller-owned row (capacity reused). */
+    void inverseInto(const std::vector<double> &row,
+                     std::vector<double> &out) const;
+
     /** Invert the scaling of a whole matrix. */
     Matrix inverse(const Matrix &data) const;
 

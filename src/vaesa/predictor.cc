@@ -17,7 +17,7 @@ Predictor::Predictor(const PredictorOptions &options, Rng &rng,
         p->name = name + "." + p->name;
 }
 
-Matrix
+const Matrix &
 Predictor::forward(const Matrix &design, const Matrix &layer_feats)
 {
     if (design.rows() != layer_feats.rows())
@@ -27,26 +27,36 @@ Predictor::forward(const Matrix &design, const Matrix &layer_feats)
         layer_feats.cols() != options_.layerDim) {
         panic("Predictor::forward: feature width mismatch");
     }
-    Matrix joint(design.rows(),
-                 options_.designDim + options_.layerDim);
+    // The joint (design | layer) batch lives in a member buffer: the
+    // net's first Linear caches a view of its input, so the buffer
+    // must survive until backward().
+    jointBuf_.resizeBuffer(design.rows(),
+                           options_.designDim + options_.layerDim);
     for (std::size_t r = 0; r < design.rows(); ++r) {
         for (std::size_t c = 0; c < options_.designDim; ++c)
-            joint(r, c) = design(r, c);
+            jointBuf_(r, c) = design(r, c);
         for (std::size_t c = 0; c < options_.layerDim; ++c)
-            joint(r, options_.designDim + c) = layer_feats(r, c);
+            jointBuf_(r, options_.designDim + c) = layer_feats(r, c);
     }
-    return net_->forward(joint);
+    return net_->forward(jointBuf_);
 }
 
-Matrix
+const Matrix &
 Predictor::backward(const Matrix &grad_out)
 {
-    const Matrix grad_joint = net_->backward(grad_out);
-    Matrix grad_design(grad_joint.rows(), options_.designDim);
+    const Matrix &grad_joint = net_->backward(grad_out);
+    gradDesignBuf_.resizeBuffer(grad_joint.rows(),
+                                options_.designDim);
     for (std::size_t r = 0; r < grad_joint.rows(); ++r)
         for (std::size_t c = 0; c < options_.designDim; ++c)
-            grad_design(r, c) = grad_joint(r, c);
-    return grad_design;
+            gradDesignBuf_(r, c) = grad_joint(r, c);
+    return gradDesignBuf_;
+}
+
+void
+Predictor::setTraining(bool training)
+{
+    net_->setTraining(training);
 }
 
 std::vector<nn::Parameter *>

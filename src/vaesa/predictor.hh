@@ -50,9 +50,11 @@ class Predictor
 
     /**
      * Predict a (batch x 1) label from design and layer batches of
-     * equal row counts.
+     * equal row counts. Returns a reference to the net's output
+     * buffer, valid until this predictor runs forward again.
      */
-    Matrix forward(const Matrix &design, const Matrix &layer_feats);
+    const Matrix &forward(const Matrix &design,
+                          const Matrix &layer_feats);
 
     /**
      * Back-propagate through the cached forward pass; accumulates
@@ -60,11 +62,16 @@ class Predictor
      * @param grad_out dL/d(prediction), (batch x 1).
      * @return dL/d(design), (batch x designDim) -- layer-feature
      *         gradients are discarded (layer features are inputs).
+     *         Reference into a member buffer, valid until the next
+     *         backward.
      */
-    Matrix backward(const Matrix &grad_out);
+    const Matrix &backward(const Matrix &grad_out);
 
     /** Learnable parameters. */
     std::vector<nn::Parameter *> parameters();
+
+    /** Propagate train/eval mode to the underlying MLP. */
+    void setTraining(bool training);
 
     /** Options of this head. */
     const PredictorOptions &options() const { return options_; }
@@ -72,6 +79,8 @@ class Predictor
   private:
     PredictorOptions options_;
     std::unique_ptr<nn::Sequential> net_;
+    Matrix jointBuf_;
+    Matrix gradDesignBuf_;
 };
 
 } // namespace vaesa

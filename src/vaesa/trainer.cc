@@ -17,15 +17,18 @@ namespace vaesa {
 
 namespace {
 
-/** Gather the rows of src listed in idx[begin, end). */
-Matrix
-gatherRows(const Matrix &src, const std::vector<std::size_t> &idx,
-           std::size_t begin, std::size_t end)
+/** Gather the rows of src listed in idx[begin, end) into out. */
+void
+gatherRowsInto(const Matrix &src, const std::vector<std::size_t> &idx,
+               std::size_t begin, std::size_t end, Matrix &out)
 {
-    Matrix out(end - begin, src.cols());
-    for (std::size_t i = begin; i < end; ++i)
-        out.setRow(i - begin, src.row(idx[i]));
-    return out;
+    const std::size_t cols = src.cols();
+    out.resizeBuffer(end - begin, cols);
+    for (std::size_t i = begin; i < end; ++i) {
+        const double *from = src.data() + idx[i] * cols;
+        std::copy(from, from + cols,
+                  out.data() + (i - begin) * cols);
+    }
 }
 
 /** Training-loop observability instruments, resolved once. */
@@ -95,13 +98,13 @@ Trainer::runEpoch(const Matrix &hw, const Matrix &layer,
         en_labels.rows() != n) {
         fatal("Trainer: inconsistent row counts across matrices");
     }
-    std::vector<std::size_t> order =
-        update ? rng.permutation(n) : [&] {
-            std::vector<std::size_t> ident(n);
-            for (std::size_t i = 0; i < n; ++i)
-                ident[i] = i;
-            return ident;
-        }();
+    if (update) {
+        rng.permutationInto(n, orderBuf_);
+    } else {
+        orderBuf_.resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            orderBuf_[i] = i;
+    }
 
     EpochStats stats;
     std::size_t batches = 0;
@@ -109,62 +112,60 @@ Trainer::runEpoch(const Matrix &hw, const Matrix &layer,
          begin += options_.batchSize) {
         const std::size_t end =
             std::min(n, begin + options_.batchSize);
-        const Matrix x = gatherRows(hw, order, begin, end);
-        const Matrix feats = gatherRows(layer, order, begin, end);
-        const Matrix y_lat =
-            gatherRows(lat_labels, order, begin, end);
-        const Matrix y_en = gatherRows(en_labels, order, begin, end);
+        gatherRowsInto(hw, orderBuf_, begin, end, xBuf_);
+        gatherRowsInto(layer, orderBuf_, begin, end, featsBuf_);
+        gatherRowsInto(lat_labels, orderBuf_, begin, end, yLatBuf_);
+        gatherRowsInto(en_labels, orderBuf_, begin, end, yEnBuf_);
 
-        Vae::ForwardResult fr = vae_.forward(x, rng, update);
-        const Matrix pred_lat = latency_.forward(fr.z, feats);
-        const Matrix pred_en = energy_.forward(fr.z, feats);
+        vae_.forwardInto(xBuf_, rng, update, fr_);
+        const Matrix &pred_lat = latency_.forward(fr_.z, featsBuf_);
+        const Matrix &pred_en = energy_.forward(fr_.z, featsBuf_);
 
-        const nn::LossResult recon = nn::mseLoss(fr.recon, x);
-        const nn::KldResult kld = nn::gaussianKld(fr.mu, fr.logvar);
-        const nn::LossResult lat = nn::mseLoss(pred_lat, y_lat);
-        const nn::LossResult en = nn::mseLoss(pred_en, y_en);
+        nn::mseLossInto(fr_.recon, xBuf_, reconLoss_);
+        nn::gaussianKldInto(fr_.mu, fr_.logvar, kldLoss_);
+        nn::mseLossInto(pred_lat, yLatBuf_, latLoss_);
+        nn::mseLossInto(pred_en, yEnBuf_, enLoss_);
 
         // A NaN born in any loss term poisons the whole epoch mean
         // and, through Adam, every parameter; catch it at the batch
         // where it first appears.
-        VAESA_CHECK_FINITE(recon.value,
+        VAESA_CHECK_FINITE(reconLoss_.value,
                            "reconstruction loss, batch at row ",
                            begin);
-        VAESA_CHECK_FINITE(kld.value, "KLD loss, batch at row ",
+        VAESA_CHECK_FINITE(kldLoss_.value, "KLD loss, batch at row ",
                            begin);
-        VAESA_CHECK_FINITE(lat.value,
+        VAESA_CHECK_FINITE(latLoss_.value,
                            "latency-predictor loss, batch at row ",
                            begin);
-        VAESA_CHECK_FINITE(en.value,
+        VAESA_CHECK_FINITE(enLoss_.value,
                            "energy-predictor loss, batch at row ",
                            begin);
 
-        stats.reconLoss += recon.value;
-        stats.kldLoss += kld.value;
-        stats.latencyLoss += lat.value;
-        stats.energyLoss += en.value;
+        stats.reconLoss += reconLoss_.value;
+        stats.kldLoss += kldLoss_.value;
+        stats.latencyLoss += latLoss_.value;
+        stats.energyLoss += enLoss_.value;
         ++batches;
 
         if (update) {
             optimizer_->zeroGrad();
 
-            Matrix grad_lat = lat.grad;
-            grad_lat.scale(options_.predictorWeight);
-            Matrix grad_en = en.grad;
-            grad_en.scale(options_.predictorWeight);
-            Matrix grad_z = latency_.backward(grad_lat);
-            grad_z.add(energy_.backward(grad_en));
-            VAESA_CHECK_FINITE_ALL(grad_z,
+            // The loss gradients live in member buffers, so they can
+            // be scaled in place and fed straight to the backward
+            // passes.
+            latLoss_.grad.scale(options_.predictorWeight);
+            enLoss_.grad.scale(options_.predictorWeight);
+            gradZBuf_.copyFrom(latency_.backward(latLoss_.grad));
+            gradZBuf_.add(energy_.backward(enLoss_.grad));
+            VAESA_CHECK_FINITE_ALL(gradZBuf_,
                                    "predictor gradient into z, batch "
                                    "at row ", begin);
 
-            Matrix grad_mu = kld.gradMu;
-            grad_mu.scale(options_.kldWeight);
-            Matrix grad_logvar = kld.gradLogvar;
-            grad_logvar.scale(options_.kldWeight);
+            kldLoss_.gradMu.scale(options_.kldWeight);
+            kldLoss_.gradLogvar.scale(options_.kldWeight);
 
-            vae_.backward(fr, recon.grad, grad_mu, grad_logvar,
-                          grad_z);
+            vae_.backward(fr_, reconLoss_.grad, kldLoss_.gradMu,
+                          kldLoss_.gradLogvar, gradZBuf_);
             optimizer_->step();
         }
     }
@@ -310,25 +311,25 @@ PredictorTrainer::train(const Matrix &design, const Matrix &layer_feats,
     history.reserve(options_.epochs);
 
     for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
-        const std::vector<std::size_t> order = rng.permutation(n);
+        rng.permutationInto(n, orderBuf_);
         double epoch_loss = 0.0;
         std::size_t batches = 0;
         for (std::size_t begin = 0; begin < n;
              begin += options_.batchSize) {
             const std::size_t end =
                 std::min(n, begin + options_.batchSize);
-            const Matrix xb = gatherRows(design, order, begin, end);
-            const Matrix fb = gatherRows(layer_feats, order, begin,
-                                         end);
-            const Matrix yb = gatherRows(labels, order, begin, end);
+            gatherRowsInto(design, orderBuf_, begin, end, xBuf_);
+            gatherRowsInto(layer_feats, orderBuf_, begin, end,
+                           featsBuf_);
+            gatherRowsInto(labels, orderBuf_, begin, end, yBuf_);
 
-            const Matrix pred = predictor_.forward(xb, fb);
-            const nn::LossResult loss = nn::mseLoss(pred, yb);
-            epoch_loss += loss.value;
+            const Matrix &pred = predictor_.forward(xBuf_, featsBuf_);
+            nn::mseLossInto(pred, yBuf_, lossBuf_);
+            epoch_loss += lossBuf_.value;
             ++batches;
 
             optimizer_->zeroGrad();
-            predictor_.backward(loss.grad);
+            predictor_.backward(lossBuf_.grad);
             optimizer_->step();
         }
         history.push_back(batches ? epoch_loss /

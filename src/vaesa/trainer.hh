@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/loss.hh"
 #include "nn/optim.hh"
 #include "util/rng.hh"
 #include "vaesa/dataset.hh"
@@ -111,16 +112,37 @@ class Trainer
     /** Run one evaluation pass (no sampling, no updates). */
     EpochStats evaluate(const Dataset &data, Rng &rng);
 
-  private:
+    /**
+     * One pass over already-shuffled matrices; updates parameters
+     * when update is true. Public so tests can assert that the
+     * steady-state step loop is allocation-free: every per-batch
+     * temporary lives in a member buffer reused across batches and
+     * epochs.
+     */
     EpochStats runEpoch(const Matrix &hw, const Matrix &layer,
                         const Matrix &lat, const Matrix &en,
                         Rng &rng, bool update);
 
+  private:
     Vae &vae_;
     Predictor &latency_;
     Predictor &energy_;
     TrainOptions options_;
     std::unique_ptr<nn::Adam> optimizer_;
+
+    // Step-loop scratch, reused across batches (allocation-free at a
+    // steady batch size).
+    std::vector<std::size_t> orderBuf_;
+    Matrix xBuf_;
+    Matrix featsBuf_;
+    Matrix yLatBuf_;
+    Matrix yEnBuf_;
+    Vae::ForwardResult fr_;
+    nn::LossResult reconLoss_;
+    nn::LossResult latLoss_;
+    nn::LossResult enLoss_;
+    nn::KldResult kldLoss_;
+    Matrix gradZBuf_;
 };
 
 /** Supervised trainer for a standalone predictor (gd baseline). */
@@ -148,6 +170,13 @@ class PredictorTrainer
     Predictor &predictor_;
     TrainOptions options_;
     std::unique_ptr<nn::Adam> optimizer_;
+
+    // Step-loop scratch, reused across batches.
+    std::vector<std::size_t> orderBuf_;
+    Matrix xBuf_;
+    Matrix featsBuf_;
+    Matrix yBuf_;
+    nn::LossResult lossBuf_;
 };
 
 } // namespace vaesa

@@ -15,12 +15,17 @@ Vae::Vae(const VaeOptions &options, Rng &rng)
 
     // Encoder trunk: input -> hidden dims, LeakyReLU throughout
     // (including after the last hidden layer, before the heads).
+    // Hidden layers feed LeakyReLUs, so they get the matching
+    // Kaiming gain; the mu/logvar heads keep the default.
     encoderTrunk_ = std::make_unique<nn::Sequential>();
+    const double hidden_gain =
+        nn::Linear::leakyReluGain(options_.leakySlope);
     std::size_t prev = options_.inputDim;
     int index = 0;
     for (std::size_t width : options_.hiddenDims) {
         encoderTrunk_->add(std::make_unique<nn::Linear>(
-            prev, width, rng, "enc" + std::to_string(index++)));
+            prev, width, rng, "enc" + std::to_string(index++),
+            hidden_gain));
         encoderTrunk_->add(std::make_unique<nn::LeakyReLU>(
             width, options_.leakySlope));
         prev = width;
@@ -47,23 +52,32 @@ Vae::ForwardResult
 Vae::forward(const Matrix &x, Rng &rng, bool sample_latent)
 {
     ForwardResult fr;
-    trunkOut_ = encoderTrunk_->forward(x);
-    fr.mu = muHead_->forward(trunkOut_);
-    fr.logvar = logvarHead_->forward(trunkOut_);
+    forwardInto(x, rng, sample_latent, fr);
+    return fr;
+}
 
-    fr.eps = Matrix(fr.mu.rows(), fr.mu.cols());
+void
+Vae::forwardInto(const Matrix &x, Rng &rng, bool sample_latent,
+                 ForwardResult &fr)
+{
+    const Matrix &trunk = encoderTrunk_->forward(x);
+    fr.mu.copyFrom(muHead_->forward(trunk));
+    fr.logvar.copyFrom(logvarHead_->forward(trunk));
+
+    fr.eps.resizeBuffer(fr.mu.rows(), fr.mu.cols());
     if (sample_latent)
         fr.eps.randomNormal(rng, 0.0, 1.0);
+    else
+        fr.eps.fill(0.0);
 
-    fr.z = fr.mu;
+    fr.z.copyFrom(fr.mu);
     for (std::size_t r = 0; r < fr.z.rows(); ++r) {
         for (std::size_t c = 0; c < fr.z.cols(); ++c) {
             fr.z(r, c) += std::exp(0.5 * fr.logvar(r, c)) *
                           fr.eps(r, c);
         }
     }
-    fr.recon = decoder_->forward(fr.z);
-    return fr;
+    fr.recon.copyFrom(decoder_->forward(fr.z));
 }
 
 void
@@ -72,35 +86,46 @@ Vae::backward(const ForwardResult &fr, const Matrix &grad_recon,
               const Matrix &grad_z_extra)
 {
     // Through the decoder into z.
-    Matrix grad_z = decoder_->backward(grad_recon);
+    gradZ_.copyFrom(decoder_->backward(grad_recon));
     if (grad_z_extra.size() > 0)
-        grad_z.add(grad_z_extra);
+        gradZ_.add(grad_z_extra);
 
     // Through reparameterization: z = mu + exp(logvar/2) * eps.
-    Matrix grad_mu = grad_z;
-    grad_mu.add(grad_mu_kld);
-    Matrix grad_logvar = grad_logvar_kld;
-    for (std::size_t r = 0; r < grad_z.rows(); ++r) {
-        for (std::size_t c = 0; c < grad_z.cols(); ++c) {
-            grad_logvar(r, c) +=
-                grad_z(r, c) * fr.eps(r, c) * 0.5 *
+    gradMu_.copyFrom(gradZ_);
+    gradMu_.add(grad_mu_kld);
+    gradLogvar_.copyFrom(grad_logvar_kld);
+    for (std::size_t r = 0; r < gradZ_.rows(); ++r) {
+        for (std::size_t c = 0; c < gradZ_.cols(); ++c) {
+            gradLogvar_(r, c) +=
+                gradZ_(r, c) * fr.eps(r, c) * 0.5 *
                 std::exp(0.5 * fr.logvar(r, c));
         }
     }
 
     // Through the heads into the shared trunk.
-    Matrix grad_trunk = muHead_->backward(grad_mu);
-    grad_trunk.add(logvarHead_->backward(grad_logvar));
-    encoderTrunk_->backward(grad_trunk);
+    gradTrunk_.copyFrom(muHead_->backward(gradMu_));
+    gradTrunk_.add(logvarHead_->backward(gradLogvar_));
+    encoderTrunk_->backward(gradTrunk_);
 }
 
 Matrix
 Vae::encodeMean(const Matrix &x)
 {
-    return muHead_->forward(encoderTrunk_->forward(x));
+    // Run in eval mode so no stage caches a view of the (possibly
+    // temporary) input; restore the previous mode afterwards.
+    if (training_) {
+        encoderTrunk_->setTraining(false);
+        muHead_->setTraining(false);
+    }
+    Matrix mean = muHead_->forward(encoderTrunk_->forward(x));
+    if (training_) {
+        encoderTrunk_->setTraining(true);
+        muHead_->setTraining(true);
+    }
+    return mean;
 }
 
-Matrix
+const Matrix &
 Vae::decode(const Matrix &z)
 {
     return decoder_->forward(z);
@@ -119,6 +144,16 @@ Vae::parameters()
     for (nn::Parameter *p : decoder_->parameters())
         params.push_back(p);
     return params;
+}
+
+void
+Vae::setTraining(bool training)
+{
+    training_ = training;
+    encoderTrunk_->setTraining(training);
+    muHead_->setTraining(training);
+    logvarHead_->setTraining(training);
+    decoder_->setTraining(training);
 }
 
 } // namespace vaesa

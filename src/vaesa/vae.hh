@@ -43,7 +43,7 @@ class Vae
     /** Construct with randomly initialized weights. */
     Vae(const VaeOptions &options, Rng &rng);
 
-    /** Cached activations of one forward pass. */
+    /** Cached activations of one forward pass (caller-owned). */
     struct ForwardResult
     {
         /** Encoder means, (batch x latent). */
@@ -72,6 +72,16 @@ class Vae
                           bool sample_latent = true);
 
     /**
+     * forward() into a caller-owned result. The result matrices are
+     * reshaped with capacity retention, so repeated passes at a
+     * steady batch size allocate nothing. The modules cache a view
+     * of x (and of fr.z), so both must stay alive and unmodified
+     * until the matching backward() returns.
+     */
+    void forwardInto(const Matrix &x, Rng &rng, bool sample_latent,
+                     ForwardResult &fr);
+
+    /**
      * Back-propagate one training step. Must follow the forward()
      * that produced fr; accumulates parameter gradients.
      *
@@ -90,11 +100,21 @@ class Vae
     /** Encode to latent means only (inference path). */
     Matrix encodeMean(const Matrix &x);
 
-    /** Decode latent points to normalized features (inference). */
-    Matrix decode(const Matrix &z);
+    /**
+     * Decode latent points to normalized features. Returns a
+     * reference to the decoder's output buffer, valid until the
+     * decoder runs again. A plain decoder forward in the current
+     * train/eval mode: in training mode it replaces the decoder's
+     * cached activations, so a subsequent backward() flows through
+     * THIS decode (and z must stay alive until then).
+     */
+    const Matrix &decode(const Matrix &z);
 
     /** All learnable parameters (encoder, heads, decoder). */
     std::vector<nn::Parameter *> parameters();
+
+    /** Propagate train/eval mode to every submodule. */
+    void setTraining(bool training);
 
     /** Architecture options. */
     const VaeOptions &options() const { return options_; }
@@ -104,11 +124,15 @@ class Vae
 
   private:
     VaeOptions options_;
+    bool training_ = true;
     std::unique_ptr<nn::Sequential> encoderTrunk_;
     std::unique_ptr<nn::Linear> muHead_;
     std::unique_ptr<nn::Linear> logvarHead_;
     std::unique_ptr<nn::Sequential> decoder_;
-    Matrix trunkOut_;
+    Matrix gradZ_;
+    Matrix gradMu_;
+    Matrix gradLogvar_;
+    Matrix gradTrunk_;
 };
 
 } // namespace vaesa

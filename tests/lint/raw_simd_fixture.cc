@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Lint fixture, never compiled: deliberately reaches for raw SIMD
+ * intrinsics so the lint.raw_simd_fixture ctest can prove
+ * vaesa_check flags both the intrinsic header include and _mm*
+ * calls everywhere outside src/tensor/kernels/. Mentions in this
+ * comment must NOT be reported — the scanner strips comments first.
+ */
+
+#include <immintrin.h>
+
+namespace vaesa_lint_fixture {
+
+inline double
+sumFourDoubles(const double *p)
+{
+    __m256d v = _mm256_loadu_pd(p);
+    __m256d hi = _mm256_permute2f128_pd(v, v, 1);
+    __m256d s = _mm256_add_pd(v, hi);
+    double out[4];
+    _mm256_storeu_pd(out, s);
+    return out[0] + out[1];
+}
+
+} // namespace vaesa_lint_fixture

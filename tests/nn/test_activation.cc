@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "gradcheck.hh"
 #include "nn/activation.hh"
@@ -42,6 +43,48 @@ TEST(LeakyReLU, GradientsMatchFiniteDifferences)
         return std::fabs(v) < 0.05 ? v + 0.1 : v;
     });
     EXPECT_LT(testing::checkModuleGradients(act, x), 1e-5);
+}
+
+TEST(LeakyReLU, ForwardBackwardBranchesAgree)
+{
+    // Regression: forward used to branch on input > 0 while backward
+    // branched on input >= 0, so x == 0 took the slope path forward
+    // but reported derivative 1 backward. Both passes now share one
+    // predicate (the cached output's sign) with f'(0) = slope.
+    LeakyReLU act(4, 0.25);
+    Matrix x(1, 4, {-1.0, -0.0, 0.0, 2.0});
+    const Matrix y = act.forward(x);
+    EXPECT_DOUBLE_EQ(y(0, 0), -0.25);
+    EXPECT_DOUBLE_EQ(y(0, 1), 0.0);
+    EXPECT_DOUBLE_EQ(y(0, 2), 0.0);
+    EXPECT_DOUBLE_EQ(y(0, 3), 2.0);
+
+    const Matrix g = act.backward(Matrix(1, 4, {1.0, 1.0, 1.0, 1.0}));
+    EXPECT_DOUBLE_EQ(g(0, 0), 0.25);
+    EXPECT_DOUBLE_EQ(g(0, 1), 0.25);
+    EXPECT_DOUBLE_EQ(g(0, 2), 0.25);
+    EXPECT_DOUBLE_EQ(g(0, 3), 1.0);
+}
+
+TEST(LeakyReLU, NanInputsTakeTheSlopeBranchInBothPasses)
+{
+    // A NaN fails the > 0 test in forward (slope-scaled to NaN) and
+    // again in backward, so the two passes stay consistent.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    LeakyReLU act(2, 0.5);
+    Matrix x(1, 2, {nan, 3.0});
+    const Matrix y = act.forward(x);
+    EXPECT_TRUE(std::isnan(y(0, 0)));
+    EXPECT_DOUBLE_EQ(y(0, 1), 3.0);
+
+    const Matrix g = act.backward(Matrix(1, 2, {2.0, 2.0}));
+    EXPECT_DOUBLE_EQ(g(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(g(0, 1), 2.0);
+}
+
+TEST(LeakyReLU, NegativeSlopePanics)
+{
+    EXPECT_DEATH(LeakyReLU(2, -0.1), "slope");
 }
 
 TEST(Sigmoid, ForwardValues)

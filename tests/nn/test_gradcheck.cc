@@ -10,9 +10,12 @@
 #include <cmath>
 
 #include "gradcheck.hh"
+#include "nn/activation.hh"
+#include "nn/linear.hh"
 #include "nn/loss.hh"
 #include "nn/optim.hh"
 #include "nn/sequential.hh"
+#include "tensor/kernels/kernels.hh"
 #include "util/rng.hh"
 
 namespace vaesa::nn {
@@ -90,6 +93,130 @@ TEST_P(DeepStackGradcheck, PassesFiniteDifferences)
 
 INSTANTIATE_TEST_SUITE_P(Depths, DeepStackGradcheck,
                          ::testing::Values(1, 2, 3, 4));
+
+/**
+ * Every analytic gradient must match finite differences under both
+ * runtime-selectable GEMM kernels: the blocked kernels are bit-exact
+ * with the naive ones, so a divergence here would mean a genuine
+ * math bug rather than accumulation-order noise.
+ */
+class KernelGradcheck
+    : public ::testing::TestWithParam<kernels::KernelKind>
+{
+  protected:
+    void SetUp() override
+    {
+        saved_ = kernels::activeKernel();
+        kernels::setActiveKernel(GetParam());
+    }
+
+    void TearDown() override { kernels::setActiveKernel(saved_); }
+
+  private:
+    kernels::KernelKind saved_ = kernels::KernelKind::Blocked;
+};
+
+TEST_P(KernelGradcheck, LinearPassesFiniteDifferences)
+{
+    Rng rng(21);
+    Linear layer(6, 5, rng);
+    Matrix x(4, 6);
+    x.randomNormal(rng, 0.0, 1.0);
+    EXPECT_LT(testing::checkModuleGradients(layer, x), 1e-5);
+}
+
+TEST_P(KernelGradcheck, ActivationsPassFiniteDifferences)
+{
+    Rng rng(22);
+    Matrix x(5, 4);
+    x.randomNormal(rng, 0.0, 1.0);
+    // Keep LeakyReLU probes away from the kink at 0.
+    x.apply([](double v) {
+        return std::fabs(v) < 0.05 ? v + 0.1 : v;
+    });
+
+    LeakyReLU leaky(4, 0.01);
+    EXPECT_LT(testing::checkModuleGradients(leaky, x), 1e-5);
+    Sigmoid sigmoid(4);
+    EXPECT_LT(testing::checkModuleGradients(sigmoid, x), 1e-5);
+    Tanh tanh_act(4);
+    EXPECT_LT(testing::checkModuleGradients(tanh_act, x), 1e-5);
+}
+
+TEST_P(KernelGradcheck, MlpStackPassesFiniteDifferences)
+{
+    Rng rng(23);
+    auto net = makeMlp(4, {12, 8}, 3, rng,
+                       OutputActivation::Sigmoid);
+    Matrix x(3, 4);
+    x.randomNormal(rng, 0.0, 1.0);
+    EXPECT_LT(testing::checkModuleGradients(*net, x), 1e-4);
+}
+
+TEST_P(KernelGradcheck, MseLossGradMatchesFiniteDifferences)
+{
+    Rng rng(24);
+    Matrix pred(3, 4);
+    Matrix target(3, 4);
+    pred.randomNormal(rng, 0.0, 1.0);
+    target.randomNormal(rng, 0.0, 1.0);
+
+    const LossResult loss = mseLoss(pred, target);
+    const double eps = 1e-6;
+    for (std::size_t r = 0; r < pred.rows(); ++r) {
+        for (std::size_t c = 0; c < pred.cols(); ++c) {
+            const double saved = pred(r, c);
+            pred(r, c) = saved + eps;
+            const double plus = mseLoss(pred, target).value;
+            pred(r, c) = saved - eps;
+            const double minus = mseLoss(pred, target).value;
+            pred(r, c) = saved;
+            EXPECT_NEAR(loss.grad(r, c), (plus - minus) / (2 * eps),
+                        1e-5);
+        }
+    }
+}
+
+TEST_P(KernelGradcheck, GaussianKldGradsMatchFiniteDifferences)
+{
+    Rng rng(25);
+    Matrix mu(3, 4);
+    Matrix logvar(3, 4);
+    mu.randomNormal(rng, 0.0, 1.0);
+    logvar.randomNormal(rng, 0.0, 0.5);
+
+    const KldResult kld = gaussianKld(mu, logvar);
+    const double eps = 1e-6;
+    for (std::size_t r = 0; r < mu.rows(); ++r) {
+        for (std::size_t c = 0; c < mu.cols(); ++c) {
+            double saved = mu(r, c);
+            mu(r, c) = saved + eps;
+            const double mu_plus = gaussianKld(mu, logvar).value;
+            mu(r, c) = saved - eps;
+            const double mu_minus = gaussianKld(mu, logvar).value;
+            mu(r, c) = saved;
+            EXPECT_NEAR(kld.gradMu(r, c),
+                        (mu_plus - mu_minus) / (2 * eps), 1e-5);
+
+            saved = logvar(r, c);
+            logvar(r, c) = saved + eps;
+            const double lv_plus = gaussianKld(mu, logvar).value;
+            logvar(r, c) = saved - eps;
+            const double lv_minus = gaussianKld(mu, logvar).value;
+            logvar(r, c) = saved;
+            EXPECT_NEAR(kld.gradLogvar(r, c),
+                        (lv_plus - lv_minus) / (2 * eps), 1e-5);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, KernelGradcheck,
+    ::testing::Values(kernels::KernelKind::Naive,
+                      kernels::KernelKind::Blocked),
+    [](const ::testing::TestParamInfo<kernels::KernelKind> &info) {
+        return std::string(kernels::kernelName(info.param));
+    });
 
 } // namespace
 } // namespace vaesa::nn

@@ -104,6 +104,48 @@ TEST(Linear, InitializationIsBoundedAndSeedDependent)
     EXPECT_DOUBLE_EQ(a.bias().value.maxAbs(), 0.0);
 }
 
+TEST(Linear, LeakyReluGainMatchesKaimingFormula)
+{
+    // Regression: hidden layers feeding LeakyReLUs used to be
+    // initialized with the plain-ReLU gain sqrt(2); the correct
+    // Kaiming gain is sqrt(2 / (1 + slope^2)).
+    EXPECT_DOUBLE_EQ(Linear::leakyReluGain(0.0), std::sqrt(2.0));
+    EXPECT_DOUBLE_EQ(Linear::leakyReluGain(0.01),
+                     std::sqrt(2.0 / (1.0 + 0.01 * 0.01)));
+    EXPECT_DOUBLE_EQ(Linear::leakyReluGain(1.0), 1.0);
+    EXPECT_LT(Linear::leakyReluGain(0.01), Linear::kDefaultInitGain);
+    EXPECT_DOUBLE_EQ(Linear::kDefaultInitGain, std::sqrt(2.0));
+}
+
+TEST(Linear, InitGainScalesTheUniformBoundExactly)
+{
+    // Same seed, different gain: the draw is uniform scaled by the
+    // bound, so the two weight matrices are an exact rescale.
+    const double gain = Linear::leakyReluGain(0.1);
+    Rng rng_a(9);
+    Rng rng_b(9);
+    Linear a(64, 32, rng_a);
+    Linear b(64, 32, rng_b, "linear", gain);
+
+    const double ratio = gain / Linear::kDefaultInitGain;
+    const double bound = gain * std::sqrt(3.0 / 64.0);
+    EXPECT_LE(b.weight().value.maxAbs(), bound);
+    for (std::size_t r = 0; r < 32; ++r) {
+        for (std::size_t c = 0; c < 64; ++c) {
+            EXPECT_NEAR(b.weight().value(r, c),
+                        a.weight().value(r, c) * ratio,
+                        1e-15 * bound);
+        }
+    }
+}
+
+TEST(Linear, NonPositiveInitGainPanics)
+{
+    Rng rng(10);
+    EXPECT_DEATH(Linear(2, 2, rng, "linear", 0.0), "gain");
+    EXPECT_DEATH(Linear(2, 2, rng, "linear", -1.0), "gain");
+}
+
 TEST(Linear, ParametersExposesWeightAndBias)
 {
     Rng rng(7);

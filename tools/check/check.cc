@@ -10,7 +10,11 @@
  *    seeded Rng in src/util/rng.* so experiments stay reproducible;
  *  - header guards must match the file path (src/util/logging.hh
  *    guards with VAESA_UTIL_LOGGING_HH), so copied headers cannot
- *    silently shadow each other.
+ *    silently shadow each other;
+ *  - raw SIMD intrinsics (<immintrin.h> et al., _mm*_ calls) and
+ *    '#pragma omp' only inside src/tensor/kernels/: the rest of the
+ *    tree must use the kernels:: entry points so the determinism and
+ *    tolerance contracts live in one place.
  *
  * Matching runs on comment- and string-stripped text, so prose like
  * "random" or documentation mentioning abort() never trips it.
@@ -226,6 +230,24 @@ const std::vector<BannedStdIo> bannedClockTokens = {
      {"src/util/"}},
 };
 
+/**
+ * Raw SIMD and OpenMP are confined to src/tensor/kernels/: every
+ * other layer must go through the kernels:: entry points so the
+ * determinism and tolerance contracts (see tensor/kernels/kernels.hh)
+ * are enforced in exactly one place. Matched on stripped code, so
+ * documentation mentioning _mm256_fmadd_pd never trips it.
+ */
+const std::vector<std::string> kernelDirPrefixes = {
+    "src/tensor/kernels/",
+};
+
+const std::vector<std::string> simdIncludeNames = {
+    "immintrin.h", "xmmintrin.h", "emmintrin.h", "pmmintrin.h",
+    "smmintrin.h", "tmmintrin.h", "nmmintrin.h", "avxintrin.h",
+    "avx2intrin.h", "arm_neon.h",
+};
+
+
 bool
 pathInDirs(const std::string &relPath,
            const std::vector<std::string> &prefixes)
@@ -375,6 +397,62 @@ checkBannedIdentifiers(const std::string &relPath,
     }
 }
 
+void
+checkKernelOnlyConstructs(const std::string &relPath,
+                          const std::string &code)
+{
+    if (pathInDirs(relPath, kernelDirPrefixes))
+        return;
+    // Intrinsic headers: string-literal includes are stripped, but
+    // the angle-bracket form survives and is what intrinsics use.
+    for (const std::string &name : simdIncludeNames) {
+        const std::size_t pos = code.find("<" + name + ">");
+        if (pos != std::string::npos)
+            report(relPath, lineOfOffset(code, pos),
+                   "include of <" + name + "> (raw SIMD intrinsics "
+                   "are confined to src/tensor/kernels/)");
+    }
+    // Intrinsic calls: identifiers starting with _mm (covers _mm_,
+    // _mm256_, _mm512_).
+    std::size_t pos = 0;
+    while ((pos = code.find("_mm", pos)) != std::string::npos) {
+        const bool boundedLeft =
+            pos == 0 || !isIdentChar(code[pos - 1]);
+        const std::size_t end = pos + 3;
+        const bool intrinsicTail =
+            end < code.size() &&
+            (code[end] == '_' ||
+             std::isdigit(static_cast<unsigned char>(code[end])));
+        if (boundedLeft && intrinsicTail) {
+            report(relPath, lineOfOffset(code, pos),
+                   "raw SIMD intrinsic (confined to "
+                   "src/tensor/kernels/; use the kernels:: entry "
+                   "points instead)");
+            pos = code.find('\n', pos);
+            if (pos == std::string::npos)
+                break;
+        }
+        pos += 3;
+    }
+    // OpenMP pragmas: "#pragma omp" with any interior whitespace.
+    pos = 0;
+    while ((pos = code.find("#pragma", pos)) != std::string::npos) {
+        std::size_t i = pos + 7;
+        while (i < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[i])) &&
+               code[i] != '\n')
+            ++i;
+        if (code.compare(i, 3, "omp") == 0 &&
+            (i + 3 >= code.size() || !isIdentChar(code[i + 3]))) {
+            report(relPath, lineOfOffset(code, pos),
+                   "'#pragma omp' (OpenMP is confined to "
+                   "src/tensor/kernels/; use vaesa::ThreadPool via "
+                   "kernels::setGemmPool() instead)");
+        }
+        pos = i;
+    }
+}
+
 /** Expected include guard for a header path relative to the repo. */
 std::string
 expectedGuard(std::string relPath)
@@ -474,6 +552,7 @@ scanTree(const fs::path &root, const fs::path &subdir)
         const std::string code =
             stripCommentsAndStrings(buf.str());
         checkBannedIdentifiers(relPath, code);
+        checkKernelOnlyConstructs(relPath, code);
         if (file.extension() == ".hh" || file.extension() == ".hpp")
             checkHeaderGuard(relPath, code);
         ++scanned;
