@@ -52,6 +52,13 @@ loadSearchSnapshotFile(const std::string &path)
     if (trace_reader.failed() || count > maxTraceLen)
         return in.makeError(LoadError::Kind::Malformed,
                             "corrupt trace length");
+    // Every point needs at least its u64 dimension plus the f64
+    // value; bounding the declared count by the record payload keeps
+    // a hostile CRC-valid file from driving a multi-gigabyte
+    // reserve() before per-point validation runs (found by fuzzing).
+    if (count > trace_reader.remaining() / (2 * sizeof(double)))
+        return in.makeError(LoadError::Kind::Malformed,
+                            "trace length exceeds record payload");
     snapshot.trace.points.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
         const std::uint64_t dim = trace_reader.getU64();

@@ -93,12 +93,12 @@ std::uint32_t
 CachingEvaluator::layerId(const LayerShape &layer) const
 {
     {
-        const std::shared_lock<std::shared_mutex> lock(registryMutex_);
+        const ReaderLock lock(registryMutex_);
         for (std::uint32_t i = 0; i < layerRegistry_.size(); ++i)
             if (layerRegistry_[i].sameShape(layer))
                 return i;
     }
-    const std::unique_lock<std::shared_mutex> lock(registryMutex_);
+    const WriterLock lock(registryMutex_);
     // Re-scan under the exclusive lock: another thread may have
     // registered the same shape between the two lock scopes.
     for (std::uint32_t i = 0; i < layerRegistry_.size(); ++i)
@@ -129,8 +129,7 @@ CachingEvaluator::evaluateLayer(const AcceleratorConfig &arch,
 
     {
         lockShard(shard);
-        const std::lock_guard<std::mutex> lock(shard.mutex,
-                                               std::adopt_lock);
+        const MutexLock lock(shard.shardMutex, adoptLock);
         const auto it = shard.entries.find(key);
         if (it != shard.entries.end()) {
             hits_.inc();
@@ -146,8 +145,7 @@ CachingEvaluator::evaluateLayer(const AcceleratorConfig &arch,
     const EvalResult result = inner_.evaluateLayer(snapped, layer);
     {
         lockShard(shard);
-        const std::lock_guard<std::mutex> lock(shard.mutex,
-                                               std::adopt_lock);
+        const MutexLock lock(shard.shardMutex, adoptLock);
         shard.entries.emplace(key, result); // no-op if raced
     }
     return result;
@@ -182,11 +180,11 @@ CachingEvaluator::lockShard(const Shard &shard)
     // try_lock first purely to observe contention; the blocking lock
     // below is what actually serializes. The counter increment is a
     // relaxed sharded add, cheap enough for the lookup path.
-    if (shard.mutex.try_lock())
+    if (shard.shardMutex.try_lock())
         return;
     shard.contention.inc();
     globalCacheMetrics().contention.inc();
-    shard.mutex.lock();
+    shard.shardMutex.lock();
 }
 
 std::uint64_t
@@ -201,10 +199,10 @@ CachingEvaluator::contention() const
 void
 CachingEvaluator::clear()
 {
-    const std::unique_lock<std::shared_mutex> lock(registryMutex_);
+    const WriterLock lock(registryMutex_);
     std::uint64_t dropped = 0;
     for (Shard &shard : shards_) {
-        const std::lock_guard<std::mutex> shardLock(shard.mutex);
+        const MutexLock shardLock(shard.shardMutex);
         dropped += shard.entries.size();
         shard.entries.clear();
     }

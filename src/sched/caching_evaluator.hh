@@ -12,13 +12,12 @@
 #define VAESA_SCHED_CACHING_EVALUATOR_HH
 
 #include <cstdint>
-#include <mutex>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "sched/evaluator.hh"
 #include "util/metrics.hh"
+#include "util/sync.hh"
 
 namespace vaesa {
 
@@ -87,7 +86,7 @@ class CachingEvaluator
      * counters. NOT safe concurrently with evaluateLayer(); quiesce
      * the pool first.
      */
-    void clear();
+    void clear() VAESA_EXCLUDES(registryMutex_);
 
     /** The wrapped evaluator. */
     const Evaluator &inner() const { return inner_; }
@@ -114,23 +113,27 @@ class CachingEvaluator
     /** One independently locked slice of the memo table. */
     struct Shard
     {
-        mutable std::mutex mutex;
-        std::unordered_map<Key, EvalResult, KeyHash> entries;
+        mutable Mutex shardMutex;
+        std::unordered_map<Key, EvalResult, KeyHash> entries
+            VAESA_GUARDED_BY(shardMutex);
         /** Lock acquisitions that had to wait (try_lock failed). */
         mutable metrics::Counter contention;
     };
 
-    /** Lock shard.mutex, counting contended acquisitions. */
-    static void lockShard(const Shard &shard);
+    /** Lock shard.shardMutex, counting contended acquisitions. */
+    static void lockShard(const Shard &shard)
+        VAESA_ACQUIRE(shard.shardMutex);
 
     std::uint64_t configKey(const AcceleratorConfig &arch) const;
-    std::uint32_t layerId(const LayerShape &layer) const;
+    std::uint32_t layerId(const LayerShape &layer) const
+        VAESA_EXCLUDES(registryMutex_);
 
     Evaluator inner_;
     /** Append-only shape registry; shared lock to scan, unique to
      *  append. Registered ids are stable until clear(). */
-    mutable std::shared_mutex registryMutex_;
-    mutable std::vector<LayerShape> layerRegistry_;
+    mutable SharedMutex registryMutex_;
+    mutable std::vector<LayerShape> layerRegistry_
+        VAESA_GUARDED_BY(registryMutex_);
     mutable Shard shards_[numShards];
     // Sharded metrics counters (util/metrics.hh) instead of ad-hoc
     // atomics: same relaxed-increment semantics, but writers on

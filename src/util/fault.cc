@@ -60,7 +60,7 @@ FaultInjector::configure(const std::string &spec)
         if (end == spec.size())
             break;
     }
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(faultMutex_);
     for (auto &[site, plan] : parsed)
         plans_[site] = plan;
     anyArmed_.store(!plans_.empty(), std::memory_order_release);
@@ -72,7 +72,7 @@ FaultInjector::arm(const std::string &site, std::uint64_t nth)
 {
     if (nth == 0)
         panic("FaultInjector::arm: hit count must be >= 1");
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(faultMutex_);
     Plan plan;
     plan.nth = nth;
     plans_[site] = plan;
@@ -82,7 +82,7 @@ FaultInjector::arm(const std::string &site, std::uint64_t nth)
 void
 FaultInjector::reset()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(faultMutex_);
     plans_.clear();
     anyArmed_.store(false, std::memory_order_release);
 }
@@ -92,7 +92,7 @@ FaultInjector::shouldFire(const char *site)
 {
     if (!anyArmed_.load(std::memory_order_acquire))
         return false;
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(faultMutex_);
     const auto it = plans_.find(site);
     if (it == plans_.end())
         return false;
@@ -127,7 +127,7 @@ FaultInjector::maybeNan(const char *site, double value)
 std::uint64_t
 FaultInjector::hitCount(const std::string &site) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(faultMutex_);
     const auto it = plans_.find(site);
     return it == plans_.end() ? 0 : it->second.hits;
 }

@@ -27,9 +27,10 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <stdexcept>
 #include <string>
+
+#include "util/sync.hh"
 
 namespace vaesa {
 
@@ -102,8 +103,8 @@ class FaultInjector
         bool fired = false;      // fire-once latch
     };
 
-    mutable std::mutex mutex_;
-    std::map<std::string, Plan> plans_;
+    mutable Mutex faultMutex_;
+    std::map<std::string, Plan> plans_ VAESA_GUARDED_BY(faultMutex_);
     std::atomic<bool> anyArmed_{false};
 };
 

@@ -7,10 +7,10 @@
 #include <cstdio>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "util/atomic_io.hh"
 #include "util/logging.hh"
+#include "util/sync.hh"
 
 #ifndef VAESA_GIT_DESCRIBE
 #define VAESA_GIT_DESCRIBE "unknown"
@@ -31,10 +31,13 @@ std::atomic<bool> enabled{false};
  */
 struct Registry
 {
-    std::mutex mutex;
-    std::map<std::string, std::unique_ptr<Counter>> counters;
-    std::map<std::string, std::unique_ptr<Gauge>> gauges;
-    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+    Mutex metricsMutex;
+    std::map<std::string, std::unique_ptr<Counter>> counters
+        VAESA_GUARDED_BY(metricsMutex);
+    std::map<std::string, std::unique_ptr<Gauge>> gauges
+        VAESA_GUARDED_BY(metricsMutex);
+    std::map<std::string, std::unique_ptr<Histogram>> histograms
+        VAESA_GUARDED_BY(metricsMutex);
 };
 
 Registry &
@@ -231,7 +234,7 @@ Counter &
 counter(const std::string &name)
 {
     Registry &r = registry();
-    const std::lock_guard<std::mutex> lock(r.mutex);
+    const MutexLock lock(r.metricsMutex);
     auto &slot = r.counters[name];
     if (!slot)
         slot = std::make_unique<Counter>();
@@ -242,7 +245,7 @@ Gauge &
 gauge(const std::string &name)
 {
     Registry &r = registry();
-    const std::lock_guard<std::mutex> lock(r.mutex);
+    const MutexLock lock(r.metricsMutex);
     auto &slot = r.gauges[name];
     if (!slot)
         slot = std::make_unique<Gauge>();
@@ -253,7 +256,7 @@ Histogram &
 histogram(const std::string &name)
 {
     Registry &r = registry();
-    const std::lock_guard<std::mutex> lock(r.mutex);
+    const MutexLock lock(r.metricsMutex);
     auto &slot = r.histograms[name];
     if (!slot)
         slot = std::make_unique<Histogram>();
@@ -264,7 +267,7 @@ std::vector<MetricSample>
 snapshot()
 {
     Registry &r = registry();
-    const std::lock_guard<std::mutex> lock(r.mutex);
+    const MutexLock lock(r.metricsMutex);
     std::vector<MetricSample> out;
     out.reserve(r.counters.size() + r.gauges.size() +
                 r.histograms.size());
@@ -281,7 +284,7 @@ void
 resetAll()
 {
     Registry &r = registry();
-    const std::lock_guard<std::mutex> lock(r.mutex);
+    const MutexLock lock(r.metricsMutex);
     for (auto &[name, c] : r.counters)
         c->reset();
     for (auto &[name, g] : r.gauges)

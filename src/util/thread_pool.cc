@@ -42,7 +42,7 @@ ThreadPool::ThreadPool(std::size_t threads)
 ThreadPool::~ThreadPool()
 {
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const MutexLock lock(queueMutex_);
         stopping_ = true;
     }
     wake_.notify_all();
@@ -56,10 +56,13 @@ ThreadPool::workerLoop()
     for (;;) {
         std::packaged_task<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            wake_.wait(lock, [this] {
-                return stopping_ || !queue_.empty();
-            });
+            const MutexLock lock(queueMutex_);
+            // Explicit predicate loop (not the lambda overload) so
+            // the guarded reads happen where the analysis can see
+            // the lock is held; wait() releases/reacquires the
+            // mutex internally.
+            while (!stopping_ && queue_.empty())
+                wake_.wait(queueMutex_);
             if (queue_.empty())
                 return; // stopping_ and drained
             task = std::move(queue_.front());
@@ -90,7 +93,7 @@ ThreadPool::submit(std::function<void()> task)
     std::packaged_task<void()> packaged(std::move(task));
     std::future<void> future = packaged.get_future();
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const MutexLock lock(queueMutex_);
         if (stopping_)
             panic("ThreadPool::submit on a stopping pool");
         queue_.push_back(std::move(packaged));

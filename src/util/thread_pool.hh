@@ -17,9 +17,10 @@
 #include <exception>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hh"
 
 namespace vaesa {
 
@@ -58,7 +59,8 @@ class ThreadPool
     /**
      * Enqueue one task; the future rethrows anything it throws.
      */
-    std::future<void> submit(std::function<void()> task);
+    std::future<void> submit(std::function<void()> task)
+        VAESA_EXCLUDES(queueMutex_);
 
     /**
      * Run body(i) for every i in [0, n) across the workers in
@@ -77,13 +79,17 @@ class ThreadPool
     static std::size_t defaultThreadCount();
 
   private:
-    void workerLoop();
+    void workerLoop() VAESA_EXCLUDES(queueMutex_);
 
     std::vector<std::thread> workers_;
-    std::deque<std::packaged_task<void()>> queue_;
-    std::mutex mutex_;
-    std::condition_variable wake_;
-    bool stopping_ = false;
+    Mutex queueMutex_;
+    std::deque<std::packaged_task<void()>> queue_
+        VAESA_GUARDED_BY(queueMutex_);
+    bool stopping_ VAESA_GUARDED_BY(queueMutex_) = false;
+    // _any flavour: it waits on the annotated vaesa::Mutex directly
+    // (BasicLockable), so the guarded wait loop stays visible to the
+    // thread-safety analysis.
+    std::condition_variable_any wake_;
 };
 
 /**

@@ -2,12 +2,12 @@
 
 #include <cinttypes>
 #include <cstdio>
-#include <mutex>
 #include <vector>
 
 #include "util/atomic_io.hh"
 #include "util/logging.hh"
 #include "util/metrics.hh"
+#include "util/sync.hh"
 
 namespace vaesa::trace {
 
@@ -31,8 +31,8 @@ struct Event
  */
 struct Collector
 {
-    std::mutex mutex;
-    std::vector<Event> events;
+    Mutex traceMutex;
+    std::vector<Event> events VAESA_GUARDED_BY(traceMutex);
     std::atomic<std::uint64_t> dropped{0};
 };
 
@@ -73,7 +73,7 @@ std::size_t
 eventCount()
 {
     Collector &c = collector();
-    const std::lock_guard<std::mutex> lock(c.mutex);
+    const MutexLock lock(c.traceMutex);
     return c.events.size();
 }
 
@@ -87,7 +87,7 @@ void
 clear()
 {
     Collector &c = collector();
-    const std::lock_guard<std::mutex> lock(c.mutex);
+    const MutexLock lock(c.traceMutex);
     c.events.clear();
     c.dropped.store(0, std::memory_order_relaxed);
 }
@@ -105,7 +105,7 @@ Span::~Span()
         return;
     const std::uint64_t end = metrics::monotonicNowNs();
     Collector &c = collector();
-    const std::lock_guard<std::mutex> lock(c.mutex);
+    const MutexLock lock(c.traceMutex);
     if (c.events.size() >= maxEvents) {
         c.dropped.fetch_add(1, std::memory_order_relaxed);
         return;
@@ -120,7 +120,7 @@ chromeTraceJson()
     Collector &c = collector();
     std::vector<Event> events;
     {
-        const std::lock_guard<std::mutex> lock(c.mutex);
+        const MutexLock lock(c.traceMutex);
         events = c.events;
     }
     std::string out;

@@ -65,6 +65,12 @@ loadTrainCheckpointFile(const std::string &path,
     if (meta.failed() || history_len > maxHistoryLen)
         return in.makeError(LoadError::Kind::Malformed,
                             "corrupt history length");
+    // Each entry is five f64s; a declared length the record cannot
+    // possibly back would otherwise drive a huge up-front reserve()
+    // from a CRC-valid but hostile file (found by fuzzing).
+    if (history_len > meta.remaining() / (5 * sizeof(double)))
+        return in.makeError(LoadError::Kind::Malformed,
+                            "history length exceeds record payload");
     checkpoint.history.reserve(history_len);
     for (std::uint64_t i = 0; i < history_len; ++i)
         checkpoint.history.push_back(getEpochStats(meta));

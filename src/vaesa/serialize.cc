@@ -1,5 +1,6 @@
 #include "vaesa/serialize.hh"
 
+#include <cmath>
 #include <cstdint>
 
 #include "nn/serialize.hh"
@@ -12,6 +13,30 @@ namespace {
 
 constexpr std::uint32_t frameworkMagic = 0x56534657; // "VSFW"
 constexpr std::uint32_t frameworkVersion = 2;
+
+/**
+ * Largest layer width a snapshot may declare. Constructing the model
+ * allocates width * width weight matrices, so dimensions have to be
+ * bounded BEFORE the VaesaFramework constructor runs -- a hostile
+ * but CRC-valid options record (found by fuzzing) could otherwise
+ * drive a multi-terabyte (or size_t-overflowing) allocation.
+ */
+constexpr std::size_t maxLayerWidth = std::size_t{1} << 16;
+
+bool
+saneWidth(std::size_t width)
+{
+    return width >= 1 && width <= maxLayerWidth;
+}
+
+bool
+saneWidths(const std::vector<std::size_t> &widths)
+{
+    for (std::size_t w : widths)
+        if (!saneWidth(w))
+            return false;
+    return true;
+}
 
 void
 putSizes(ByteBuffer &out, const std::vector<std::size_t> &sizes)
@@ -64,6 +89,18 @@ loadFrameworkFile(const std::string &path)
         !options_reader.atEnd())
         return in.makeError(LoadError::Kind::Malformed,
                             "corrupt snapshot options record");
+    if (!saneWidth(options.vae.inputDim) ||
+        !saneWidth(options.vae.latentDim) ||
+        !saneWidths(options.vae.hiddenDims) ||
+        !saneWidths(options.predictorHidden))
+        return in.makeError(LoadError::Kind::Malformed,
+                            "implausible model dimension in snapshot "
+                            "options (limit " +
+                                std::to_string(maxLayerWidth) + ")");
+    if (!std::isfinite(options.vae.leakySlope))
+        return in.makeError(LoadError::Kind::Malformed,
+                            "non-finite leaky-ReLU slope in snapshot "
+                            "options");
 
     Expected<std::string> norm_record = in.readRecord();
     if (!norm_record)

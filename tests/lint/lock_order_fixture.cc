@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Lint fixture, never compiled: deliberately acquires ranked mutexes
+ * in the wrong order so the lint.lock_order_fixture ctest can prove
+ * vaesa_check verifies nested guard acquisitions against the
+ * VAESA_LOCK_ORDER_ENTRY table in src/util/sync.hh. The names below
+ * (queueMutex_, registryMutex_) carry real ranks in that table; the
+ * guard declarations are shaped exactly like production code.
+ */
+
+#include "util/sync.hh"
+
+namespace vaesa_lint_fixture {
+
+class WrongOrder
+{
+  public:
+    void
+    invertedRanks()
+    {
+        // queueMutex_ ranks above registryMutex_: taking the
+        // registry lock inside the queue lock inverts the table.
+        const vaesa::MutexLock outer(queueMutex_);
+        const vaesa::WriterLock inner(registryMutex_);
+    }
+
+    void
+    nestedUnranked()
+    {
+        const vaesa::MutexLock outer(queueMutex_);
+        // scratchMutex_ has no VAESA_LOCK_ORDER_ENTRY, so nesting
+        // it under anything is a finding until it gets a rank.
+        const vaesa::MutexLock inner(scratchMutex_);
+    }
+
+  private:
+    vaesa::Mutex queueMutex_;
+    vaesa::SharedMutex registryMutex_;
+    vaesa::Mutex scratchMutex_;
+};
+
+} // namespace vaesa_lint_fixture

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Lint fixture, never compiled: deliberately declares mutable
+ * namespace-scope globals so the lint.mutable_global_fixture ctest
+ * can prove vaesa_check flags them outside the sanctioned
+ * registries. The const/constexpr declarations and the function
+ * definition below must NOT be reported.
+ */
+
+#include <atomic>
+#include <string>
+
+namespace vaesa_lint_fixture {
+
+// These are fine and must stay silent.
+constexpr int kLimit = 64;
+const std::string kName = "fixture";
+
+int
+helper()
+{
+    static int localState = 0; // function-local static: fine
+    return ++localState;
+}
+
+// Each of these is a finding: hidden mutable process state.
+int globalCounter = 0;
+std::atomic<bool> globalFlag{false};
+double globalScale;
+
+} // namespace vaesa_lint_fixture

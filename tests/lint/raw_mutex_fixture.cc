@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Lint fixture, never compiled: deliberately uses the banned raw
+ * synchronization vocabulary so the lint.raw_mutex_fixture ctest can
+ * prove vaesa_check flags naked std::mutex / std::shared_mutex /
+ * std::lock_guard / std::unique_lock everywhere outside
+ * src/util/sync.hh. Mentions of std::mutex in this comment must NOT
+ * be reported — the scanner strips comments first.
+ */
+
+#include <mutex>
+#include <shared_mutex>
+
+namespace vaesa_lint_fixture {
+
+class RawLocking
+{
+  public:
+    void
+    touch()
+    {
+        const std::lock_guard<std::mutex> lock(guard_);
+        const std::unique_lock<std::mutex> relock(guard_,
+                                                  std::defer_lock);
+        const std::shared_lock<std::shared_mutex> reader(shared_);
+        (void)relock;
+        (void)reader;
+    }
+
+  private:
+    std::mutex guard_;
+    std::shared_mutex shared_;
+    std::condition_variable ready_;
+};
+
+} // namespace vaesa_lint_fixture

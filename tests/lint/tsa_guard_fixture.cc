@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Thread-safety-analysis fixture: accesses a VAESA_GUARDED_BY member
+ * without holding its mutex. Under clang with -Werror=thread-safety
+ * this must FAIL to compile (the lint.tsa_guard_fixture ctest is
+ * registered WILL_FAIL), proving the capability annotations in
+ * util/sync.hh are live and the build flags actually enforce them.
+ * Under gcc the annotation macros expand to nothing, so the file
+ * stays syntactically valid for -fsyntax-only smoke use.
+ */
+
+#include "util/sync.hh"
+
+namespace vaesa_lint_fixture {
+
+class Account
+{
+  public:
+    void
+    depositLocked(int amount)
+    {
+        const vaesa::MutexLock lock(balanceMutex_);
+        balance_ += amount; // correct: lock held
+    }
+
+    void
+    depositRacy(int amount)
+    {
+        balance_ += amount; // TSA error: guarded access, no lock
+    }
+
+  private:
+    vaesa::Mutex balanceMutex_;
+    int balance_ VAESA_GUARDED_BY(balanceMutex_) = 0;
+};
+
+} // namespace vaesa_lint_fixture
+
+int
+main()
+{
+    vaesa_lint_fixture::Account account;
+    account.depositLocked(1);
+    account.depositRacy(1);
+    return 0;
+}

@@ -1,7 +1,8 @@
 /**
  * @file
- * Project lint tool. Scans src/ for violations of the repo idioms
- * that clang-tidy cannot express:
+ * Project lint tool, v2: a small token-stream pass (not line
+ * regexes) over comment- and string-stripped source, enforcing the
+ * repo idioms that clang-tidy cannot express:
  *
  *  - no raw assert()/abort()/exit()/std::cout in library code: use
  *    panic()/fatal()/inform() from src/util/logging.hh so every
@@ -14,12 +15,28 @@
  *  - raw SIMD intrinsics (<immintrin.h> et al., _mm*_ calls) and
  *    '#pragma omp' only inside src/tensor/kernels/: the rest of the
  *    tree must use the kernels:: entry points so the determinism and
- *    tolerance contracts live in one place.
+ *    tolerance contracts live in one place;
+ *  - no naked std::mutex / std::shared_mutex / std lock guards in
+ *    src/ outside src/util/sync.hh: concurrency goes through the
+ *    capability-annotated vaesa::Mutex layer so clang thread-safety
+ *    analysis sees every acquisition;
+ *  - nested lock acquisitions must follow the lock-order table
+ *    declared via VAESA_LOCK_ORDER_ENTRY in src/util/sync.hh
+ *    (strictly increasing ranks outer to inner);
+ *  - no mutable namespace-scope globals in src/ outside the
+ *    registries that legitimately own process-wide state.
  *
  * Matching runs on comment- and string-stripped text, so prose like
  * "random" or documentation mentioning abort() never trips it.
  *
- * Usage: vaesa_check <repo-root> [subdir ...]   (default subdir: src)
+ * Per-tree policy: src/ (and tests/lint, where the negative fixtures
+ * live) gets every check; tools/ may use iostream directly (the
+ * documented exemption for standalone executables); bench/ may
+ * additionally use raw clocks and ofstream (benchmark timing and
+ * result dumps are not library code).
+ *
+ * Usage: vaesa_check <repo-root> [subdir ...]
+ * (default subdirs: src tools bench)
  * Exit status 0 when clean, 1 with findings, 2 on usage errors.
  *
  * This tool lives outside src/ and may use iostream directly.
@@ -30,6 +47,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -125,15 +143,164 @@ isIdentChar(char c)
     return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
-/** Next non-whitespace character at or after position i, or '\0'. */
-char
-nextNonSpace(const std::string &text, std::size_t i)
+bool
+isIdentStart(char c)
 {
-    while (i < text.size() &&
-           std::isspace(static_cast<unsigned char>(text[i])))
-        ++i;
-    return i < text.size() ? text[i] : '\0';
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
 }
+
+// ---------------------------------------------------------------------------
+// Token stream
+// ---------------------------------------------------------------------------
+
+struct Token
+{
+    enum class Kind {
+        Ident,     // identifier or keyword
+        Number,    // numeric literal
+        Punct,     // punctuation; "::" is one token
+        Directive, // whole preprocessor line (continuations joined)
+    };
+
+    Kind kind;
+    std::string text;
+    int line;
+};
+
+/** Tokenize comment/string-stripped code. */
+std::vector<Token>
+tokenize(const std::string &code)
+{
+    std::vector<Token> tokens;
+    int line = 1;
+    bool atLineStart = true;
+    std::size_t i = 0;
+    const std::size_t n = code.size();
+    while (i < n) {
+        const char c = code[i];
+        if (c == '\n') {
+            ++line;
+            atLineStart = true;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '#' && atLineStart) {
+            const int startLine = line;
+            std::string text;
+            while (i < n) {
+                if (code[i] == '\\' && i + 1 < n &&
+                    code[i + 1] == '\n') {
+                    i += 2;
+                    ++line;
+                    continue;
+                }
+                if (code[i] == '\n')
+                    break;
+                text += code[i];
+                ++i;
+            }
+            tokens.push_back(
+                {Token::Kind::Directive, text, startLine});
+            continue; // the newline is handled by the next loop turn
+        }
+        atLineStart = false;
+        if (isIdentStart(c)) {
+            std::size_t end = i;
+            while (end < n && isIdentChar(code[end]))
+                ++end;
+            tokens.push_back({Token::Kind::Ident,
+                              code.substr(i, end - i), line});
+            i = end;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t end = i;
+            while (end < n &&
+                   (isIdentChar(code[end]) || code[end] == '.' ||
+                    code[end] == '\''))
+                ++end;
+            tokens.push_back({Token::Kind::Number,
+                              code.substr(i, end - i), line});
+            i = end;
+            continue;
+        }
+        if (c == ':' && i + 1 < n && code[i + 1] == ':') {
+            tokens.push_back({Token::Kind::Punct, "::", line});
+            i += 2;
+            continue;
+        }
+        tokens.push_back(
+            {Token::Kind::Punct, std::string(1, c), line});
+        ++i;
+    }
+    return tokens;
+}
+
+// ---------------------------------------------------------------------------
+// Path policy
+// ---------------------------------------------------------------------------
+
+bool
+pathStartsWith(const std::string &relPath, const std::string &prefix)
+{
+    return relPath.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool
+pathInDirs(const std::string &relPath,
+           const std::vector<std::string> &prefixes)
+{
+    return std::any_of(prefixes.begin(), prefixes.end(),
+                       [&](const std::string &prefix) {
+                           return pathStartsWith(relPath, prefix);
+                       });
+}
+
+bool
+pathAllowed(const std::string &relPath,
+            const std::vector<std::string> &allowed)
+{
+    return std::any_of(allowed.begin(), allowed.end(),
+                       [&](const std::string &suffix) {
+                           return relPath.size() >= suffix.size() &&
+                                  relPath.compare(relPath.size() -
+                                                      suffix.size(),
+                                                  suffix.size(),
+                                                  suffix) == 0;
+                       });
+}
+
+/** Which checks apply to a file, by tree. */
+struct TreePolicy
+{
+    bool allowStreams;        // std::cout / printf
+    bool allowClocks;         // bare steady_clock
+    bool allowOfstream;       // std::ofstream anywhere
+    bool checkSyncPrimitives; // naked std mutexes / lock guards
+    bool checkGlobals;        // mutable namespace-scope globals
+};
+
+TreePolicy
+policyFor(const std::string &relPath)
+{
+    // Standalone executables: iostream is the documented exemption.
+    if (pathStartsWith(relPath, "tools/"))
+        return {true, false, false, false, false};
+    // Benchmarks additionally time with raw clocks and dump result
+    // files directly; they are not library code.
+    if (pathStartsWith(relPath, "bench/"))
+        return {true, true, true, false, false};
+    // src/ and tests/lint (the negative fixtures) get everything.
+    return {false, false, false, true, true};
+}
+
+// ---------------------------------------------------------------------------
+// Ban tables
+// ---------------------------------------------------------------------------
 
 struct BannedCall
 {
@@ -167,11 +334,21 @@ const std::vector<BannedToken> bannedStreams = {
     {"printf", "inform()/debugLog()"},
 };
 
+const std::vector<BannedToken> bannedClockTokens = {
+    {"steady_clock",
+     "metrics::monotonicNowNs()/ScopedTimer (util/metrics.hh)"},
+};
+
+/** Directory prefixes where bare clock reads stay legal. */
+const std::vector<std::string> clockDirPrefixes = {"src/util/"};
+
 /**
- * std:: concurrency primitives banned outside the thread pool: all
- * parallelism in src/ must go through vaesa::ThreadPool so worker
- * counts, exception propagation, and the determinism contract stay in
- * one place (see src/util/thread_pool.hh).
+ * std::-qualified names banned outside specific homes. Covers the
+ * concurrency primitives (all parallelism goes through
+ * vaesa::ThreadPool), crash-unsafe output streams (atomicWriteFile),
+ * and the raw synchronization vocabulary (the capability-annotated
+ * wrappers in util/sync.hh are the only sanctioned spelling, so the
+ * clang thread-safety analysis sees every acquisition).
  */
 struct BannedStdName
 {
@@ -185,6 +362,10 @@ const std::vector<std::string> threadPoolFiles = {
     "src/util/thread_pool.cc",
 };
 
+const std::vector<std::string> syncFiles = {
+    "src/util/sync.hh",
+};
+
 const std::vector<BannedStdName> bannedStdConcurrency = {
     {"thread", "vaesa::ThreadPool (util/thread_pool.hh)",
      threadPoolFiles},
@@ -194,49 +375,132 @@ const std::vector<BannedStdName> bannedStdConcurrency = {
      threadPoolFiles},
 };
 
-/**
- * Raw file-stream output banned outside src/util/ (directory-prefix
- * allowance, unlike the suffix lists above): persistent artifacts
- * must be written through atomicWriteFile() /
- * atomicWriteFileWithRotation() (util/atomic_io.hh) or CsvWriter so
- * a crash mid-write can never leave a truncated or half-written file
- * at the destination path.
- */
-struct BannedStdIo
-{
-    std::string name;
-    std::string instead;
-    std::vector<std::string> allowedDirPrefixes;
+const std::vector<BannedStdName> bannedStdSync = {
+    {"mutex", "vaesa::Mutex + MutexLock (util/sync.hh)", syncFiles},
+    {"shared_mutex",
+     "vaesa::SharedMutex + ReaderLock/WriterLock (util/sync.hh)",
+     syncFiles},
+    {"recursive_mutex", "vaesa::Mutex (no recursive locking)",
+     syncFiles},
+    {"timed_mutex", "vaesa::Mutex (util/sync.hh)", syncFiles},
+    {"lock_guard", "MutexLock (util/sync.hh)", syncFiles},
+    {"unique_lock", "MutexLock (util/sync.hh)", syncFiles},
+    {"shared_lock", "ReaderLock (util/sync.hh)", syncFiles},
+    {"scoped_lock", "MutexLock (util/sync.hh)", syncFiles},
+    {"condition_variable", "std::condition_variable_any waiting on "
+                           "a vaesa::Mutex (see util/thread_pool.cc)",
+     syncFiles},
 };
 
-const std::vector<BannedStdIo> bannedStdIo = {
+const std::vector<BannedStdName> bannedStdIo = {
     {"ofstream",
      "atomicWriteFile() (util/atomic_io.hh) or CsvWriter",
-     {"src/util/"}},
+     {}},
 };
 
-/**
- * Clock tokens banned outside src/util/ (directory-prefix
- * allowance): library timing must go through
- * metrics::monotonicNowNs() / metrics::ScopedTimer / trace::Span
- * (util/metrics.hh, util/trace.hh) so every clock read is centrally
- * gated on metricsEnabled() and instrumentation cannot silently put
- * a syscall-class clock on a hot path. Matched as a bare token (not
- * std::-qualified) so a using-declaration cannot smuggle it in.
- */
-const std::vector<BannedStdIo> bannedClockTokens = {
-    {"steady_clock",
-     "metrics::monotonicNowNs()/ScopedTimer (util/metrics.hh)",
-     {"src/util/"}},
-};
+/** Directory prefixes where std::ofstream stays legal. */
+const std::vector<std::string> ofstreamDirPrefixes = {"src/util/"};
 
 /**
- * Raw SIMD and OpenMP are confined to src/tensor/kernels/: every
- * other layer must go through the kernels:: entry points so the
- * determinism and tolerance contracts (see tensor/kernels/kernels.hh)
- * are enforced in exactly one place. Matched on stripped code, so
- * documentation mentioning _mm256_fmadd_pd never trips it.
+ * Files allowed to own mutable namespace-scope state: the
+ * process-wide registries (leaked singletons + their enable flags)
+ * whose whole point is owning global state.
  */
+const std::vector<std::string> globalAllowlist = {
+    "src/util/metrics.cc", // metrics registry + enable flag
+    "src/util/trace.cc",   // trace collector + enable flag
+    "src/util/logging.cc", // global log level
+};
+
+// ---------------------------------------------------------------------------
+// Token-level identifier checks
+// ---------------------------------------------------------------------------
+
+/** True when tokens[i] begins a `std::name` qualified id; sets name. */
+bool
+stdQualifiedAt(const std::vector<Token> &tokens, std::size_t i,
+               std::string &name)
+{
+    if (i + 2 >= tokens.size())
+        return false;
+    if (tokens[i].kind != Token::Kind::Ident ||
+        tokens[i].text != "std")
+        return false;
+    if (tokens[i + 1].kind != Token::Kind::Punct ||
+        tokens[i + 1].text != "::")
+        return false;
+    if (tokens[i + 2].kind != Token::Kind::Ident)
+        return false;
+    name = tokens[i + 2].text;
+    return true;
+}
+
+void
+checkBannedIdentifiers(const std::string &relPath,
+                       const std::vector<Token> &tokens,
+                       const TreePolicy &policy)
+{
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const Token &t = tokens[i];
+        if (t.kind != Token::Kind::Ident)
+            continue;
+
+        for (const BannedCall &ban : bannedCalls) {
+            if (t.text != ban.name ||
+                pathAllowed(relPath, ban.allowedIn))
+                continue;
+            if (i + 1 < tokens.size() &&
+                tokens[i + 1].kind == Token::Kind::Punct &&
+                tokens[i + 1].text == "(")
+                report(relPath, t.line,
+                       "call of '" + ban.name + "' (use " +
+                           ban.instead + " instead)");
+        }
+        if (!policy.allowStreams)
+            for (const BannedToken &ban : bannedStreams)
+                if (t.text == ban.name)
+                    report(relPath, t.line,
+                           "use of '" + ban.name + "' (use " +
+                               ban.instead + " instead)");
+        if (!policy.allowClocks &&
+            !pathInDirs(relPath, clockDirPrefixes))
+            for (const BannedToken &ban : bannedClockTokens)
+                if (t.text == ban.name)
+                    report(relPath, t.line,
+                           "use of '" + ban.name + "' (use " +
+                               ban.instead + " instead)");
+
+        std::string qualified;
+        if (!stdQualifiedAt(tokens, i, qualified))
+            continue;
+        const int line = tokens[i + 2].line;
+        for (const BannedStdName &ban : bannedStdConcurrency)
+            if (qualified == ban.name &&
+                !pathAllowed(relPath, ban.allowedIn))
+                report(relPath, line,
+                       "use of 'std::" + ban.name + "' (use " +
+                           ban.instead + " instead)");
+        if (!policy.allowOfstream &&
+            !pathInDirs(relPath, ofstreamDirPrefixes))
+            for (const BannedStdName &ban : bannedStdIo)
+                if (qualified == ban.name)
+                    report(relPath, line,
+                           "use of 'std::" + ban.name + "' (use " +
+                               ban.instead + " instead)");
+        if (policy.checkSyncPrimitives)
+            for (const BannedStdName &ban : bannedStdSync)
+                if (qualified == ban.name &&
+                    !pathAllowed(relPath, ban.allowedIn))
+                    report(relPath, line,
+                           "use of 'std::" + ban.name + "' (use " +
+                               ban.instead + " instead)");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel containment (SIMD / OpenMP), on the stripped text
+// ---------------------------------------------------------------------------
+
 const std::vector<std::string> kernelDirPrefixes = {
     "src/tensor/kernels/",
 };
@@ -247,55 +511,6 @@ const std::vector<std::string> simdIncludeNames = {
     "avx2intrin.h", "arm_neon.h",
 };
 
-
-bool
-pathInDirs(const std::string &relPath,
-           const std::vector<std::string> &prefixes)
-{
-    return std::any_of(prefixes.begin(), prefixes.end(),
-                       [&](const std::string &prefix) {
-                           return relPath.compare(0, prefix.size(),
-                                                  prefix) == 0;
-                       });
-}
-
-/**
- * True when the identifier starting at `pos` is qualified as
- * `std::name` (whitespace allowed around the `::`), so bare uses of
- * e.g. a local variable called `thread` never trip the ban.
- */
-bool
-precededByStdQualifier(const std::string &code, std::size_t pos)
-{
-    const auto skipSpaceBack = [&](std::size_t i) {
-        while (i > 0 &&
-               std::isspace(static_cast<unsigned char>(code[i - 1])))
-            --i;
-        return i;
-    };
-    std::size_t i = skipSpaceBack(pos);
-    if (i < 2 || code[i - 1] != ':' || code[i - 2] != ':')
-        return false;
-    i = skipSpaceBack(i - 2);
-    if (i < 3 || code.compare(i - 3, 3, "std") != 0)
-        return false;
-    return i == 3 || !isIdentChar(code[i - 4]);
-}
-
-bool
-pathAllowed(const std::string &relPath,
-            const std::vector<std::string> &allowed)
-{
-    return std::any_of(allowed.begin(), allowed.end(),
-                       [&](const std::string &suffix) {
-                           return relPath.size() >= suffix.size() &&
-                                  relPath.compare(relPath.size() -
-                                                      suffix.size(),
-                                                  suffix.size(),
-                                                  suffix) == 0;
-                       });
-}
-
 int
 lineOfOffset(const std::string &text, std::size_t offset)
 {
@@ -304,97 +519,6 @@ lineOfOffset(const std::string &text, std::size_t offset)
                               text.begin() +
                                   static_cast<std::ptrdiff_t>(offset),
                               '\n'));
-}
-
-void
-checkBannedIdentifiers(const std::string &relPath,
-                       const std::string &code)
-{
-    for (const BannedCall &ban : bannedCalls) {
-        if (pathAllowed(relPath, ban.allowedIn))
-            continue;
-        std::size_t pos = 0;
-        while ((pos = code.find(ban.name, pos)) != std::string::npos) {
-            const std::size_t end = pos + ban.name.size();
-            const bool boundedLeft =
-                pos == 0 || !isIdentChar(code[pos - 1]);
-            const bool boundedRight =
-                end >= code.size() || !isIdentChar(code[end]);
-            if (boundedLeft && boundedRight &&
-                nextNonSpace(code, end) == '(') {
-                report(relPath, lineOfOffset(code, pos),
-                       "call of '" + ban.name + "' (use " +
-                           ban.instead + " instead)");
-            }
-            pos = end;
-        }
-    }
-    for (const BannedToken &ban : bannedStreams) {
-        std::size_t pos = 0;
-        while ((pos = code.find(ban.name, pos)) != std::string::npos) {
-            const std::size_t end = pos + ban.name.size();
-            const bool boundedLeft =
-                pos == 0 || !isIdentChar(code[pos - 1]);
-            const bool boundedRight =
-                end >= code.size() || !isIdentChar(code[end]);
-            if (boundedLeft && boundedRight) {
-                report(relPath, lineOfOffset(code, pos),
-                       "use of '" + ban.name + "' (use " +
-                           ban.instead + " instead)");
-            }
-            pos = end;
-        }
-    }
-    for (const BannedStdName &ban : bannedStdConcurrency) {
-        if (pathAllowed(relPath, ban.allowedIn))
-            continue;
-        std::size_t pos = 0;
-        while ((pos = code.find(ban.name, pos)) != std::string::npos) {
-            const std::size_t end = pos + ban.name.size();
-            const bool boundedRight =
-                end >= code.size() || !isIdentChar(code[end]);
-            if (boundedRight && precededByStdQualifier(code, pos)) {
-                report(relPath, lineOfOffset(code, pos),
-                       "use of 'std::" + ban.name + "' (use " +
-                           ban.instead + " instead)");
-            }
-            pos = end;
-        }
-    }
-    for (const BannedStdIo &ban : bannedStdIo) {
-        if (pathInDirs(relPath, ban.allowedDirPrefixes))
-            continue;
-        std::size_t pos = 0;
-        while ((pos = code.find(ban.name, pos)) != std::string::npos) {
-            const std::size_t end = pos + ban.name.size();
-            const bool boundedRight =
-                end >= code.size() || !isIdentChar(code[end]);
-            if (boundedRight && precededByStdQualifier(code, pos)) {
-                report(relPath, lineOfOffset(code, pos),
-                       "use of 'std::" + ban.name + "' (use " +
-                           ban.instead + " instead)");
-            }
-            pos = end;
-        }
-    }
-    for (const BannedStdIo &ban : bannedClockTokens) {
-        if (pathInDirs(relPath, ban.allowedDirPrefixes))
-            continue;
-        std::size_t pos = 0;
-        while ((pos = code.find(ban.name, pos)) != std::string::npos) {
-            const std::size_t end = pos + ban.name.size();
-            const bool boundedLeft =
-                pos == 0 || !isIdentChar(code[pos - 1]);
-            const bool boundedRight =
-                end >= code.size() || !isIdentChar(code[end]);
-            if (boundedLeft && boundedRight) {
-                report(relPath, lineOfOffset(code, pos),
-                       "use of '" + ban.name + "' (use " +
-                           ban.instead + " instead)");
-            }
-            pos = end;
-        }
-    }
 }
 
 void
@@ -452,6 +576,10 @@ checkKernelOnlyConstructs(const std::string &relPath,
         pos = i;
     }
 }
+
+// ---------------------------------------------------------------------------
+// Header guards
+// ---------------------------------------------------------------------------
 
 /** Expected include guard for a header path relative to the repo. */
 std::string
@@ -516,6 +644,296 @@ checkHeaderGuard(const std::string &relPath, const std::string &code)
     }
 }
 
+// ---------------------------------------------------------------------------
+// Lock-order analysis
+// ---------------------------------------------------------------------------
+
+/** Mutex member name -> declared rank, from src/util/sync.hh. */
+using LockTable = std::map<std::string, int>;
+
+/**
+ * Extract the VAESA_LOCK_ORDER_ENTRY(name, rank) table from the
+ * token stream of src/util/sync.hh. Duplicate names are findings.
+ */
+LockTable
+parseLockTable(const std::string &relPath,
+               const std::vector<Token> &tokens)
+{
+    LockTable table;
+    for (std::size_t i = 0; i + 5 < tokens.size(); ++i) {
+        if (tokens[i].kind != Token::Kind::Ident ||
+            tokens[i].text != "VAESA_LOCK_ORDER_ENTRY")
+            continue;
+        if (tokens[i + 1].text != "(" ||
+            tokens[i + 2].kind != Token::Kind::Ident ||
+            tokens[i + 3].text != "," ||
+            tokens[i + 4].kind != Token::Kind::Number ||
+            tokens[i + 5].text != ")")
+            continue; // the #define itself is a Directive token
+        const std::string &name = tokens[i + 2].text;
+        const int rank = std::stoi(tokens[i + 4].text);
+        if (table.count(name))
+            report(relPath, tokens[i + 2].line,
+                   "duplicate lock-order entry for '" + name + "'");
+        else
+            table[name] = rank;
+    }
+    return table;
+}
+
+/** RAII guard type names whose declarations acquire a mutex. */
+bool
+isGuardTypeName(const std::string &name)
+{
+    return name == "MutexLock" || name == "ReaderLock" ||
+           name == "WriterLock";
+}
+
+/**
+ * Walk one file's tokens tracking live guard declarations by brace
+ * depth; every nested acquisition must name table-ranked mutexes
+ * with strictly increasing ranks (outer to inner).
+ */
+void
+checkLockOrder(const std::string &relPath,
+               const std::vector<Token> &tokens,
+               const LockTable &table)
+{
+    struct Held
+    {
+        int depth;
+        std::string name;
+        bool ranked;
+        int rank;
+    };
+    std::vector<Held> stack;
+    int depth = 0;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const Token &t = tokens[i];
+        if (t.kind == Token::Kind::Punct) {
+            if (t.text == "{") {
+                ++depth;
+            } else if (t.text == "}") {
+                --depth;
+                while (!stack.empty() &&
+                       stack.back().depth > depth)
+                    stack.pop_back();
+            }
+            continue;
+        }
+        if (t.kind != Token::Kind::Ident ||
+            !isGuardTypeName(t.text))
+            continue;
+        // Declaration shape: GuardType varName ( firstArg [, ...] )
+        if (i + 2 >= tokens.size() ||
+            tokens[i + 1].kind != Token::Kind::Ident ||
+            tokens[i + 2].kind != Token::Kind::Punct ||
+            tokens[i + 2].text != "(")
+            continue;
+        // The guarded mutex is the last identifier of the first
+        // argument (covers `m`, `obj.m`, `shard.shardMutex`).
+        std::string mutexName;
+        int parens = 1;
+        for (std::size_t j = i + 3;
+             j < tokens.size() && parens > 0; ++j) {
+            const Token &a = tokens[j];
+            if (a.kind == Token::Kind::Punct) {
+                if (a.text == "(")
+                    ++parens;
+                else if (a.text == ")")
+                    --parens;
+                else if (a.text == "," && parens == 1)
+                    break;
+                continue;
+            }
+            if (a.kind == Token::Kind::Ident)
+                mutexName = a.text;
+        }
+        if (mutexName.empty())
+            continue;
+        const auto entry = table.find(mutexName);
+        const bool ranked = entry != table.end();
+        if (!stack.empty()) {
+            const Held &outer = stack.back();
+            if (!outer.ranked)
+                report(relPath, t.line,
+                       "nested lock acquisition while holding '" +
+                           outer.name +
+                           "', which is not in the lock-order table "
+                           "(add a VAESA_LOCK_ORDER_ENTRY to "
+                           "src/util/sync.hh)");
+            else if (!ranked)
+                report(relPath, t.line,
+                       "nested acquisition of '" + mutexName +
+                           "', which is not in the lock-order table "
+                           "(add a VAESA_LOCK_ORDER_ENTRY to "
+                           "src/util/sync.hh)");
+            else if (entry->second <= outer.rank)
+                report(relPath, t.line,
+                       "lock-order violation: '" + mutexName +
+                           "' (rank " +
+                           std::to_string(entry->second) +
+                           ") acquired while holding '" +
+                           outer.name + "' (rank " +
+                           std::to_string(outer.rank) +
+                           "); ranks must strictly increase "
+                           "outer to inner (src/util/sync.hh)");
+        }
+        stack.push_back(
+            {depth, mutexName, ranked, ranked ? entry->second : 0});
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutable namespace-scope globals
+// ---------------------------------------------------------------------------
+
+/** Keywords whose statements are never mutable-global definitions. */
+bool
+isGlobalExemptKeyword(const std::string &word)
+{
+    return word == "using" || word == "typedef" ||
+           word == "extern" || word == "template" ||
+           word == "friend" || word == "static_assert" ||
+           word == "struct" || word == "class" ||
+           word == "union" || word == "enum" ||
+           word == "namespace" || word == "concept" ||
+           word == "operator" || word == "const" ||
+           word == "constexpr" || word == "constinit" ||
+           word == "consteval";
+}
+
+/**
+ * Flag mutable variables at namespace scope. Process-wide state
+ * belongs to the sanctioned registries (globalAllowlist) -- anywhere
+ * else it is hidden coupling the next subsystem trips over, and a
+ * data race the moment two pool workers touch it.
+ */
+void
+checkMutableGlobals(const std::string &relPath,
+                    const std::vector<Token> &tokens)
+{
+    if (pathAllowed(relPath, globalAllowlist))
+        return;
+    enum class Scope { Namespace, Other };
+    std::vector<Scope> scopes;
+    std::vector<Token> stmt;
+    bool stmtHasBraceInit = false;
+    bool justClosedBrace = false;
+
+    const auto atNamespaceLevel = [&] {
+        return std::all_of(scopes.begin(), scopes.end(),
+                           [](Scope s) {
+                               return s == Scope::Namespace;
+                           });
+    };
+    const auto analyze = [&] {
+        if (stmt.empty())
+            return;
+        bool sawEq = false;
+        std::size_t firstParen = stmt.size();
+        std::size_t firstEq = stmt.size();
+        for (std::size_t k = 0; k < stmt.size(); ++k) {
+            const Token &s = stmt[k];
+            if (s.kind == Token::Kind::Ident &&
+                isGlobalExemptKeyword(s.text))
+                return;
+            if (s.kind == Token::Kind::Punct) {
+                if (s.text == "(" && firstParen == stmt.size())
+                    firstParen = k;
+                if (s.text == "=" && firstEq == stmt.size()) {
+                    firstEq = k;
+                    sawEq = true;
+                }
+            }
+        }
+        // A '(' before any initializer means a function declaration
+        // or a namespace-scope macro invocation -- not a variable.
+        if (firstParen < stmt.size() && firstParen < firstEq)
+            return;
+        const bool initialized = sawEq || stmtHasBraceInit;
+        bool plainDecl = false;
+        if (!initialized && stmt.size() >= 2) {
+            const Token &last = stmt.back();
+            plainDecl =
+                last.kind == Token::Kind::Ident ||
+                (last.kind == Token::Kind::Punct &&
+                 last.text == "]");
+            if (stmt[0].kind != Token::Kind::Ident)
+                plainDecl = false;
+        }
+        if (initialized || plainDecl)
+            report(relPath, stmt[0].line,
+                   "mutable namespace-scope global '" +
+                       stmt[0].text +
+                       " ...' (make it const/constexpr, move it "
+                       "into a function-local static, or register "
+                       "it as a sanctioned registry in "
+                       "tools/check/check.cc)");
+    };
+
+    for (const Token &t : tokens) {
+        if (t.kind == Token::Kind::Directive)
+            continue;
+        const bool isPunct = t.kind == Token::Kind::Punct;
+        if (justClosedBrace) {
+            justClosedBrace = false;
+            if (isPunct && t.text == ";") {
+                // `... { ... } ;` -- brace-initialized variable or
+                // a type definition (the keyword scan skips those).
+                stmtHasBraceInit = true;
+                analyze();
+                stmt.clear();
+                stmtHasBraceInit = false;
+                continue;
+            }
+            // A definition body (function, namespace, ...) ended;
+            // whatever preceded it is not a variable statement.
+            stmt.clear();
+            stmtHasBraceInit = false;
+        }
+        if (isPunct && t.text == "{") {
+            Scope kind = Scope::Other;
+            if (atNamespaceLevel()) {
+                for (const Token &s : stmt)
+                    if (s.kind == Token::Kind::Ident &&
+                        s.text == "namespace") {
+                        kind = Scope::Namespace;
+                        break;
+                    }
+                if (kind == Scope::Namespace)
+                    stmt.clear();
+            }
+            scopes.push_back(kind);
+            continue;
+        }
+        if (isPunct && t.text == "}") {
+            if (!scopes.empty()) {
+                const Scope closed = scopes.back();
+                scopes.pop_back();
+                if (closed == Scope::Other && atNamespaceLevel())
+                    justClosedBrace = true;
+                else
+                    stmt.clear();
+            }
+            continue;
+        }
+        if (!atNamespaceLevel())
+            continue;
+        if (isPunct && t.text == ";") {
+            analyze();
+            stmt.clear();
+            stmtHasBraceInit = false;
+            continue;
+        }
+        stmt.push_back(t);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
 bool
 shouldScan(const fs::path &path)
 {
@@ -525,7 +943,8 @@ shouldScan(const fs::path &path)
 }
 
 int
-scanTree(const fs::path &root, const fs::path &subdir)
+scanTree(const fs::path &root, const fs::path &subdir,
+         const LockTable &table)
 {
     const fs::path base = root / subdir;
     if (!fs::exists(base)) {
@@ -551,13 +970,35 @@ scanTree(const fs::path &root, const fs::path &subdir)
             fs::relative(file, root).generic_string();
         const std::string code =
             stripCommentsAndStrings(buf.str());
-        checkBannedIdentifiers(relPath, code);
+        const std::vector<Token> tokens = tokenize(code);
+        const TreePolicy policy = policyFor(relPath);
+        checkBannedIdentifiers(relPath, tokens, policy);
         checkKernelOnlyConstructs(relPath, code);
+        checkLockOrder(relPath, tokens, table);
+        if (policy.checkGlobals)
+            checkMutableGlobals(relPath, tokens);
         if (file.extension() == ".hh" || file.extension() == ".hpp")
             checkHeaderGuard(relPath, code);
         ++scanned;
     }
     return scanned == 0 ? 2 : 0;
+}
+
+/** Read + tokenize src/util/sync.hh and extract the rank table. */
+LockTable
+loadLockTable(const fs::path &root)
+{
+    const fs::path syncPath = root / "src" / "util" / "sync.hh";
+    std::ifstream in(syncPath, std::ios::binary);
+    if (!in) {
+        std::cerr << "vaesa_check: warning: cannot read " << syncPath
+                  << "; lock-order table is empty\n";
+        return {};
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string code = stripCommentsAndStrings(buf.str());
+    return parseLockTable("src/util/sync.hh", tokenize(code));
 }
 
 } // namespace
@@ -573,11 +1014,16 @@ main(int argc, char **argv)
     std::vector<fs::path> subdirs;
     for (int i = 2; i < argc; ++i)
         subdirs.emplace_back(argv[i]);
-    if (subdirs.empty())
+    if (subdirs.empty()) {
         subdirs.emplace_back("src");
+        subdirs.emplace_back("tools");
+        subdirs.emplace_back("bench");
+    }
+
+    const LockTable table = loadLockTable(root);
 
     for (const fs::path &subdir : subdirs) {
-        const int rc = scanTree(root, subdir);
+        const int rc = scanTree(root, subdir, table);
         if (rc == 2)
             return 2;
     }

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Replay driver: gives every fuzz target a main() when libFuzzer is
+ * not linked (gcc builds, the regular test suite). Each argument is
+ * one corpus file, fed through LLVMFuzzerTestOneInput exactly as the
+ * fuzzer would -- the fuzz.replay_* ctests run the checked-in
+ * regression corpora this way on every test run, so once-found
+ * crashes stay fixed even on toolchains without libFuzzer.
+ *
+ * This tool lives outside src/ and may use iostream directly.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t *data,
+                                      std::size_t size);
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: " << argv[0] << " <corpus-file>...\n";
+        return 2;
+    }
+    int replayed = 0;
+    for (int i = 1; i < argc; ++i) {
+        std::ifstream in(argv[i], std::ios::binary);
+        if (!in) {
+            std::cerr << "fuzz replay: cannot read " << argv[i]
+                      << "\n";
+            return 2;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        const std::string bytes = buf.str();
+        LLVMFuzzerTestOneInput(
+            reinterpret_cast<const std::uint8_t *>(bytes.data()),
+            bytes.size());
+        ++replayed;
+    }
+    std::cout << "fuzz replay: " << replayed
+              << " input(s) replayed without incident\n";
+    return 0;
+}

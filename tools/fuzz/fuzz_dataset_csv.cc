@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Fuzz target: dataset CSV loader (vaesa/dataset_io.cc). Raw text
+ * input -- the parser must turn any byte soup into a structured
+ * LoadError (or a dataset) without crashing, throwing, or blowing
+ * up on hostile numeric cells.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+#include "harness.hh"
+#include "vaesa/dataset_io.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    const std::string path = vaesa::fuzztool::materializeInput(
+        "dataset_csv", data, size, /*framing=*/nullptr);
+    if (path.empty())
+        return 0;
+    (void)vaesa::loadDatasetCsv(path);
+    return 0;
+}

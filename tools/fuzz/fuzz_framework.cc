@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Fuzz target: framework snapshot loader (vaesa/serialize.cc).
+ * Any input must come back as a structured LoadError or a loaded
+ * framework -- crashes, sanitizer reports, and unbounded
+ * allocations are bugs.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+#include "harness.hh"
+#include "vaesa/serialize.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    static const vaesa::fuzztool::FramedSpec spec{
+        0x56534657, 2}; // "VSFW" v2
+    const std::string path = vaesa::fuzztool::materializeInput(
+        "framework", data, size, &spec);
+    if (path.empty())
+        return 0;
+    const auto loaded = vaesa::loadFramework(path);
+    (void)loaded; // errors are the expected outcome
+    return 0;
+}

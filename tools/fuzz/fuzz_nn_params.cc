@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fuzz target: nn parameter-file loader (nn/serialize.cc). The
+ * loader writes into a live model, so a small Linear layer provides
+ * real parameters; partial overwrites between iterations are fine --
+ * only crashes and sanitizer reports count.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "harness.hh"
+#include "nn/linear.hh"
+#include "nn/serialize.hh"
+#include "util/rng.hh"
+
+namespace {
+
+std::vector<vaesa::nn::Parameter *> &
+fuzzParams()
+{
+    static vaesa::Rng rng(7);
+    static vaesa::nn::Linear layer(4, 3, rng, "fuzz");
+    static std::vector<vaesa::nn::Parameter *> params =
+        layer.parameters();
+    return params;
+}
+
+} // namespace
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    static const vaesa::fuzztool::FramedSpec spec{
+        vaesa::nn::parametersMagic, vaesa::nn::parametersVersion};
+    const std::string path = vaesa::fuzztool::materializeInput(
+        "nn_params", data, size, &spec);
+    if (path.empty())
+        return 0;
+    (void)vaesa::nn::loadParameters(path, fuzzParams());
+    return 0;
+}

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Fuzz target: search-state snapshot loader (dse/search_state.cc):
+ * driver tag, RNG state, trace points, and the driver payload.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dse/search_state.hh"
+#include "harness.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    static const vaesa::fuzztool::FramedSpec spec{
+        0x56535243, 1}; // "VSRC" v1
+    const std::string path = vaesa::fuzztool::materializeInput(
+        "search_state", data, size, &spec);
+    if (path.empty())
+        return 0;
+    (void)vaesa::loadSearchSnapshot(path,
+                                    vaesa::SearchDriver::Random);
+    return 0;
+}

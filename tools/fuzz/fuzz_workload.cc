@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Fuzz target: workload layer-file parser (workload/parse.cc), the
+ * 8-column text format users hand-write; the most hostile-input
+ * exposed loader in the repo.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+#include "harness.hh"
+#include "workload/parse.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    const std::string path = vaesa::fuzztool::materializeInput(
+        "workload", data, size, /*framing=*/nullptr);
+    if (path.empty())
+        return 0;
+    (void)vaesa::parseLayerFile(path);
+    return 0;
+}

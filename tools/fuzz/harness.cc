@@ -1,0 +1,73 @@
+/** @file Implementation of the fuzz-input materializer. */
+
+#include "harness.hh"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <unistd.h>
+
+#include "util/atomic_io.hh"
+
+namespace vaesa::fuzztool {
+
+namespace {
+
+/** Stable per-target, per-process input path under the temp dir. */
+std::string
+inputPath(const std::string &target)
+{
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path();
+    return (dir / ("vaesa_fuzz_" + target + "_" +
+                   std::to_string(::getpid()) + ".bin"))
+        .string();
+}
+
+/** Wrap the payload into CRC-valid records per the mode-byte rules. */
+std::string
+reframe(const FramedSpec &spec, const std::uint8_t *data,
+        std::size_t size)
+{
+    RecordWriter out(spec.magic, spec.version);
+    std::size_t i = 1; // mode byte consumed
+    while (size - i >= 2) {
+        std::size_t len = static_cast<std::size_t>(data[i]) |
+                          static_cast<std::size_t>(data[i + 1]) << 8;
+        i += 2;
+        len = std::min(len, size - i);
+        ByteBuffer payload;
+        payload.putBytes(data + i, len);
+        out.writeRecord(payload);
+        i += len;
+    }
+    return out.bytes();
+}
+
+} // namespace
+
+std::string
+materializeInput(const std::string &target, const std::uint8_t *data,
+                 std::size_t size, const FramedSpec *framing)
+{
+    if (size == 0)
+        return "";
+    std::string contents;
+    if (framing == nullptr) {
+        contents.assign(reinterpret_cast<const char *>(data), size);
+    } else if (data[0] == 0x00) {
+        contents.assign(reinterpret_cast<const char *>(data + 1),
+                        size - 1);
+    } else {
+        contents = reframe(*framing, data, size);
+    }
+    const std::string path = inputPath(target);
+    // loadWithFallback() probes "<path>.prev" after a failed primary
+    // load; a leftover from another process would break determinism.
+    std::remove((path + ".prev").c_str());
+    if (atomicWriteFile(path, contents))
+        return "";
+    return path;
+}
+
+} // namespace vaesa::fuzztool
