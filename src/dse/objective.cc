@@ -5,6 +5,7 @@
 #include <array>
 #include <exception>
 
+#include "sched/parallel_evaluator.hh"
 #include "util/fault.hh"
 #include "util/logging.hh"
 #include "util/metrics.hh"
@@ -71,21 +72,69 @@ evaluateRecovered(Objective &objective, const std::vector<double> &x)
     return invalidScore;
 }
 
+namespace {
+
+/**
+ * Re-apply evaluateRecovered()'s exact semantics — metric counts,
+ * timer, fault sites, NaN/exception retry, invalid fallback — to a
+ * raw objective value that was already computed by the batch
+ * pipeline. Valid because batch evaluation is deterministic: the
+ * per-point path's retry would recompute the identical raw value,
+ * so reusing it preserves bit-identical results and identical
+ * fault-site hit counts.
+ */
+double
+recoveredFromRaw(double raw)
+{
+    EvalMetrics &em = evalMetrics();
+    em.evals.inc();
+    const metrics::ScopedTimer timer(em.evalNs);
+    constexpr int maxAttempts = 2;
+    for (int attempt = 1; attempt <= maxAttempts; ++attempt) {
+        try {
+            faultCheck("eval_throw");
+            const double value = faultMaybeNan("eval_nan", raw);
+            if (std::isnan(value)) {
+                warn("evaluation produced NaN (attempt ", attempt,
+                     "/", maxAttempts, ")");
+                continue;
+            }
+            return value;
+        } catch (const std::exception &e) {
+            warn("evaluation failed: ", e.what(), " (attempt ",
+                 attempt, "/", maxAttempts, ")");
+        }
+    }
+    warn("marking candidate invalid after ", maxAttempts,
+         " failed evaluations");
+    em.invalid.inc();
+    return invalidScore;
+}
+
+} // namespace
+
+std::vector<double>
+Objective::evaluateBatch(const std::vector<std::vector<double>> &xs,
+                         ThreadPool *pool)
+{
+    std::vector<double> values(xs.size());
+    if (pool && threadSafeEvaluate()) {
+        pool->parallelFor(xs.size(), [&](std::size_t i) {
+            values[i] = evaluateRecovered(*this, xs[i]);
+        });
+    } else {
+        for (std::size_t i = 0; i < xs.size(); ++i)
+            values[i] = evaluateRecovered(*this, xs[i]);
+    }
+    return values;
+}
+
 std::vector<double>
 evaluatePoints(Objective &objective,
                const std::vector<std::vector<double>> &xs,
                ThreadPool *pool)
 {
-    std::vector<double> values(xs.size());
-    if (pool && objective.threadSafeEvaluate()) {
-        pool->parallelFor(xs.size(), [&](std::size_t i) {
-            values[i] = evaluateRecovered(objective, xs[i]);
-        });
-    } else {
-        for (std::size_t i = 0; i < xs.size(); ++i)
-            values[i] = evaluateRecovered(objective, xs[i]);
-    }
-    return values;
+    return objective.evaluateBatch(xs, pool);
 }
 
 void
@@ -239,6 +288,42 @@ InputSpaceObjective::evaluate(const std::vector<double> &x)
     const AcceleratorConfig config = decode(x);
     return metricValue(evaluator_.evaluateWorkload(config, layers_),
                        metric_);
+}
+
+std::vector<double>
+InputSpaceObjective::evaluateBatch(
+    const std::vector<std::vector<double>> &xs, ThreadPool *pool)
+{
+    if (!pool || xs.empty())
+        return Objective::evaluateBatch(xs, pool);
+
+    // Batch phase: decode + score every point through the SoA
+    // pipeline. Any failure here (bad point, pool fault) degrades to
+    // the per-point path, whose per-point recovery then isolates the
+    // offender instead of losing the whole batch.
+    std::vector<double> raw;
+    try {
+        std::vector<AcceleratorConfig> configs;
+        configs.reserve(xs.size());
+        for (const std::vector<double> &x : xs)
+            configs.push_back(decode(x));
+        const std::vector<EvalResult> results =
+            evaluateConfigBatch(evaluator_, configs, layers_, *pool);
+        raw.reserve(results.size());
+        for (const EvalResult &r : results)
+            raw.push_back(metricValue(r, metric_));
+    } catch (const std::exception &e) {
+        warn("batch evaluation failed: ", e.what(),
+             "; retrying point by point");
+        return Objective::evaluateBatch(xs, pool);
+    }
+
+    // Recovery phase: identical per-point semantics (counters,
+    // timers, fault sites, retry) applied in input order.
+    std::vector<double> values(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        values[i] = recoveredFromRaw(raw[i]);
+    return values;
 }
 
 } // namespace vaesa

@@ -67,6 +67,23 @@ class Objective
      * pool when this holds; the default is the conservative false.
      */
     virtual bool threadSafeEvaluate() const { return false; }
+
+    /**
+     * Score xs[i] into out[i] as one batch. The base implementation
+     * reproduces the historical evaluatePoints() behavior exactly:
+     * per-point evaluateRecovered() calls, fanned across the pool
+     * when one is given and threadSafeEvaluate() holds, serial
+     * otherwise. Objectives backed by the batch evaluation pipeline
+     * (InputSpaceObjective) override this to score the whole batch
+     * through Evaluator::evaluateLayerBatch and then re-apply the
+     * per-point recovery semantics in input order, so values, search
+     * metrics, and fault-site hit counts stay identical to the
+     * per-point path while the cost-model work runs batched. All
+     * overrides must keep results in input order and bit-identical
+     * to the base implementation for deterministic objectives.
+     */
+    virtual std::vector<double> evaluateBatch(
+        const std::vector<std::vector<double>> &xs, ThreadPool *pool);
 };
 
 /**
@@ -161,6 +178,20 @@ class InputSpaceObjective : public Objective
 
     /** Decode + Evaluator are stateless-const and deterministic. */
     bool threadSafeEvaluate() const override { return true; }
+
+    /**
+     * Batch scoring through the SoA cost-model pipeline
+     * (evaluateConfigBatch): decode every point, score all configs
+     * layer-by-layer with within-batch dedup and work-stealing
+     * chunks, then apply the per-point recovery/metric semantics in
+     * input order. Bit-identical values and counter totals to the
+     * per-point path; falls back to the base implementation if the
+     * batch phase itself fails (so one bad batch degrades gracefully
+     * instead of killing a run), or when no pool is given.
+     */
+    std::vector<double> evaluateBatch(
+        const std::vector<std::vector<double>> &xs,
+        ThreadPool *pool) override;
 
     /** Decode a box point to the discrete configuration it scores. */
     AcceleratorConfig decode(const std::vector<double> &x) const;

@@ -1,7 +1,10 @@
 #include "sched/caching_evaluator.hh"
 
+#include <algorithm>
+
 #include "util/contracts.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace vaesa {
 
@@ -54,10 +57,44 @@ globalCacheMetrics()
     return m;
 }
 
+std::size_t
+roundUpPow2(std::size_t x)
+{
+    std::size_t p = 1;
+    while (p < x)
+        p <<= 1;
+    return p;
+}
+
+/**
+ * Shard-count policy shared by construction (process-wide metrics)
+ * and clear() (per-instance counters): start from a base width,
+ * escalate while the observed contended-acquisition ratio is high,
+ * and de-escalate only from a very quiet epoch. Ratios are per
+ * lookup; below ~1k lookups there is no signal, keep the base.
+ */
+std::size_t
+adaptShardCount(std::size_t base, std::uint64_t lookups,
+                std::uint64_t contended)
+{
+    std::size_t want = base;
+    if (lookups >= 1024) {
+        if (contended * 64 > lookups)
+            want = base * 4;
+        else if (contended * 256 > lookups)
+            want = base * 2;
+        else if (contended * 4096 < lookups)
+            want = base / 2;
+    }
+    want = std::clamp(want, CachingEvaluator::minShardCount,
+                      CachingEvaluator::maxShardCount);
+    return roundUpPow2(want);
+}
+
 } // namespace
 
 std::size_t
-CachingEvaluator::KeyHash::operator()(const Key &key) const
+CachingEvaluator::BatchKeyHash::operator()(const BatchKey &key) const
 {
     // One avalanche over both fields: the config packing is dense in
     // the low bits, so the raw key would shard/bucket poorly.
@@ -66,9 +103,39 @@ CachingEvaluator::KeyHash::operator()(const Key &key) const
               (static_cast<std::uint64_t>(key.layer) << 59)));
 }
 
+std::size_t
+CachingEvaluator::contentionAwareShardCount()
+{
+    // Base width: 4 shards per pool thread keeps the expected number
+    // of threads per shard lock well under one even with a skewed
+    // key mix; past epochs' process-wide contention ratio escalates
+    // it further.
+    const std::size_t base = ThreadPool::defaultThreadCount() * 4;
+    GlobalCacheMetrics &g = globalCacheMetrics();
+    const std::uint64_t lookups = g.hits.value() + g.misses.value();
+    return adaptShardCount(std::max(base, minShardCount), lookups,
+                           g.contention.value());
+}
+
+CachingEvaluator::CachingEvaluator()
+    : CachingEvaluator(Evaluator())
+{
+}
+
 CachingEvaluator::CachingEvaluator(const Evaluator &inner)
+    : CachingEvaluator(inner, contentionAwareShardCount())
+{
+}
+
+CachingEvaluator::CachingEvaluator(const Evaluator &inner,
+                                   std::size_t shardCount)
     : inner_(inner)
 {
+    // Shard holds a Mutex (non-movable), so the array is built in
+    // place on the heap and only replaced at quiescent points.
+    shardCount_ = roundUpPow2(
+        std::clamp(shardCount, minShardCount, maxShardCount));
+    shards_.reset(new Shard[shardCount_]);
 }
 
 std::uint64_t
@@ -90,7 +157,7 @@ CachingEvaluator::configKey(const AcceleratorConfig &arch) const
 }
 
 std::uint32_t
-CachingEvaluator::layerId(const LayerShape &layer) const
+CachingEvaluator::layerKey(const LayerShape &layer) const
 {
     {
         const ReaderLock lock(registryMutex_);
@@ -108,12 +175,9 @@ CachingEvaluator::layerId(const LayerShape &layer) const
     return static_cast<std::uint32_t>(layerRegistry_.size() - 1);
 }
 
-EvalResult
-CachingEvaluator::evaluateLayer(const AcceleratorConfig &arch,
-                                const LayerShape &layer) const
+AcceleratorConfig
+CachingEvaluator::snapConfig(const AcceleratorConfig &arch) const
 {
-    // Snap to the grid first: the cache key is the grid index, and
-    // evaluation of off-grid values would alias the snapped point.
     AcceleratorConfig snapped = arch;
     const DesignSpace &ds = designSpace();
     for (int p = 0; p < numHwParams; ++p) {
@@ -121,11 +185,28 @@ CachingEvaluator::evaluateLayer(const AcceleratorConfig &arch,
         snapped.setValue(param,
                          ds.snapValue(param, arch.value(param)));
     }
+    return snapped;
+}
+
+CachingEvaluator::BatchKey
+CachingEvaluator::batchKey(const AcceleratorConfig &snapped,
+                           std::uint32_t layerId) const
+{
+    return BatchKey{configKey(snapped), layerId};
+}
+
+EvalResult
+CachingEvaluator::evaluateLayer(const AcceleratorConfig &arch,
+                                const LayerShape &layer) const
+{
+    // Snap to the grid first: the cache key is the grid index, and
+    // evaluation of off-grid values would alias the snapped point.
+    const AcceleratorConfig snapped = snapConfig(arch);
 
     // The (59-bit perfect config packing, registry id) pair is
     // collision-free; the hash only spreads it over buckets/shards.
-    const Key key{configKey(snapped), layerId(layer)};
-    Shard &shard = shards_[KeyHash{}(key) % numShards];
+    const BatchKey key{configKey(snapped), layerKey(layer)};
+    Shard &shard = shards_[BatchKeyHash{}(key) % shardCount_];
 
     {
         lockShard(shard);
@@ -175,6 +256,106 @@ CachingEvaluator::evaluateWorkload(
 }
 
 void
+CachingEvaluator::probeBatch(const BatchKey *keys, std::size_t n,
+                             EvalResult *results,
+                             unsigned char *found) const
+{
+    if (n == 0)
+        return;
+    // Bucket keys by shard (counting sort) so each shard is locked
+    // exactly once per batch regardless of n.
+    std::vector<std::uint32_t> shardOf(n);
+    std::vector<std::uint32_t> start(shardCount_ + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        shardOf[i] = static_cast<std::uint32_t>(
+            BatchKeyHash{}(keys[i]) % shardCount_);
+        ++start[shardOf[i] + 1];
+    }
+    for (std::size_t s = 0; s < shardCount_; ++s)
+        start[s + 1] += start[s];
+    std::vector<std::uint32_t> order(n);
+    {
+        std::vector<std::uint32_t> cursor(start.begin(),
+                                          start.end() - 1);
+        for (std::size_t i = 0; i < n; ++i)
+            order[cursor[shardOf[i]]++] =
+                static_cast<std::uint32_t>(i);
+    }
+    for (std::size_t s = 0; s < shardCount_; ++s) {
+        if (start[s] == start[s + 1])
+            continue;
+        Shard &shard = shards_[s];
+        lockShard(shard);
+        const MutexLock lock(shard.shardMutex, adoptLock);
+        for (std::uint32_t o = start[s]; o < start[s + 1]; ++o) {
+            const std::uint32_t i = order[o];
+            const auto it = shard.entries.find(keys[i]);
+            if (it != shard.entries.end()) {
+                results[i] = it->second;
+                found[i] = 1;
+            } else {
+                found[i] = 0;
+            }
+        }
+    }
+}
+
+void
+CachingEvaluator::insertBatch(const BatchKey *keys,
+                              const EvalResult *results,
+                              std::size_t n) const
+{
+    if (n == 0)
+        return;
+    std::vector<std::uint32_t> shardOf(n);
+    std::vector<std::uint32_t> start(shardCount_ + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        shardOf[i] = static_cast<std::uint32_t>(
+            BatchKeyHash{}(keys[i]) % shardCount_);
+        ++start[shardOf[i] + 1];
+    }
+    for (std::size_t s = 0; s < shardCount_; ++s)
+        start[s + 1] += start[s];
+    std::vector<std::uint32_t> order(n);
+    {
+        std::vector<std::uint32_t> cursor(start.begin(),
+                                          start.end() - 1);
+        for (std::size_t i = 0; i < n; ++i)
+            order[cursor[shardOf[i]]++] =
+                static_cast<std::uint32_t>(i);
+    }
+    for (std::size_t s = 0; s < shardCount_; ++s) {
+        if (start[s] == start[s + 1])
+            continue;
+        Shard &shard = shards_[s];
+        lockShard(shard);
+        const MutexLock lock(shard.shardMutex, adoptLock);
+        for (std::uint32_t o = start[s]; o < start[s + 1]; ++o) {
+            const std::uint32_t i = order[o];
+            shard.entries.emplace(keys[i], results[i]); // keep first
+        }
+    }
+}
+
+void
+CachingEvaluator::accountBatch(std::uint64_t lookups,
+                               std::uint64_t misses) const
+{
+    VAESA_EXPECT(misses <= lookups,
+                 "accountBatch: ", misses, " misses out of ", lookups,
+                 " lookups");
+    const std::uint64_t hits = lookups - misses;
+    if (hits > 0) {
+        hits_.inc(hits);
+        globalCacheMetrics().hits.inc(hits);
+    }
+    if (misses > 0) {
+        misses_.inc(misses);
+        globalCacheMetrics().misses.inc(misses);
+    }
+}
+
+void
 CachingEvaluator::lockShard(const Shard &shard)
 {
     // try_lock first purely to observe contention; the blocking lock
@@ -191,8 +372,8 @@ std::uint64_t
 CachingEvaluator::contention() const
 {
     std::uint64_t total = 0;
-    for (const Shard &shard : shards_)
-        total += shard.contention.value();
+    for (std::size_t s = 0; s < shardCount_; ++s)
+        total += shards_[s].contention.value();
     return total;
 }
 
@@ -200,8 +381,13 @@ void
 CachingEvaluator::clear()
 {
     const WriterLock lock(registryMutex_);
+    // Snapshot the adaptation inputs before the counters reset: the
+    // finished epoch's own ratio drives next epoch's shard count.
+    const std::uint64_t lookups = hits_.value() + misses_.value();
+    const std::uint64_t contended = contention();
     std::uint64_t dropped = 0;
-    for (Shard &shard : shards_) {
+    for (std::size_t s = 0; s < shardCount_; ++s) {
+        Shard &shard = shards_[s];
         const MutexLock shardLock(shard.shardMutex);
         dropped += shard.entries.size();
         shard.entries.clear();
@@ -213,6 +399,14 @@ CachingEvaluator::clear()
     }
     hits_.reset();
     misses_.reset();
+    // Contention-aware resize: clear() already requires quiescence,
+    // so swapping the shard array here (and nowhere else) is safe.
+    const std::size_t want =
+        adaptShardCount(shardCount_, lookups, contended);
+    if (want != shardCount_) {
+        shards_.reset(new Shard[want]);
+        shardCount_ = want;
+    }
 }
 
 } // namespace vaesa

@@ -12,6 +12,7 @@
 #define VAESA_SCHED_CACHING_EVALUATOR_HH
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -29,7 +30,7 @@ namespace vaesa {
  *
  * THREAD SAFETY: evaluateLayer()/evaluateWorkload() and the counter
  * accessors are safe to call concurrently on one instance. The memo
- * table is split into `numShards` shards, each guarded by its own
+ * table is split into shardCount() shards, each guarded by its own
  * mutex and keyed by the mixed (config, layer) hash, so concurrent
  * lookups of different keys rarely contend; the layer registry is
  * append-only under a shared_mutex (read-mostly); hit/miss counters
@@ -42,18 +43,69 @@ namespace vaesa {
  * distinct keys under contention. clear() is the one exception: it
  * must not run concurrently with evaluations (it resets the layer
  * registry that in-flight lookups have already consulted).
+ *
+ * SHARD SIZING: the shard count is fixed per epoch (construction to
+ * clear()) and chosen by contentionAwareShardCount() — a multiple of
+ * the pool width, escalated when the process-wide
+ * `cache.shard_contention` metric shows past epochs queueing on
+ * shard locks. clear() re-applies the policy from this instance's
+ * own contention ratio, which is the one point where resizing is
+ * safe (clear() already requires quiescence).
+ *
+ * BATCH PROTOCOL: the probeBatch()/insertBatch()/accountBatch()
+ * primitives let a caller holding MANY keys amortize locking — each
+ * shard is locked once per batch instead of once per key, and the
+ * caller merges results computed outside any lock (the thread-local
+ * views of sched/parallel_evaluator.cc). Counter semantics are
+ * preserved exactly: accountBatch(lookups, misses) produces the same
+ * hit/miss totals the per-key path would have.
  */
 class CachingEvaluator
 {
   public:
-    /** Number of independently locked memo-table shards. */
-    static constexpr std::size_t numShards = 16;
+    /** Fewest shards contentionAwareShardCount() will pick. */
+    static constexpr std::size_t minShardCount = 16;
+
+    /** Most shards contentionAwareShardCount() will pick. */
+    static constexpr std::size_t maxShardCount = 512;
+
+    /** Collision-free (config grid indices, layer id) pair. */
+    struct BatchKey
+    {
+        std::uint64_t config;
+        std::uint32_t layer;
+
+        bool operator==(const BatchKey &other) const
+        {
+            return config == other.config && layer == other.layer;
+        }
+    };
+
+    /** splitmix64-style mix over both fields; also picks the shard. */
+    struct BatchKeyHash
+    {
+        std::size_t operator()(const BatchKey &key) const;
+    };
 
     /** Wrap a default-constructed Evaluator. */
-    CachingEvaluator() = default;
+    CachingEvaluator();
 
     /** Wrap an evaluator with explicit cost-model parameters. */
     explicit CachingEvaluator(const Evaluator &inner);
+
+    /** Wrap @p inner with an explicit shard count (tests/benches);
+     *  clamped to [minShardCount, maxShardCount]. */
+    CachingEvaluator(const Evaluator &inner, std::size_t shardCount);
+
+    /**
+     * The contention-aware shard-count policy: a multiple of
+     * ThreadPool::defaultThreadCount(), escalated while the
+     * process-wide `cache.shard_contention` / (`cache.hit` +
+     * `cache.miss`) ratio from prior epochs stays high, clamped to
+     * [minShardCount, maxShardCount] and rounded up to a power of
+     * two (the shard selector is a mask-friendly modulo).
+     */
+    static std::size_t contentionAwareShardCount();
 
     /** Memoized variant of Evaluator::evaluateLayer. */
     EvalResult evaluateLayer(const AcceleratorConfig &arch,
@@ -63,6 +115,62 @@ class CachingEvaluator
     EvalResult evaluateWorkload(const AcceleratorConfig &arch,
                                 const std::vector<LayerShape>
                                     &layers) const;
+
+    /** @name Batch protocol (see class comment)
+     *
+     * The canonical sequence, per (layer, key-set) batch:
+     *   1. snapConfig() each config, layerKey() the layer, build
+     *      BatchKeys with batchKey();
+     *   2. probeBatch() — one locked pass filling cached results;
+     *   3. evaluate the missing keys OUTSIDE any lock (thread-local
+     *      result views, e.g. via Evaluator::evaluateLayerBatch);
+     *   4. insertBatch() the freshly computed entries;
+     *   5. accountBatch(lookups, misses) once per batch.
+     */
+    /** @{ */
+
+    /** Snap every hardware parameter to its design-space grid point
+     *  (the cache key is the grid index). */
+    AcceleratorConfig snapConfig(const AcceleratorConfig &arch) const;
+
+    /** Registry id of @p layer (registering it if new). Stable until
+     *  clear(). */
+    std::uint32_t layerKey(const LayerShape &layer) const
+        VAESA_EXCLUDES(registryMutex_);
+
+    /** Key for a SNAPPED config and a layerKey() id. */
+    BatchKey batchKey(const AcceleratorConfig &snapped,
+                      std::uint32_t layerId) const;
+
+    /**
+     * Locked-once-per-shard lookup of keys [0, n): found[i] is
+     * nonzero iff keys[i] was cached, in which case results[i] holds
+     * the cached value. Does NOT touch the hit/miss counters — call
+     * accountBatch() once the batch completes.
+     */
+    void probeBatch(const BatchKey *keys, std::size_t n,
+                    EvalResult *results,
+                    unsigned char *found) const;
+
+    /**
+     * Locked-once-per-shard insert of n freshly computed entries;
+     * entries whose key raced in via another thread are dropped
+     * (results are deterministic, so both copies are identical).
+     * Does NOT touch the counters.
+     */
+    void insertBatch(const BatchKey *keys, const EvalResult *results,
+                     std::size_t n) const;
+
+    /**
+     * Fold one batch into the hit/miss counters: @p lookups keys
+     * were probed, @p misses of them were evaluated by the caller.
+     * Identical totals to the per-key path (hits = lookups - misses,
+     * and misses still count inner evaluations performed).
+     */
+    void accountBatch(std::uint64_t lookups,
+                      std::uint64_t misses) const;
+
+    /** @} */
 
     /** Number of cache hits so far. */
     std::uint64_t hits() const { return hits_.value(); }
@@ -81,9 +189,14 @@ class CachingEvaluator
      */
     std::uint64_t contention() const;
 
+    /** Number of independently locked memo-table shards this epoch. */
+    std::size_t shardCount() const { return shardCount_; }
+
     /**
      * Drop all cached entries, the layer registry, and both
-     * counters. NOT safe concurrently with evaluateLayer(); quiesce
+     * counters, then re-apply the contention-aware shard policy to
+     * this instance's own observed ratio (the only safe resize
+     * point). NOT safe concurrently with evaluateLayer(); quiesce
      * the pool first.
      */
     void clear() VAESA_EXCLUDES(registryMutex_);
@@ -92,29 +205,11 @@ class CachingEvaluator
     const Evaluator &inner() const { return inner_; }
 
   private:
-    /** Collision-free (config grid indices, layer id) pair. */
-    struct Key
-    {
-        std::uint64_t config;
-        std::uint32_t layer;
-
-        bool operator==(const Key &other) const
-        {
-            return config == other.config && layer == other.layer;
-        }
-    };
-
-    /** splitmix64-style mix over both fields; also picks the shard. */
-    struct KeyHash
-    {
-        std::size_t operator()(const Key &key) const;
-    };
-
     /** One independently locked slice of the memo table. */
     struct Shard
     {
         mutable Mutex shardMutex;
-        std::unordered_map<Key, EvalResult, KeyHash> entries
+        std::unordered_map<BatchKey, EvalResult, BatchKeyHash> entries
             VAESA_GUARDED_BY(shardMutex);
         /** Lock acquisitions that had to wait (try_lock failed). */
         mutable metrics::Counter contention;
@@ -125,8 +220,6 @@ class CachingEvaluator
         VAESA_ACQUIRE(shard.shardMutex);
 
     std::uint64_t configKey(const AcceleratorConfig &arch) const;
-    std::uint32_t layerId(const LayerShape &layer) const
-        VAESA_EXCLUDES(registryMutex_);
 
     Evaluator inner_;
     /** Append-only shape registry; shared lock to scan, unique to
@@ -134,7 +227,11 @@ class CachingEvaluator
     mutable SharedMutex registryMutex_;
     mutable std::vector<LayerShape> layerRegistry_
         VAESA_GUARDED_BY(registryMutex_);
-    mutable Shard shards_[numShards];
+    /** Shard array; the count is fixed between clear() epochs (Shard
+     *  holds a Mutex, so the array is heap-built in place and only
+     *  ever swapped at the quiescent clear() point). */
+    mutable std::unique_ptr<Shard[]> shards_;
+    std::size_t shardCount_;
     // Sharded metrics counters (util/metrics.hh) instead of ad-hoc
     // atomics: same relaxed-increment semantics, but writers on
     // different cores stop bouncing one cache line, and the values

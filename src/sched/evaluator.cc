@@ -1,5 +1,10 @@
 #include "sched/evaluator.hh"
 
+#include <optional>
+#include <vector>
+
+#include "costmodel/batch_cost_model.hh"
+
 namespace vaesa {
 
 Evaluator::Evaluator()
@@ -46,6 +51,53 @@ Evaluator::evaluateLayer(const AcceleratorConfig &arch,
     result.energyPj = cost.energyPj;
     result.edp = cost.edp();
     return result;
+}
+
+void
+Evaluator::evaluateLayerBatch(const AcceleratorConfig *archs,
+                              std::size_t n, const LayerShape &layer,
+                              EvalResult *results) const
+{
+    if (n == 0)
+        return;
+    evalCount_ += n;
+
+    // Scheduling stays per item (branchy search over tile factors);
+    // unmapped items are finalized invalid here, mapped items go
+    // through the SoA cost kernel in one pass.
+    std::vector<std::optional<Mapping>> mappings(n);
+    std::vector<AcceleratorConfig> liveArchs;
+    std::vector<Mapping> liveMappings;
+    std::vector<std::size_t> liveIdx;
+    liveArchs.reserve(n);
+    liveMappings.reserve(n);
+    liveIdx.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        results[i] = EvalResult{};
+        mappings[i] = scheduler_.schedule(archs[i], layer);
+        if (mappings[i]) {
+            liveArchs.push_back(archs[i]);
+            liveMappings.push_back(*mappings[i]);
+            liveIdx.push_back(i);
+        }
+    }
+    if (liveIdx.empty())
+        return;
+
+    std::vector<CostResult> costs(liveIdx.size());
+    const BatchCostModel batchModel(model_);
+    batchModel.evaluateLayer(liveArchs.data(), liveMappings.data(),
+                             liveIdx.size(), layer, costs.data());
+
+    for (std::size_t j = 0; j < liveIdx.size(); ++j) {
+        if (!costs[j].valid)
+            continue;
+        EvalResult &r = results[liveIdx[j]];
+        r.valid = true;
+        r.latencyCycles = costs[j].latencyCycles;
+        r.energyPj = costs[j].energyPj;
+        r.edp = costs[j].edp();
+    }
 }
 
 EvalResult

@@ -10,6 +10,7 @@
 #define VAESA_SCHED_EVALUATOR_HH
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -61,6 +62,19 @@ class Evaluator
     /** Schedule and score one layer on an architecture. */
     EvalResult evaluateLayer(const AcceleratorConfig &arch,
                              const LayerShape &layer) const;
+
+    /**
+     * Schedule and score @p n architectures against ONE layer in a
+     * single pass: results[i] is bit-identical to
+     * evaluateLayer(archs[i], layer) under the naive kernel (the
+     * scheduler runs per item; the cost math runs through
+     * BatchCostModel's SoA kernel). Counts n layer evaluations.
+     * Thread-safe like evaluateLayer; callers may partition a large
+     * batch into disjoint sub-ranges across pool workers.
+     */
+    void evaluateLayerBatch(const AcceleratorConfig *archs,
+                            std::size_t n, const LayerShape &layer,
+                            EvalResult *results) const;
 
     /**
      * Schedule and score every layer and sum latency/energy; EDP is

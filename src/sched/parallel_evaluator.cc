@@ -1,5 +1,13 @@
 #include "sched/parallel_evaluator.hh"
 
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "util/fault.hh"
+
 namespace vaesa {
 
 namespace {
@@ -27,7 +35,86 @@ rollUp(const std::vector<EvalResult> &perLayer)
     return total;
 }
 
+/** splitmix64 finalizer (value-hash for config dedup). */
+std::uint64_t
+mixConfigWord(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+/** Value hash over the six hardware parameters, for deduplicating
+ *  EXACT config duplicates (no snapping: two off-grid configs that
+ *  would snap together may still evaluate differently on a plain
+ *  Evaluator, so only bytewise-equal configs may share a result). */
+struct ConfigHash
+{
+    std::size_t operator()(const AcceleratorConfig &config) const
+    {
+        std::uint64_t h = 0;
+        for (int p = 0; p < numHwParams; ++p) {
+            h = mixConfigWord(
+                h ^ static_cast<std::uint64_t>(
+                        config.value(static_cast<HwParam>(p))));
+        }
+        return static_cast<std::size_t>(h);
+    }
+};
+
+/**
+ * Evaluate configs [0, n) against one layer across the pool in
+ * work-stealing chunks: workers claim [cursor, cursor+chunk) slices
+ * off a shared atomic, each slice running through the SoA batch cost
+ * model into its own disjoint span of `results` (the thread-local
+ * view; no lock, no sharing). The "batch_chunk" fault site fires at
+ * the claim point, BEFORE the chunk computes, so an injected kill
+ * surfaces as an exception from parallelFor after in-flight chunks
+ * finish — callers must not merge or account anything when this
+ * throws (the all-or-nothing batch contract).
+ */
+void
+stealingLayerBatch(const Evaluator &evaluator,
+                   const AcceleratorConfig *configs, std::size_t n,
+                   const LayerShape &layer, EvalResult *results,
+                   ThreadPool &pool)
+{
+    if (n == 0)
+        return;
+    const std::size_t workers =
+        std::max<std::size_t>(1, pool.threadCount());
+    const std::size_t chunk = chunkSizeFor(n, workers);
+    if (n <= chunk) {
+        // Too small to be worth a fan-out; the calling thread scores
+        // it directly (still one fault checkpoint per batch).
+        faultCheck("batch_chunk");
+        evaluator.evaluateLayerBatch(configs, n, layer, results);
+        return;
+    }
+    std::atomic<std::size_t> cursor{0};
+    pool.parallelFor(workers, [&](std::size_t) {
+        for (;;) {
+            const std::size_t begin = cursor.fetch_add(chunk);
+            if (begin >= n)
+                break;
+            faultCheck("batch_chunk");
+            const std::size_t end = std::min(n, begin + chunk);
+            evaluator.evaluateLayerBatch(configs + begin, end - begin,
+                                         layer, results + begin);
+        }
+    });
+}
+
 } // namespace
+
+std::size_t
+chunkSizeFor(std::size_t items, std::size_t threads)
+{
+    const std::size_t target =
+        items / (std::max<std::size_t>(1, threads) * 8);
+    return std::clamp<std::size_t>(target, 8, 256);
+}
 
 EvalResult
 evaluateWorkloadParallel(const Evaluator &evaluator,
@@ -42,10 +129,150 @@ evaluateWorkloadParallel(const Evaluator &evaluator,
     return rollUp(perLayer);
 }
 
+std::vector<EvalResult>
+evaluateConfigBatch(const Evaluator &evaluator,
+                    const std::vector<AcceleratorConfig> &configs,
+                    const std::vector<LayerShape> &layers,
+                    ThreadPool &pool)
+{
+    const std::size_t n = configs.size();
+    std::vector<EvalResult> totals(n);
+    for (EvalResult &t : totals)
+        t.valid = true;
+
+    // Alive mask: configs drop out at their first invalid layer, so
+    // each config's roll-up sees exactly the serial loop's layer
+    // prefix (same sums, same early-exit semantics).
+    std::vector<std::uint32_t> alive(n);
+    std::iota(alive.begin(), alive.end(), 0);
+
+    std::vector<AcceleratorConfig> uniques;
+    std::vector<std::uint32_t> slotOf;
+    std::vector<EvalResult> uniqueResults;
+    for (const LayerShape &layer : layers) {
+        if (alive.empty())
+            break;
+
+        // Within-batch dedup on exact config value: evaluation is
+        // deterministic, so duplicates share one scored result.
+        uniques.clear();
+        slotOf.assign(alive.size(), 0);
+        std::unordered_map<AcceleratorConfig, std::uint32_t,
+                           ConfigHash>
+            uniqueOf;
+        uniqueOf.reserve(alive.size());
+        for (std::size_t j = 0; j < alive.size(); ++j) {
+            const auto [it, inserted] = uniqueOf.emplace(
+                configs[alive[j]],
+                static_cast<std::uint32_t>(uniques.size()));
+            if (inserted)
+                uniques.push_back(configs[alive[j]]);
+            slotOf[j] = it->second;
+        }
+
+        uniqueResults.assign(uniques.size(), EvalResult{});
+        stealingLayerBatch(evaluator, uniques.data(), uniques.size(),
+                           layer, uniqueResults.data(), pool);
+
+        // Accumulate in input order on this thread.
+        std::vector<std::uint32_t> next;
+        next.reserve(alive.size());
+        for (std::size_t j = 0; j < alive.size(); ++j) {
+            const EvalResult &r = uniqueResults[slotOf[j]];
+            EvalResult &t = totals[alive[j]];
+            if (!r.valid) {
+                t = EvalResult{};
+                continue;
+            }
+            t.latencyCycles += r.latencyCycles;
+            t.energyPj += r.energyPj;
+            next.push_back(alive[j]);
+        }
+        alive.swap(next);
+    }
+
+    for (EvalResult &t : totals) {
+        if (t.valid)
+            t.edp = t.latencyCycles * t.energyPj;
+    }
+    return totals;
+}
+
 ParallelEvaluator::ParallelEvaluator(const CachingEvaluator &cache,
                                      ThreadPool &pool)
     : cache_(&cache), pool_(&pool)
 {
+}
+
+void
+ParallelEvaluator::scoreLayerSubset(const AcceleratorConfig *configs,
+                                    const std::uint32_t *idx,
+                                    std::size_t m,
+                                    const LayerShape &layer,
+                                    EvalResult *results) const
+{
+    if (m == 0)
+        return;
+    const CachingEvaluator &cache = *cache_;
+    const std::uint32_t layerId = cache.layerKey(layer);
+
+    // Snap + key once per item (the serial path does this per call).
+    std::vector<AcceleratorConfig> snapped(m);
+    std::vector<CachingEvaluator::BatchKey> keys(m);
+    for (std::size_t j = 0; j < m; ++j) {
+        snapped[j] = cache.snapConfig(configs[idx[j]]);
+        keys[j] = cache.batchKey(snapped[j], layerId);
+    }
+
+    // Probe: each shard locked once for the whole batch.
+    std::vector<EvalResult> local(m);
+    std::vector<unsigned char> found(m, 0);
+    cache.probeBatch(keys.data(), m, local.data(), found.data());
+
+    // Dedup the misses (duplicate keys share one evaluation; the
+    // serial path would have hit the cache for the repeats, so the
+    // hit/miss accounting below still matches it exactly).
+    std::unordered_map<CachingEvaluator::BatchKey, std::uint32_t,
+                       CachingEvaluator::BatchKeyHash>
+        uniqueOf;
+    std::vector<std::uint32_t> uniqueRep;
+    std::vector<std::uint32_t> missSlot(m, 0);
+    for (std::size_t j = 0; j < m; ++j) {
+        if (found[j])
+            continue;
+        const auto [it, inserted] = uniqueOf.emplace(
+            keys[j], static_cast<std::uint32_t>(uniqueRep.size()));
+        if (inserted)
+            uniqueRep.push_back(static_cast<std::uint32_t>(j));
+        missSlot[j] = it->second;
+    }
+
+    const std::size_t u = uniqueRep.size();
+    if (u > 0) {
+        std::vector<AcceleratorConfig> uniqueConfigs(u);
+        std::vector<CachingEvaluator::BatchKey> uniqueKeys(u);
+        for (std::size_t k = 0; k < u; ++k) {
+            uniqueConfigs[k] = snapped[uniqueRep[k]];
+            uniqueKeys[k] = keys[uniqueRep[k]];
+        }
+        // Evaluate outside any lock; throws (including an injected
+        // batch_chunk fault) propagate from here and skip the merge
+        // and accounting below — all-or-nothing.
+        std::vector<EvalResult> uniqueResults(u);
+        stealingLayerBatch(cache.inner(), uniqueConfigs.data(), u,
+                           layer, uniqueResults.data(), *pool_);
+
+        // Merge the thread-local views once, at batch end.
+        cache.insertBatch(uniqueKeys.data(), uniqueResults.data(), u);
+        for (std::size_t j = 0; j < m; ++j) {
+            if (!found[j])
+                local[j] = uniqueResults[missSlot[j]];
+        }
+    }
+    cache.accountBatch(m, u);
+
+    for (std::size_t j = 0; j < m; ++j)
+        results[idx[j]] = local[j];
 }
 
 std::vector<EvalResult>
@@ -53,11 +280,46 @@ ParallelEvaluator::evaluateBatch(
     const std::vector<AcceleratorConfig> &configs,
     const std::vector<LayerShape> &workload) const
 {
-    std::vector<EvalResult> results(configs.size());
-    pool_->parallelFor(configs.size(), [&](std::size_t i) {
-        results[i] = cache_->evaluateWorkload(configs[i], workload);
-    });
-    return results;
+    const std::size_t n = configs.size();
+    std::vector<EvalResult> totals(n);
+    for (EvalResult &t : totals)
+        t.valid = true;
+
+    // Alive mask: a config invalid at layer L stops looking up
+    // layers past L, exactly like the serial per-config early exit —
+    // this is what keeps cache hit/miss totals identical to the
+    // serial path, not just the sums.
+    std::vector<std::uint32_t> alive(n);
+    std::iota(alive.begin(), alive.end(), 0);
+
+    std::vector<EvalResult> layerResults(n);
+    for (const LayerShape &layer : workload) {
+        if (alive.empty())
+            break;
+        scoreLayerSubset(configs.data(), alive.data(), alive.size(),
+                         layer, layerResults.data());
+
+        std::vector<std::uint32_t> next;
+        next.reserve(alive.size());
+        for (const std::uint32_t i : alive) {
+            const EvalResult &r = layerResults[i];
+            EvalResult &t = totals[i];
+            if (!r.valid) {
+                t = EvalResult{};
+                continue;
+            }
+            t.latencyCycles += r.latencyCycles;
+            t.energyPj += r.energyPj;
+            next.push_back(i);
+        }
+        alive.swap(next);
+    }
+
+    for (EvalResult &t : totals) {
+        if (t.valid)
+            t.edp = t.latencyCycles * t.energyPj;
+    }
+    return totals;
 }
 
 std::vector<EvalResult>
@@ -66,9 +328,12 @@ ParallelEvaluator::evaluateLayerBatch(
     const LayerShape &layer) const
 {
     std::vector<EvalResult> results(configs.size());
-    pool_->parallelFor(configs.size(), [&](std::size_t i) {
-        results[i] = cache_->evaluateLayer(configs[i], layer);
-    });
+    if (configs.empty())
+        return results;
+    std::vector<std::uint32_t> idx(configs.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    scoreLayerSubset(configs.data(), idx.data(), idx.size(), layer,
+                     results.data());
     return results;
 }
 

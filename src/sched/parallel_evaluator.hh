@@ -8,6 +8,24 @@
  * determinism is preserved because work is only *scheduled* in
  * parallel while all result ordering and summation stays in input
  * order on the calling thread.
+ *
+ * BATCH PIPELINE (the DESIGN.md batch-evaluation contract): a layer
+ * batch runs dedup -> probe -> evaluate -> merge -> account:
+ *   1. snap + key every config, then deduplicate keys (searches
+ *      repeatedly decode to the same snapped config, so a batch of N
+ *      often holds far fewer distinct keys);
+ *   2. one locked-per-shard probeBatch() against the memo cache;
+ *   3. the missing distinct keys are evaluated through the SoA batch
+ *      cost model in work-stealing CHUNKS (chunkSizeFor()) claimed
+ *      off a shared atomic cursor — each chunk's results land in a
+ *      thread-local slice, no lock held while evaluating;
+ *   4. the slices are merged into the cache once, at batch end
+ *      (insertBatch), and the counters folded with accountBatch(),
+ *      reproducing the serial path's hit/miss totals exactly;
+ *   5. results scatter back to input order on the calling thread.
+ * A fault or exception inside step 3 propagates after in-flight
+ * chunks finish and SKIPS steps 4-5, so a killed batch is
+ * all-or-nothing: no partial merge, no counter drift.
  */
 
 #ifndef VAESA_SCHED_PARALLEL_EVALUATOR_HH
@@ -21,6 +39,16 @@
 namespace vaesa {
 
 /**
+ * Work-stealing chunk size for a batch of @p items across @p threads
+ * workers: items/(threads*8) clamped to [8, 256]. ~8 chunks per
+ * worker keeps the steal-cursor overhead negligible (one atomic add
+ * per ~10-2000 µs of work) while bounding tail imbalance to ~1/8 of
+ * a worker's share; the floor of 8 stops tiny batches from degrading
+ * to per-item claims.
+ */
+std::size_t chunkSizeFor(std::size_t items, std::size_t threads);
+
+/**
  * Roll a workload up layer-by-layer in parallel on a plain (cache-
  * free) Evaluator. Bit-identical to Evaluator::evaluateWorkload:
  * layer results are summed on the calling thread in layer order and
@@ -30,6 +58,23 @@ namespace vaesa {
  */
 EvalResult evaluateWorkloadParallel(
     const Evaluator &evaluator, const AcceleratorConfig &arch,
+    const std::vector<LayerShape> &layers, ThreadPool &pool);
+
+/**
+ * Score configs[i] on the whole workload into result i on a plain
+ * (cache-free) Evaluator — the uncached driver fast path. Results
+ * are bit-identical to calling evaluator.evaluateWorkload per
+ * config: each layer is scored through the SoA batch cost model
+ * with within-batch deduplication (evaluation is deterministic, so
+ * sharing one result across duplicate configs is lossless), per-
+ * config sums accumulate in layer order on the calling thread, and
+ * an alive mask reproduces the serial early-exit (a config invalid
+ * at layer L is not scored past L). Dedup means the evaluator's
+ * evaluationCount() advances by distinct work, not input size.
+ */
+std::vector<EvalResult> evaluateConfigBatch(
+    const Evaluator &evaluator,
+    const std::vector<AcceleratorConfig> &configs,
     const std::vector<LayerShape> &layers, ThreadPool &pool);
 
 /**
@@ -45,16 +90,20 @@ class ParallelEvaluator
     ParallelEvaluator(const CachingEvaluator &cache, ThreadPool &pool);
 
     /**
-     * Score configs[i] on the whole workload into result i. Each
-     * config's layer sum runs serially inside one task (preserving
-     * the serial early-exit), configs run concurrently. Results are
-     * bit-identical to calling cache.evaluateWorkload per config.
+     * Score configs[i] on the whole workload into result i. Runs
+     * layer-by-layer over the batch through the chunked pipeline
+     * above, with an alive mask reproducing the serial early-exit:
+     * a config invalid at layer L does not look up layers beyond L,
+     * so both the results AND the cache hit/miss totals are
+     * identical to calling cache.evaluateWorkload per config. Sums
+     * accumulate in layer order on the calling thread.
      */
     std::vector<EvalResult> evaluateBatch(
         const std::vector<AcceleratorConfig> &configs,
         const std::vector<LayerShape> &workload) const;
 
-    /** Score configs[i] on one layer into result i, concurrently. */
+    /** Score configs[i] on one layer into result i through the
+     *  chunked dedup/probe/merge pipeline (see file comment). */
     std::vector<EvalResult> evaluateLayerBatch(
         const std::vector<AcceleratorConfig> &configs,
         const LayerShape &layer) const;
@@ -75,6 +124,13 @@ class ParallelEvaluator
     ThreadPool &pool() const { return *pool_; }
 
   private:
+    /** One layer of the pipeline over the items configs[idx[j]],
+     *  j in [0, m); writes results[idx[j]]. */
+    void scoreLayerSubset(const AcceleratorConfig *configs,
+                          const std::uint32_t *idx, std::size_t m,
+                          const LayerShape &layer,
+                          EvalResult *results) const;
+
     const CachingEvaluator *cache_;
     ThreadPool *pool_;
 };

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Structure-of-arrays batch kernel for the analytical cost model: the
+ * straight-line floating-point tail of CostModel::evaluate() applied
+ * to N (config, mapping) items in one pass. The branchy integer prep
+ * (mapping checks, ceil-divided tile counts, per-arch SRAM energies)
+ * stays in src/costmodel/batch_cost_model.cc; only the dense math
+ * lives here, per the kernel-containment convention (tools/check).
+ *
+ * Two implementations are provided, selected by the SAME runtime
+ * switch as the GEMM layer (VAESA_KERNEL=naive|blocked, see
+ * kernels.hh):
+ *
+ *  - naive: one item at a time, replicating the exact operation
+ *    order of the scalar CostModel::evaluate() FP sequence, built in
+ *    its own TU at the project's baseline flags — bit-for-bit equal
+ *    to the scalar path by construction.
+ *  - blocked: the same operation sequence over restrict-qualified
+ *    SoA arrays, compiled with tuned per-file flags (-O3, AVX2 on
+ *    x86-64; see src/tensor/CMakeLists.txt) so the compiler
+ *    vectorizes across items. Unlike the GEMM kernels, this TU is
+ *    built with fp contraction DISABLED: every operation in the cost
+ *    tail (mul, div, add, sqrt, max) is correctly rounded per IEEE
+ *    754 whether executed in scalar or SIMD lanes, so blocked
+ *    results are bit-identical to naive as long as no FMA is fused.
+ *    The equivalence tests still carry a documented 1e-12 relative
+ *    tolerance as contractual headroom (docs/PERFORMANCE.md) should
+ *    contraction ever be re-enabled for speed.
+ *
+ * Determinism contract: for a FIXED kernel choice, fixed inputs give
+ * bit-identical outputs, independent of batch size, item order, and
+ * thread count (the kernel itself is single-threaded; callers
+ * partition items into disjoint ranges).
+ *
+ * No output array may alias an input. All arrays are dense doubles
+ * of length n, one entry per batch item; per-layer quantities that
+ * do not vary across items travel in CostBatchConsts.
+ */
+
+#ifndef VAESA_TENSOR_KERNELS_COST_KERNELS_HH
+#define VAESA_TENSOR_KERNELS_COST_KERNELS_HH
+
+#include <cstddef>
+
+namespace vaesa::kernels {
+
+/**
+ * SoA views of one batch: per-item inputs derived from the mapping
+ * (exact small-integer products widened to double by the prep pass)
+ * and per-item outputs. All pointers are length-n arrays owned by
+ * the caller.
+ */
+struct CostBatch
+{
+    /** @name Per-item inputs */
+    /** @{ */
+    /** Product of per-dimension PE-array tile counts. */
+    const double *nTotal;
+
+    /** Cycles one PE spends per array tile. */
+    const double *cyclesPerTile;
+
+    /** Outer (P, Q) tile iteration count (weight re-fetch factor). */
+    const double *nPqOuter;
+
+    /** Product of per-dimension global-buffer tile counts. */
+    const double *nGbAll;
+
+    /** Words of the global buffer's input tile (halo included). */
+    const double *inputGbWords;
+
+    /** Words of one PE's input tile (halo included). */
+    const double *inputTileWords;
+
+    /** Spatial K split (PEs used), as a double. */
+    const double *spatialK;
+
+    /** Spatial C split (lanes used per PE), as a double. */
+    const double *spatialC;
+
+    /** tilePe[P] * tilePe[Q] (weight-buffer read divisor). */
+    const double *pqTile;
+
+    /** Per-arch SRAM energies (pJ/access) of the four buffers. */
+    const double *inputBufPj;
+    const double *weightBufPj;
+    const double *accumBufPj;
+    const double *globalBufPj;
+    /** @} */
+
+    /** @name Per-item outputs */
+    /** @{ */
+    double *computeCycles;
+    double *dramCycles;
+    double *globalBufCycles;
+    double *dramWeightReads;
+    double *dramInputReads;
+    double *latencyCycles;
+    double *energyPj;
+    double *macUtilization;
+    /** @} */
+};
+
+/** Quantities constant across one batch (fixed layer + bandwidths). */
+struct CostBatchConsts
+{
+    /** Total MACs of the layer. */
+    double macs;
+
+    /** Weight words of the layer. */
+    double weightWords;
+
+    /** Output words of the layer (= DRAM output writes). */
+    double outputWords;
+
+    /** DRAM bandwidth in words per cycle. */
+    double dramWordsPerCycle;
+
+    /** Global-buffer bandwidth in words per cycle. */
+    double globalBufWordsPerCycle;
+
+    /** Per-action energies (pJ). */
+    double macPj;
+    double registerPj;
+    double dramPj;
+    double nocPj;
+};
+
+/**
+ * Score items [0, n) of the batch under the kernel selected by
+ * activeKernel() (kernels.hh). Single-threaded; callers wanting
+ * parallelism hand disjoint sub-ranges to pool workers.
+ */
+void costBatch(std::size_t n, const CostBatch &batch,
+               const CostBatchConsts &consts);
+
+namespace detail {
+
+/** Items [i0, i1): reference body at baseline flags (bit-exact). */
+void costBatchNaive(std::size_t i0, std::size_t i1,
+                    const CostBatch &batch,
+                    const CostBatchConsts &consts);
+
+/** Items [i0, i1): vectorized body at tuned flags (contract off). */
+void costBatchBlocked(std::size_t i0, std::size_t i1,
+                      const CostBatch &batch,
+                      const CostBatchConsts &consts);
+
+} // namespace detail
+
+} // namespace vaesa::kernels
+
+#endif // VAESA_TENSOR_KERNELS_COST_KERNELS_HH

@@ -15,6 +15,8 @@
 #include "dse/bo.hh"
 #include "dse/genetic.hh"
 #include "dse/random_search.hh"
+#include "tensor/kernels/kernels.hh"
+#include "util/fault.hh"
 #include "util/thread_pool.hh"
 #include "workload/networks.hh"
 
@@ -154,6 +156,89 @@ TEST(ParallelEquivalence, WorkloadObjectiveDeclaresThreadSafety)
     Evaluator evaluator;
     InputSpaceObjective obj(evaluator, smallWorkload());
     EXPECT_TRUE(obj.threadSafeEvaluate());
+}
+
+/** Deterministic batch of points in the [0,1]^dim search box. */
+std::vector<std::vector<double>>
+randomPoints(std::size_t count, std::size_t dim, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<double>> xs(count);
+    for (std::vector<double> &x : xs) {
+        x.resize(dim);
+        for (double &v : x)
+            v = rng.uniform();
+    }
+    // Inject exact duplicates so the batch dedup path is live.
+    for (std::size_t i = 3; i + 1 < xs.size(); i += 7)
+        xs[i + 1] = xs[i];
+    return xs;
+}
+
+TEST(ParallelEquivalence, BatchScoringMatchesPerPointScoring)
+{
+    // The Objective::evaluateBatch contract: the batch-routed
+    // override must return exactly what per-point evaluate() would,
+    // in input order — the SoA pipeline may only change wall-clock.
+    Evaluator evaluator;
+    ThreadPool pool(4);
+    InputSpaceObjective obj(evaluator, smallWorkload());
+    const auto xs = randomPoints(64, obj.dim(), 13);
+
+    const std::vector<double> batched = obj.evaluateBatch(xs, &pool);
+    ASSERT_EQ(batched.size(), xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        EXPECT_EQ(batched[i], obj.evaluate(xs[i])) << "point " << i;
+
+    // And the free-function entry point the drivers use routes to
+    // the same override.
+    const std::vector<double> routed =
+        evaluatePoints(obj, xs, &pool);
+    EXPECT_EQ(routed, batched);
+}
+
+TEST(ParallelEquivalence, BatchRoutedSearchIsIdenticalUnderNaiveKernel)
+{
+    // The existing seed-for-seed tests run under the session default
+    // kernel; this one pins the bit-exactness acceptance criterion
+    // under the forced naive reference kernel explicitly.
+    const kernels::KernelKind saved = kernels::activeKernel();
+    kernels::setActiveKernel(kernels::KernelKind::Naive);
+
+    Evaluator evaluator;
+    ThreadPool pool(4);
+    InputSpaceObjective serialObj(evaluator, smallWorkload());
+    Rng serialRng(23);
+    const SearchTrace serial =
+        RandomSearch().run(serialObj, 40, serialRng);
+
+    InputSpaceObjective poolObj(evaluator, smallWorkload());
+    Rng poolRng(23);
+    const SearchTrace parallel =
+        RandomSearch().run(poolObj, 40, poolRng, &pool);
+
+    expectIdenticalTraces(serial, parallel);
+    EXPECT_EQ(serialRng.next(), poolRng.next());
+    kernels::setActiveKernel(saved);
+}
+
+TEST(ParallelEquivalence, BatchPhaseFailureFallsBackPerPoint)
+{
+    // A fault killing the batch pipeline mid-flight must degrade to
+    // the per-point path, not surface to the driver: the caller sees
+    // the same values, one batch just costs a retry.
+    FaultInjector::instance().reset();
+    Evaluator evaluator;
+    ThreadPool pool(4);
+    InputSpaceObjective obj(evaluator, smallWorkload());
+    const auto xs = randomPoints(32, obj.dim(), 29);
+    const std::vector<double> want = obj.evaluateBatch(xs, nullptr);
+
+    FaultInjector::instance().arm("batch_chunk", 1);
+    const std::vector<double> got = obj.evaluateBatch(xs, &pool);
+    EXPECT_GE(FaultInjector::instance().hitCount("batch_chunk"), 1u);
+    EXPECT_EQ(got, want);
+    FaultInjector::instance().reset();
 }
 
 } // namespace

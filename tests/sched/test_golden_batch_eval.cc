@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Golden regression test for the BATCH evaluation pipeline: the same
+ * frozen probe grid as golden_eval.csv, but scored through
+ * ParallelEvaluator::evaluateLayerBatch (cache probe + SoA batch
+ * cost model + work-stealing chunks) with the naive kernel forced,
+ * and frozen into its own CSV compared at 0 ULP. A batch-path
+ * refactor that drifts from the scalar landscape — even in the last
+ * bit — fails here even if the scalar golden file still passes.
+ * A companion test bounds the blocked kernel against the same frozen
+ * values at the documented 1e-12 relative tolerance.
+ *
+ * To regenerate after an INTENDED cost-model change:
+ *   VAESA_UPDATE_GOLDEN=1 ./build/tests/test_sched \
+ *       --gtest_filter='GoldenBatchEval.*'
+ * then commit the rewritten tests/sched/golden_batch_eval.csv.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sched/caching_evaluator.hh"
+#include "sched/parallel_evaluator.hh"
+#include "tensor/kernels/kernels.hh"
+#include "util/thread_pool.hh"
+#include "workload/networks.hh"
+
+namespace vaesa {
+namespace {
+
+/** Same frozen probe set as test_golden_eval.cc (tiny, mid,
+ *  buffer-heavy, compute-heavy), snapped on-grid. */
+std::vector<AcceleratorConfig>
+goldenConfigs()
+{
+    std::vector<AcceleratorConfig> configs(4);
+    configs[0].numPes = 4;
+    configs[0].numMacs = 64;
+    configs[0].accumBufBytes = 4 * 1024;
+    configs[0].weightBufBytes = 32 * 1024;
+    configs[0].inputBufBytes = 8 * 1024;
+    configs[0].globalBufBytes = 32 * 1024;
+
+    configs[1].numPes = 16;
+    configs[1].numMacs = 1024;
+    configs[1].accumBufBytes = 48 * 1024;
+    configs[1].weightBufBytes = 1024 * 1024;
+    configs[1].inputBufBytes = 64 * 1024;
+    configs[1].globalBufBytes = 128 * 1024;
+
+    configs[2].numPes = 8;
+    configs[2].numMacs = 256;
+    configs[2].accumBufBytes = 128 * 1024;
+    configs[2].weightBufBytes = 4 * 1024 * 1024;
+    configs[2].inputBufBytes = 256 * 1024;
+    configs[2].globalBufBytes = 1024 * 1024;
+
+    configs[3].numPes = 32;
+    configs[3].numMacs = 4096;
+    configs[3].accumBufBytes = 16 * 1024;
+    configs[3].weightBufBytes = 256 * 1024;
+    configs[3].inputBufBytes = 32 * 1024;
+    configs[3].globalBufBytes = 512 * 1024;
+
+    const DesignSpace &ds = designSpace();
+    for (AcceleratorConfig &config : configs)
+        for (int p = 0; p < numHwParams; ++p) {
+            const auto param = static_cast<HwParam>(p);
+            config.setValue(param,
+                            ds.snapValue(param, config.value(param)));
+        }
+    return configs;
+}
+
+/** The frozen layer subset (small ResNet-50 slice). */
+std::vector<std::size_t>
+goldenLayerIndices()
+{
+    return {0, 2, 5, 9, 14, 23};
+}
+
+std::string
+goldenPath()
+{
+    return std::string(VAESA_TEST_DATA_DIR) +
+           "/sched/golden_batch_eval.csv";
+}
+
+/** %.17g round-trips an IEEE double exactly (0-ULP comparison). */
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+struct GoldenRow
+{
+    std::size_t config;
+    std::size_t layer;
+    int valid;
+    double latency;
+    double energy;
+    double edp;
+};
+
+/** Score the whole probe grid through the batch pipeline: all four
+ *  configs as ONE batch per layer, on a 4-thread pool through a
+ *  fresh cache (so chunking, cache merge, and dedup are all live). */
+std::vector<GoldenRow>
+computeRows()
+{
+    const Evaluator evaluator;
+    const CachingEvaluator cache(evaluator);
+    ThreadPool pool(4);
+    const ParallelEvaluator parallel(cache, pool);
+
+    const auto configs = goldenConfigs();
+    const auto layers = resNet50Layers();
+    std::vector<GoldenRow> rows;
+    for (std::size_t l : goldenLayerIndices()) {
+        const std::vector<EvalResult> results =
+            parallel.evaluateLayerBatch(configs, layers[l]);
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            const EvalResult &r = results[c];
+            rows.push_back({c, l, r.valid ? 1 : 0, r.latencyCycles,
+                            r.energyPj, r.edp});
+        }
+    }
+    return rows;
+}
+
+std::vector<GoldenRow>
+readGolden()
+{
+    std::ifstream in(goldenPath());
+    EXPECT_TRUE(in) << "missing golden file " << goldenPath();
+    std::vector<GoldenRow> rows;
+    if (!in)
+        return rows;
+    std::string line;
+    EXPECT_TRUE(std::getline(in, line)); // header
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream fields(line);
+        std::string field;
+        GoldenRow row{};
+        std::getline(fields, field, ',');
+        row.config = std::stoul(field);
+        std::getline(fields, field, ',');
+        row.layer = std::stoul(field);
+        std::getline(fields, field, ',');
+        row.valid = std::stoi(field);
+        std::getline(fields, field, ',');
+        row.latency = std::stod(field);
+        std::getline(fields, field, ',');
+        row.energy = std::stod(field);
+        std::getline(fields, field, ',');
+        row.edp = std::stod(field);
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+void
+writeGolden(const std::vector<GoldenRow> &rows)
+{
+    std::ofstream out(goldenPath());
+    ASSERT_TRUE(out) << "cannot write " << goldenPath();
+    out << "config,layer,valid,latency_cycles,energy_pj,edp\n";
+    for (const GoldenRow &row : rows)
+        out << row.config << "," << row.layer << "," << row.valid
+            << "," << formatDouble(row.latency) << ","
+            << formatDouble(row.energy) << ","
+            << formatDouble(row.edp) << "\n";
+}
+
+/** Forces a kernel for the duration of one test. */
+class KernelGuard
+{
+  public:
+    explicit KernelGuard(kernels::KernelKind kind)
+        : saved_(kernels::activeKernel())
+    {
+        kernels::setActiveKernel(kind);
+    }
+    ~KernelGuard() { kernels::setActiveKernel(saved_); }
+
+  private:
+    kernels::KernelKind saved_;
+};
+
+TEST(GoldenBatchEval, BatchPipelineMatchesFrozenValuesExactly)
+{
+    // The frozen values are defined under the naive kernel — the
+    // bit-exactness reference.
+    const KernelGuard guard(kernels::KernelKind::Naive);
+    const std::vector<GoldenRow> rows = computeRows();
+
+    if (const char *update = std::getenv("VAESA_UPDATE_GOLDEN");
+        update && *update && std::string(update) != "0") {
+        writeGolden(rows);
+        GTEST_SKIP() << "rewrote " << goldenPath();
+    }
+
+    const std::vector<GoldenRow> want = readGolden();
+    ASSERT_EQ(want.size(), rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_EQ(rows[i].config, want[i].config) << "row " << i;
+        EXPECT_EQ(rows[i].layer, want[i].layer) << "row " << i;
+        EXPECT_EQ(rows[i].valid, want[i].valid) << "row " << i;
+        // Exact comparison — 0 ULP drift allowed.
+        EXPECT_EQ(rows[i].latency, want[i].latency) << "row " << i;
+        EXPECT_EQ(rows[i].energy, want[i].energy) << "row " << i;
+        EXPECT_EQ(rows[i].edp, want[i].edp) << "row " << i;
+    }
+}
+
+TEST(GoldenBatchEval, BlockedKernelStaysWithinDocumentedTolerance)
+{
+    if (std::getenv("VAESA_UPDATE_GOLDEN"))
+        GTEST_SKIP() << "regeneration run";
+    const KernelGuard guard(kernels::KernelKind::Blocked);
+    const std::vector<GoldenRow> rows = computeRows();
+    const std::vector<GoldenRow> want = readGolden();
+    ASSERT_EQ(want.size(), rows.size());
+    // 1e-12 relative: the contractual headroom for the vectorized
+    // kernel (batch_cost_model.hh); current builds are bit-exact.
+    constexpr double tol = 1e-12;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        ASSERT_EQ(rows[i].valid, want[i].valid) << "row " << i;
+        if (!want[i].valid)
+            continue;
+        EXPECT_NEAR(rows[i].latency, want[i].latency,
+                    tol * std::abs(want[i].latency)) << "row " << i;
+        EXPECT_NEAR(rows[i].energy, want[i].energy,
+                    tol * std::abs(want[i].energy)) << "row " << i;
+        EXPECT_NEAR(rows[i].edp, want[i].edp,
+                    tol * std::abs(want[i].edp)) << "row " << i;
+    }
+}
+
+TEST(GoldenBatchEval, MatchesScalarGoldenFileRowForRow)
+{
+    // The batch golden file and the scalar golden file freeze the
+    // same probe grid; under the naive kernel they must agree bit
+    // for bit, or batch and scalar landscapes have split.
+    if (std::getenv("VAESA_UPDATE_GOLDEN"))
+        GTEST_SKIP() << "regeneration run";
+    const std::vector<GoldenRow> batch = readGolden();
+    std::ifstream in(std::string(VAESA_TEST_DATA_DIR) +
+                     "/sched/golden_eval.csv");
+    ASSERT_TRUE(in) << "missing scalar golden file";
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line)); // header
+    std::size_t matched = 0;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream fields(line);
+        std::string field;
+        GoldenRow want{};
+        std::getline(fields, field, ',');
+        want.config = std::stoul(field);
+        std::getline(fields, field, ',');
+        want.layer = std::stoul(field);
+        std::getline(fields, field, ',');
+        want.valid = std::stoi(field);
+        std::getline(fields, field, ',');
+        want.latency = std::stod(field);
+        std::getline(fields, field, ',');
+        want.energy = std::stod(field);
+        std::getline(fields, field, ',');
+        want.edp = std::stod(field);
+        for (const GoldenRow &got : batch) {
+            if (got.config != want.config || got.layer != want.layer)
+                continue;
+            EXPECT_EQ(got.valid, want.valid);
+            EXPECT_EQ(got.latency, want.latency);
+            EXPECT_EQ(got.energy, want.energy);
+            EXPECT_EQ(got.edp, want.edp);
+            ++matched;
+        }
+    }
+    EXPECT_EQ(matched, batch.size());
+}
+
+TEST(GoldenBatchEval, GoldenFileCoversTheWholeProbeGrid)
+{
+    std::ifstream in(goldenPath());
+    ASSERT_TRUE(in) << "missing golden file " << goldenPath();
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "config,layer,valid,latency_cycles,energy_pj,edp");
+    std::size_t count = 0;
+    while (std::getline(in, line))
+        if (!line.empty())
+            ++count;
+    EXPECT_EQ(count, goldenConfigs().size() *
+                         goldenLayerIndices().size());
+}
+
+} // namespace
+} // namespace vaesa

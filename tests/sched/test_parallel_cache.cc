@@ -13,6 +13,9 @@
 #include <vector>
 
 #include "sched/caching_evaluator.hh"
+#include "sched/parallel_evaluator.hh"
+#include "util/fault.hh"
+#include "util/metrics.hh"
 #include "util/rng.hh"
 #include "util/thread_pool.hh"
 #include "workload/networks.hh"
@@ -129,6 +132,177 @@ TEST(ParallelCache, ConcurrentHitsAndMissesInterleave)
     EXPECT_EQ(cached.hits() + cached.misses(),
               warmLookups + batch.size());
     EXPECT_EQ(cached.inner().evaluationCount(), cached.misses());
+}
+
+TEST(ParallelCache, ChunkedBatchStressMatchesSerialCounters)
+{
+    // The batch pipeline (probe once per shard, dedup, work-stealing
+    // chunks, merge + account at batch end) must land on EXACTLY the
+    // serial cache's counters, not just the same values: accountBatch
+    // books hits = lookups - misses, and the alive mask reproduces
+    // the per-config early exit, so a lost or double-counted chunk
+    // shows up here as a counter drift.
+    const auto allLayers = resNet50Layers();
+    const std::vector<LayerShape> layers(allLayers.begin(),
+                                         allLayers.begin() + 8);
+    const std::vector<AcceleratorConfig> batch =
+        overlappingConfigs(1024, 32, 31);
+
+    // Serial reference: one cached evaluator, one config at a time.
+    CachingEvaluator serialCache;
+    std::vector<EvalResult> expected;
+    expected.reserve(batch.size());
+    for (const AcceleratorConfig &config : batch)
+        expected.push_back(serialCache.evaluateWorkload(config, layers));
+
+    // 8 workers, chunked work stealing through a fresh cache.
+    CachingEvaluator cache;
+    ThreadPool pool(8);
+    const ParallelEvaluator parallel(cache, pool);
+    const std::vector<EvalResult> got =
+        parallel.evaluateBatch(batch, layers);
+
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].valid, expected[i].valid) << "config " << i;
+        EXPECT_EQ(got[i].latencyCycles, expected[i].latencyCycles);
+        EXPECT_EQ(got[i].energyPj, expected[i].energyPj);
+        EXPECT_EQ(got[i].edp, expected[i].edp);
+    }
+
+    // No lost or duplicated hit/miss counts: exact parity with the
+    // serial cache, and misses still count inner evaluations 1:1.
+    EXPECT_EQ(cache.hits() + cache.misses(),
+              serialCache.hits() + serialCache.misses());
+    EXPECT_EQ(cache.misses(), serialCache.misses());
+    EXPECT_EQ(cache.inner().evaluationCount(), cache.misses());
+
+    // A second pass over the same batch is pure hits.
+    const std::uint64_t warmMisses = cache.misses();
+    const std::vector<EvalResult> again =
+        parallel.evaluateBatch(batch, layers);
+    EXPECT_EQ(cache.misses(), warmMisses);
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(again[i].edp, got[i].edp);
+}
+
+TEST(ParallelCache, ContentionMetricIsMonotoneAcrossBatches)
+{
+    // cache.shard_contention (and the per-instance contention())
+    // only ever accumulates: each batch round may add queueing
+    // events but can never reclaim them. The shard-count policy
+    // depends on this — a regression to a resettable counter would
+    // silently freeze adaptation.
+    const auto layers = alexNetLayers();
+    const std::vector<AcceleratorConfig> batch =
+        overlappingConfigs(512, 8, 41);
+
+    CachingEvaluator cache;
+    ThreadPool pool(8);
+    const ParallelEvaluator parallel(cache, pool);
+
+    metrics::Counter &global =
+        metrics::counter("cache.shard_contention");
+    std::uint64_t prevGlobal = global.value();
+    std::uint64_t prevLocal = cache.contention();
+    for (int round = 0; round < 4; ++round) {
+        parallel.evaluateBatch(batch, layers);
+        EXPECT_GE(global.value(), prevGlobal) << "round " << round;
+        EXPECT_GE(cache.contention(), prevLocal) << "round " << round;
+        prevGlobal = global.value();
+        prevLocal = cache.contention();
+    }
+    // The instance mirrors every queueing event into the global
+    // metric, so the instance can never run ahead of it.
+    EXPECT_GE(global.value(), cache.contention());
+}
+
+TEST(ParallelCache, KillMidBatchIsAllOrNothing)
+{
+    // Small batch: n <= chunk runs on the calling thread with one
+    // fault checkpoint BEFORE any evaluation. The same injection is
+    // reachable in production via VAESA_FAULT=batch_chunk:1; tests
+    // arm programmatically for isolation.
+    FaultInjector::instance().reset();
+    const auto layers = alexNetLayers();
+    const std::vector<AcceleratorConfig> batch =
+        overlappingConfigs(8, 4, 51);
+
+    CachingEvaluator cache;
+    ThreadPool pool(4);
+    const ParallelEvaluator parallel(cache, pool);
+
+    FaultInjector::instance().arm("batch_chunk", 1);
+    EXPECT_THROW(parallel.evaluateLayerBatch(batch, layers[0]),
+                 InjectedFault);
+    EXPECT_EQ(FaultInjector::instance().hitCount("batch_chunk"), 1u);
+
+    // All-or-nothing: the failed batch left no trace at all.
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+    EXPECT_EQ(cache.inner().evaluationCount(), 0u);
+
+    // The fault fired once; the retry runs clean and must produce
+    // the exact serial values, with misses proving the cache was
+    // not pre-polluted by the killed batch.
+    const std::vector<EvalResult> got =
+        parallel.evaluateLayerBatch(batch, layers[0]);
+    CachingEvaluator serialCache;
+    std::uint64_t distinct = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const EvalResult expected =
+            serialCache.evaluateLayer(batch[i], layers[0]);
+        EXPECT_EQ(got[i].valid, expected.valid);
+        EXPECT_EQ(got[i].latencyCycles, expected.latencyCycles);
+        EXPECT_EQ(got[i].energyPj, expected.energyPj);
+    }
+    distinct = serialCache.misses();
+    EXPECT_EQ(cache.misses(), distinct);
+    EXPECT_EQ(cache.inner().evaluationCount(), cache.misses());
+    FaultInjector::instance().reset();
+}
+
+TEST(ParallelCache, KillMidChunkedBatchNeverPollutesTheCache)
+{
+    // Large batch across 8 threads: the fault fires at the SECOND
+    // chunk claim, so some chunks are already computing when the
+    // batch dies. Computed work may be wasted (the inner evaluation
+    // counter can advance) but the merge and accounting are skipped
+    // wholesale: the cache keeps zero entries and zero lookups from
+    // the failed batch.
+    FaultInjector::instance().reset();
+    const auto layers = resNet50Layers();
+    const std::vector<AcceleratorConfig> batch =
+        overlappingConfigs(512, 16, 61);
+
+    CachingEvaluator cache;
+    ThreadPool pool(8);
+    const ParallelEvaluator parallel(cache, pool);
+
+    FaultInjector::instance().arm("batch_chunk", 2);
+    EXPECT_THROW(parallel.evaluateLayerBatch(batch, layers[1]),
+                 InjectedFault);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+
+    // Retry: bit-identical to serial, and the miss count equals the
+    // distinct snapped keys — nothing from the killed batch was
+    // inserted.
+    const std::vector<EvalResult> got =
+        parallel.evaluateLayerBatch(batch, layers[1]);
+    CachingEvaluator serialCache;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const EvalResult expected =
+            serialCache.evaluateLayer(batch[i], layers[1]);
+        EXPECT_EQ(got[i].valid, expected.valid);
+        EXPECT_EQ(got[i].latencyCycles, expected.latencyCycles);
+        EXPECT_EQ(got[i].energyPj, expected.energyPj);
+        EXPECT_EQ(got[i].edp, expected.edp);
+    }
+    EXPECT_EQ(cache.misses(), serialCache.misses());
+    EXPECT_EQ(cache.hits() + cache.misses(),
+              serialCache.hits() + serialCache.misses());
+    FaultInjector::instance().reset();
 }
 
 } // namespace

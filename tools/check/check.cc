@@ -24,7 +24,11 @@
  *    declared via VAESA_LOCK_ORDER_ENTRY in src/util/sync.hh
  *    (strictly increasing ranks outer to inner);
  *  - no mutable namespace-scope globals in src/ outside the
- *    registries that legitimately own process-wide state.
+ *    registries that legitimately own process-wide state;
+ *  - no generated measurement files (.csv/.json) committed inside a
+ *    bench/ tree: bench outputs belong in bench_out/ (gitignored)
+ *    with the one sanctioned snapshot per bench living at the repo
+ *    root as BENCH_<name>.json.
  *
  * Matching runs on comment- and string-stripped text, so prose like
  * "random" or documentation mentioning abort() never trips it.
@@ -931,6 +935,41 @@ checkMutableGlobals(const std::string &relPath,
 }
 
 // ---------------------------------------------------------------------------
+// Generated bench artifacts
+// ---------------------------------------------------------------------------
+
+/** True when relPath lives in a bench/ tree (top level or nested). */
+bool
+inBenchTree(const std::string &relPath)
+{
+    return pathStartsWith(relPath, "bench/") ||
+           relPath.find("/bench/") != std::string::npos;
+}
+
+/**
+ * Bench executables write measurements to bench_out/ (gitignored)
+ * plus one sanctioned BENCH_<name>.json snapshot at the repo root; a
+ * .csv/.json sitting inside bench/ is a stale generated artifact
+ * that drifts from the code the moment anyone reruns the bench.
+ * (Golden test data is exempt by construction: it lives next to its
+ * test under tests/, not in a bench/ tree.)
+ */
+void
+checkGeneratedArtifact(const std::string &relPath)
+{
+    const std::string ext = fs::path(relPath).extension().string();
+    if (ext != ".csv" && ext != ".json")
+        return;
+    if (!inBenchTree(relPath))
+        return;
+    report(relPath, 1,
+           "generated bench artifact '" + relPath +
+               "' (bench outputs belong in bench_out/, with the "
+               "checked-in snapshot as BENCH_<name>.json at the "
+               "repo root)");
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
@@ -954,9 +993,18 @@ scanTree(const fs::path &root, const fs::path &subdir,
     }
     int scanned = 0;
     std::vector<fs::path> files;
-    for (const auto &entry : fs::recursive_directory_iterator(base))
-        if (entry.is_regular_file() && shouldScan(entry.path()))
+    for (const auto &entry : fs::recursive_directory_iterator(base)) {
+        if (!entry.is_regular_file())
+            continue;
+        if (shouldScan(entry.path())) {
             files.push_back(entry.path());
+            continue;
+        }
+        // Non-source files get the generated-artifact scan (the
+        // token checks below only ever see source extensions).
+        checkGeneratedArtifact(
+            fs::relative(entry.path(), root).generic_string());
+    }
     std::sort(files.begin(), files.end());
     for (const fs::path &file : files) {
         std::ifstream in(file, std::ios::binary);
