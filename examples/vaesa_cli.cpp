@@ -34,6 +34,8 @@
  * ignored.
  */
 
+#include <atomic>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -58,6 +60,21 @@
 namespace {
 
 using namespace vaesa;
+
+/**
+ * SIGTERM/SIGINT during `train` request a cooperative stop: the
+ * trainer checks this flag at epoch boundaries, writes a final
+ * resumable checkpoint, and returns cleanly (no torn optimizer
+ * state). A second signal falls back to the default disposition.
+ */
+std::atomic<bool> gTrainStop{false};
+
+void
+handleTrainStop(int sig)
+{
+    gTrainStop.store(true, std::memory_order_relaxed);
+    std::signal(sig, SIG_DFL);
+}
 
 /** Usage summary printed on any command-line error. */
 void
@@ -368,9 +385,22 @@ cmdTrain(const Args &args, ObservabilityScope &obs)
     options.train.checkpointPath = args.flag("checkpoint", "");
     options.train.checkpointEvery = static_cast<std::size_t>(
         args.flagInt("checkpoint-every", 1));
+    options.train.stopFlag = &gTrainStop;
+    std::signal(SIGTERM, handleTrainStop);
+    std::signal(SIGINT, handleTrainStop);
     std::printf("training (latent %zu, %zu epochs, alpha %g)...\n",
                 latent, epochs, alpha);
     VaesaFramework framework(data, options, seed);
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+    if (gTrainStop.load(std::memory_order_relaxed)) {
+        std::printf("training interrupted; resumable checkpoint "
+                    "%s\n",
+                    options.train.checkpointPath.empty()
+                        ? "not written (no --checkpoint)"
+                        : options.train.checkpointPath.c_str());
+        return 0;
+    }
     std::printf("final recon MSE: %.5f; latent radius: %.2f\n",
                 framework.history().back().reconLoss,
                 framework.latentRadius(data));

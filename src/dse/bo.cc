@@ -95,10 +95,12 @@ expectedImprovement(const GaussianProcess::Prediction &pred, double best)
 SearchTrace
 BayesOpt::run(Objective &objective, std::size_t samples, Rng &rng,
               ThreadPool *pool,
-              const SearchCheckpointConfig *checkpoint) const
+              const SearchCheckpointConfig *checkpoint,
+              const CancelToken *cancel) const
 {
     SearchTrace trace;
-    continueRun(objective, trace, samples, rng, pool, checkpoint);
+    continueRun(objective, trace, samples, rng, pool, checkpoint,
+                cancel);
     return trace;
 }
 
@@ -106,7 +108,8 @@ void
 BayesOpt::continueRun(Objective &objective, SearchTrace &trace,
                       std::size_t additional, Rng &rng,
                       ThreadPool *pool,
-                      const SearchCheckpointConfig *checkpoint) const
+                      const SearchCheckpointConfig *checkpoint,
+                      const CancelToken *cancel) const
 {
     const std::vector<double> lo = objective.lowerBounds();
     const std::vector<double> hi = objective.upperBounds();
@@ -151,6 +154,9 @@ BayesOpt::continueRun(Objective &objective, SearchTrace &trace,
             x[d] = rng.uniform(lo[d], hi[d]);
         return x;
     };
+
+    if (cancel && cancel->expired())
+        return; // nothing evaluated; caller reports best-so-far
 
     // Warm-up (only for a fresh trace): draw every point, then score
     // them as one batch — rng stream and trace are identical with
@@ -203,6 +209,8 @@ BayesOpt::continueRun(Objective &objective, SearchTrace &trace,
 
     BoMetrics &bm = boMetrics();
     while (trace.points.size() < samples) {
+        if (cancel && cancel->expired())
+            return; // partial best-so-far
         const trace::Span iterSpan("bo.iteration");
         bm.iterations.inc();
         faultCheck("bo_iteration");

@@ -14,6 +14,7 @@
 #include "dse/gp.hh"
 #include "dse/objective.hh"
 #include "dse/search_state.hh"
+#include "util/deadline.hh"
 #include "util/rng.hh"
 
 namespace vaesa {
@@ -75,12 +76,16 @@ class BayesOpt
      *        refit counter) and write one every `every` iterations.
      *        A resumed run returns the trace an uninterrupted run
      *        would have produced.
+     * @param cancel optional cancellation token, observed at
+     *        iteration boundaries: an expired token stops the run
+     *        and returns the partial best-so-far trace.
      * @return chronological trace of all samples.
      */
     SearchTrace
     run(Objective &objective, std::size_t samples, Rng &rng,
         ThreadPool *pool = nullptr,
-        const SearchCheckpointConfig *checkpoint = nullptr) const;
+        const SearchCheckpointConfig *checkpoint = nullptr,
+        const CancelToken *cancel = nullptr) const;
 
     /**
      * Extend an existing trace by additional evaluations. Prior
@@ -94,8 +99,8 @@ class BayesOpt
     continueRun(Objective &objective, SearchTrace &trace,
                 std::size_t additional, Rng &rng,
                 ThreadPool *pool = nullptr,
-                const SearchCheckpointConfig *checkpoint =
-                    nullptr) const;
+                const SearchCheckpointConfig *checkpoint = nullptr,
+                const CancelToken *cancel = nullptr) const;
 
     /** Options in use. */
     const BoOptions &options() const { return options_; }

@@ -69,7 +69,8 @@ GeneticSearch::GeneticSearch(const GaOptions &options)
 SearchTrace
 GeneticSearch::run(Objective &objective, std::size_t samples, Rng &rng,
                    ThreadPool *pool,
-                   const SearchCheckpointConfig *checkpoint) const
+                   const SearchCheckpointConfig *checkpoint,
+                   const CancelToken *cancel) const
 {
     const std::vector<double> lo = objective.lowerBounds();
     const std::vector<double> hi = objective.upperBounds();
@@ -144,6 +145,9 @@ GeneticSearch::run(Objective &objective, std::size_t samples, Rng &rng,
         }
     };
 
+    if (cancel && cancel->expired())
+        return trace; // partial best-so-far
+
     if (population.empty() && trace.points.size() < samples) {
         faultCheck("ga_generation");
         const std::size_t count =
@@ -176,6 +180,8 @@ GeneticSearch::run(Objective &objective, std::size_t samples, Rng &rng,
     static metrics::Histogram &generationNsMetric =
         metrics::histogram("search.ga.generation_ns");
     while (trace.points.size() < samples) {
+        if (cancel && cancel->expired())
+            return trace; // partial best-so-far
         const trace::Span generationSpan("ga.generation");
         const metrics::ScopedTimer generationTimer(
             generationNsMetric);

@@ -11,6 +11,7 @@
 
 #include "dse/objective.hh"
 #include "dse/search_state.hh"
+#include "util/deadline.hh"
 #include "util/rng.hh"
 
 namespace vaesa {
@@ -59,11 +60,15 @@ class GeneticSearch
      *        existing snapshot (trace, population, rng) and write one
      *        every `every` generations. A resumed run returns the
      *        trace an uninterrupted run would have produced.
+     * @param cancel optional cancellation token, observed at
+     *        generation boundaries: an expired token stops the run
+     *        and returns the partial best-so-far trace.
      */
     SearchTrace
     run(Objective &objective, std::size_t samples, Rng &rng,
         ThreadPool *pool = nullptr,
-        const SearchCheckpointConfig *checkpoint = nullptr) const;
+        const SearchCheckpointConfig *checkpoint = nullptr,
+        const CancelToken *cancel = nullptr) const;
 
     /** Options in use. */
     const GaOptions &options() const { return options_; }

@@ -12,7 +12,8 @@ namespace vaesa {
 SearchTrace
 RandomSearch::run(Objective &objective, std::size_t samples, Rng &rng,
                   ThreadPool *pool,
-                  const SearchCheckpointConfig *checkpoint) const
+                  const SearchCheckpointConfig *checkpoint,
+                  const CancelToken *cancel) const
 {
     const std::vector<double> lo = objective.lowerBounds();
     const std::vector<double> hi = objective.upperBounds();
@@ -27,14 +28,23 @@ RandomSearch::run(Objective &objective, std::size_t samples, Rng &rng,
     // every chunk and evaluation consumes no rng, so the stream --
     // and therefore the trace -- is identical in all three modes
     // (plain, checkpointed, resumed).
+    // A cancellable run without checkpointing still needs bounded
+    // chunks so the token is observed between batches; chunking does
+    // not perturb the rng stream, so the trace stays a prefix of the
+    // uncancelled run's.
     const std::size_t chunk =
         checkpoint ? std::max<std::size_t>(1, checkpoint->every)
-                   : samples;
+                   : (cancel ? std::min<std::size_t>(
+                                   std::max<std::size_t>(1, samples),
+                                   64)
+                             : samples);
     static metrics::Counter &chunksMetric =
         metrics::counter("search.random.chunks");
     static metrics::Histogram &chunkNsMetric =
         metrics::histogram("search.random.chunk_ns");
     while (trace.points.size() < samples) {
+        if (cancel && cancel->expired())
+            return trace; // partial best-so-far
         const trace::Span chunkSpan("random.chunk");
         const metrics::ScopedTimer chunkTimer(chunkNsMetric);
         chunksMetric.inc();

@@ -11,6 +11,7 @@
 
 #include "dse/objective.hh"
 #include "dse/search_state.hh"
+#include "util/deadline.hh"
 #include "util/rng.hh"
 
 namespace vaesa {
@@ -34,12 +35,19 @@ class RandomSearch
      *        existing snapshot and write one every `every` samples.
      *        A resumed run returns the trace an uninterrupted run
      *        would have produced.
+     * @param cancel optional cancellation token, observed at chunk
+     *        boundaries (with a bounded chunk size when set, so a
+     *        deadline is noticed promptly even without
+     *        checkpointing): an expired token stops the run and
+     *        returns the partial best-so-far trace instead of
+     *        blocking to the full budget.
      * @return chronological trace of all samples.
      */
     SearchTrace
     run(Objective &objective, std::size_t samples, Rng &rng,
         ThreadPool *pool = nullptr,
-        const SearchCheckpointConfig *checkpoint = nullptr) const;
+        const SearchCheckpointConfig *checkpoint = nullptr,
+        const CancelToken *cancel = nullptr) const;
 };
 
 } // namespace vaesa

@@ -68,8 +68,9 @@ struct ConfigHash
  * work-stealing chunks: workers claim [cursor, cursor+chunk) slices
  * off a shared atomic, each slice running through the SoA batch cost
  * model into its own disjoint span of `results` (the thread-local
- * view; no lock, no sharing). The "batch_chunk" fault site fires at
- * the claim point, BEFORE the chunk computes, so an injected kill
+ * view; no lock, no sharing). The "batch_chunk" fault site AND the
+ * optional cancellation token fire at the claim point, BEFORE the
+ * chunk computes, so an injected kill or an expired deadline
  * surfaces as an exception from parallelFor after in-flight chunks
  * finish — callers must not merge or account anything when this
  * throws (the all-or-nothing batch contract).
@@ -78,7 +79,7 @@ void
 stealingLayerBatch(const Evaluator &evaluator,
                    const AcceleratorConfig *configs, std::size_t n,
                    const LayerShape &layer, EvalResult *results,
-                   ThreadPool &pool)
+                   ThreadPool &pool, const CancelToken *cancel)
 {
     if (n == 0)
         return;
@@ -87,8 +88,10 @@ stealingLayerBatch(const Evaluator &evaluator,
     const std::size_t chunk = chunkSizeFor(n, workers);
     if (n <= chunk) {
         // Too small to be worth a fan-out; the calling thread scores
-        // it directly (still one fault checkpoint per batch).
+        // it directly (still one checkpoint per batch).
         faultCheck("batch_chunk");
+        if (cancel)
+            cancel->check("batch_chunk");
         evaluator.evaluateLayerBatch(configs, n, layer, results);
         return;
     }
@@ -99,6 +102,8 @@ stealingLayerBatch(const Evaluator &evaluator,
             if (begin >= n)
                 break;
             faultCheck("batch_chunk");
+            if (cancel)
+                cancel->check("batch_chunk");
             const std::size_t end = std::min(n, begin + chunk);
             evaluator.evaluateLayerBatch(configs + begin, end - begin,
                                          layer, results + begin);
@@ -172,7 +177,8 @@ evaluateConfigBatch(const Evaluator &evaluator,
 
         uniqueResults.assign(uniques.size(), EvalResult{});
         stealingLayerBatch(evaluator, uniques.data(), uniques.size(),
-                           layer, uniqueResults.data(), pool);
+                           layer, uniqueResults.data(), pool,
+                           nullptr);
 
         // Accumulate in input order on this thread.
         std::vector<std::uint32_t> next;
@@ -255,12 +261,14 @@ ParallelEvaluator::scoreLayerSubset(const AcceleratorConfig *configs,
             uniqueConfigs[k] = snapped[uniqueRep[k]];
             uniqueKeys[k] = keys[uniqueRep[k]];
         }
-        // Evaluate outside any lock; throws (including an injected
-        // batch_chunk fault) propagate from here and skip the merge
-        // and accounting below — all-or-nothing.
+        // Evaluate outside any lock; throws (an injected batch_chunk
+        // fault or an expired cancellation token) propagate from
+        // here and skip the merge and accounting below —
+        // all-or-nothing.
         std::vector<EvalResult> uniqueResults(u);
         stealingLayerBatch(cache.inner(), uniqueConfigs.data(), u,
-                           layer, uniqueResults.data(), *pool_);
+                           layer, uniqueResults.data(), *pool_,
+                           cancel_);
 
         // Merge the thread-local views once, at batch end.
         cache.insertBatch(uniqueKeys.data(), uniqueResults.data(), u);

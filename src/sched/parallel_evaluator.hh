@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "sched/caching_evaluator.hh"
+#include "util/deadline.hh"
 #include "util/thread_pool.hh"
 
 namespace vaesa {
@@ -123,6 +124,20 @@ class ParallelEvaluator
     /** The pool work is scheduled on. */
     ThreadPool &pool() const { return *pool_; }
 
+    /**
+     * Observe @p token (borrowed; may be nullptr to detach) at every
+     * chunk-claim checkpoint. Expiry throws DeadlineExceeded from
+     * the batch call after in-flight chunks finish, taking the SAME
+     * all-or-nothing exit as an injected fault: no partial merge, no
+     * counter drift — so a request killed by its deadline leaves the
+     * shared cache exactly as a never-started one. Set it before
+     * sharing the evaluator with workers; one evaluator instance
+     * serves one request at a time (instances are cheap views over
+     * the shared cache + pool, so concurrent requests each build
+     * their own).
+     */
+    void setCancelToken(const CancelToken *token) { cancel_ = token; }
+
   private:
     /** One layer of the pipeline over the items configs[idx[j]],
      *  j in [0, m); writes results[idx[j]]. */
@@ -133,6 +148,7 @@ class ParallelEvaluator
 
     const CachingEvaluator *cache_;
     ThreadPool *pool_;
+    const CancelToken *cancel_ = nullptr;
 };
 
 } // namespace vaesa

@@ -1,0 +1,81 @@
+#include "serve/model_bundle.hh"
+
+#include "util/fault.hh"
+#include "util/logging.hh"
+#include "util/metrics.hh"
+#include "vaesa/serialize.hh"
+
+namespace vaesa {
+namespace serve {
+
+ModelRegistry::ModelRegistry()
+{
+    const MutexLock lock(bundleMutex_);
+    current_ = std::make_shared<ModelBundle>();
+}
+
+std::shared_ptr<ModelBundle>
+ModelRegistry::current() const
+{
+    const MutexLock lock(bundleMutex_);
+    return current_;
+}
+
+std::optional<LoadError>
+ModelRegistry::reload(const std::string &path)
+{
+    static metrics::Counter &reloads =
+        metrics::counter("serve.reloads");
+    static metrics::Counter &reloadFailures =
+        metrics::counter("serve.reload_failures");
+
+    // Build the full candidate off-lock: loading trains nothing but
+    // still allocates and checksums every record, and a slow disk
+    // must not stall in-flight requests pinning the current bundle.
+    Expected<std::unique_ptr<VaesaFramework>> loaded =
+        loadFramework(path);
+    if (!loaded) {
+        reloadFailures.inc();
+        return loaded.error();
+    }
+
+    // Validate the candidate end-to-end before it can serve: a
+    // decode through the real scratch-buffer path proves the
+    // weights, normalizers, and design-space wiring agree. The
+    // `serve_reload` fault site models a checkpoint that loads but
+    // fails this validation.
+    try {
+        faultCheck("serve_reload");
+        VaesaFramework &fw = *loaded.value();
+        const std::vector<double> origin(fw.latentDim(), 0.0);
+        (void)fw.decodeLatent(origin);
+    } catch (const std::exception &e) {
+        reloadFailures.inc();
+        return makeLoadError(LoadError::Kind::ShapeMismatch, path, 0,
+                             std::string("reload validation: ") +
+                                 e.what());
+    }
+
+    auto next = std::make_shared<ModelBundle>();
+    next->framework = std::move(loaded.value());
+    next->path = path;
+    {
+        const MutexLock lock(bundleMutex_);
+        next->generation = current_->generation + 1;
+        current_ = next;
+    }
+    reloads.inc();
+    inform("serving model generation ", next->generation, " from '",
+           path, "'");
+    return std::nullopt;
+}
+
+std::uint64_t
+ModelRegistry::generation() const
+{
+    const MutexLock lock(bundleMutex_);
+    return current_->generation;
+}
+
+} // namespace serve
+} // namespace vaesa

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * RCU-style ownership of the serving model: requests pin the bundle
+ * they started with via shared_ptr, reloads validate a candidate
+ * checkpoint completely and then swap one pointer under a short
+ * lock. In-flight requests keep scoring against the generation they
+ * started on; the old bundle is freed when its last request drops
+ * the reference. A failed reload (missing file, corrupt record, the
+ * injected `serve_reload` fault) leaves the serving bundle
+ * untouched, bit for bit.
+ */
+
+#ifndef VAESA_SERVE_MODEL_BUNDLE_HH
+#define VAESA_SERVE_MODEL_BUNDLE_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "util/sync.hh"
+#include "vaesa/framework.hh"
+
+namespace vaesa {
+namespace serve {
+
+/**
+ * One immutable-identity serving model. The framework's
+ * decode/predict scratch buffers are NOT thread-safe, so every
+ * model call on a bundle holds modelMutex; requests that only need
+ * the cache-backed cost model never touch it.
+ */
+struct ModelBundle
+{
+    /** The loaded model; null in model-less serving mode. */
+    std::unique_ptr<VaesaFramework> framework;
+
+    /** Serializes access to the framework's scratch buffers. */
+    mutable Mutex modelMutex;
+
+    /** Checkpoint path this bundle was loaded from (may be empty). */
+    std::string path;
+
+    /** Monotonic reload counter; 0 = the model-less boot bundle. */
+    std::uint64_t generation = 0;
+
+    /** True when a model is available. */
+    bool hasModel() const { return framework != nullptr; }
+};
+
+/**
+ * Holder of the current bundle. current() is a cheap pinned read;
+ * reload() builds and validates a complete replacement off-lock and
+ * swaps it in atomically on success only.
+ */
+class ModelRegistry
+{
+  public:
+    /** Starts with an empty (model-less) generation-0 bundle. */
+    ModelRegistry();
+
+    /** Pin the bundle currently serving. Never null. */
+    std::shared_ptr<ModelBundle> current() const
+        VAESA_EXCLUDES(bundleMutex_);
+
+    /**
+     * Load @p path, validate it end-to-end, and swap it in as the
+     * next generation. On ANY failure -- including the
+     * `serve_reload` fault site, which models a checkpoint that
+     * passes loading but must still be rejected -- the previous
+     * bundle keeps serving unchanged.
+     * @return nullopt on success, the reason otherwise.
+     */
+    std::optional<LoadError> reload(const std::string &path)
+        VAESA_EXCLUDES(bundleMutex_);
+
+    /** Generation of the bundle currently serving. */
+    std::uint64_t generation() const VAESA_EXCLUDES(bundleMutex_);
+
+  private:
+    mutable Mutex bundleMutex_;
+    std::shared_ptr<ModelBundle> current_
+        VAESA_GUARDED_BY(bundleMutex_);
+};
+
+} // namespace serve
+} // namespace vaesa
+
+#endif // VAESA_SERVE_MODEL_BUNDLE_HH

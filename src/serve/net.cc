@@ -1,0 +1,282 @@
+#include "serve/net.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/protocol.hh"
+#include "util/fault.hh"
+
+namespace vaesa {
+namespace serve {
+
+namespace {
+
+LoadError
+netError(LoadError::Kind kind, const std::string &what)
+{
+    return makeLoadError(kind, "", 0,
+                         what + ": " + std::strerror(errno));
+}
+
+LoadError
+netFailure(LoadError::Kind kind, std::string message)
+{
+    return makeLoadError(kind, "", 0, std::move(message));
+}
+
+/** Read exactly n bytes, polling in slices so cancellation and the
+ *  overall timeout are both observed between reads. */
+std::optional<LoadError>
+readExactly(const Socket &socket, char *dst, std::size_t n,
+            int timeoutMs, const CancelToken *cancel, int sliceMs,
+            bool *sawAnyByte)
+{
+    std::size_t got = 0;
+    int waited = 0;
+    while (got < n) {
+        if (cancel && cancel->expired())
+            return netFailure(LoadError::Kind::OpenFailed,
+                              "cancelled");
+        const int ready = waitReadable(socket,
+                                       std::min(sliceMs, timeoutMs));
+        if (ready < 0)
+            return netFailure(LoadError::Kind::OpenFailed,
+                              "poll failed on connection");
+        if (ready == 0) {
+            waited += sliceMs;
+            if (waited >= timeoutMs)
+                return netFailure(LoadError::Kind::OpenFailed,
+                                  "timeout");
+            continue;
+        }
+        const ssize_t r = ::recv(socket.fd(), dst + got, n - got, 0);
+        if (r == 0) {
+            return netFailure(got == 0 && !*sawAnyByte
+                                  ? LoadError::Kind::OpenFailed
+                                  : LoadError::Kind::Truncated,
+                              got == 0 && !*sawAnyByte
+                                  ? "closed"
+                                  : "connection closed mid-frame");
+        }
+        if (r < 0) {
+            if (errno == EINTR || errno == EAGAIN ||
+                errno == EWOULDBLOCK)
+                continue;
+            return netError(LoadError::Kind::OpenFailed, "recv");
+        }
+        got += static_cast<std::size_t>(r);
+        *sawAnyByte = true;
+        waited = 0; // progress resets the idle clock
+    }
+    return std::nullopt;
+}
+
+std::uint32_t
+loadU32(const char *bytes)
+{
+    std::uint32_t value = 0;
+    std::memcpy(&value, bytes, sizeof(value));
+    return value;
+}
+
+} // namespace
+
+void
+Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Expected<Socket>
+listenUnix(const std::string &path)
+{
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (path.size() + 1 > sizeof(addr.sun_path))
+        return netFailure(LoadError::Kind::OpenFailed,
+                          "unix socket path too long: " + path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!sock.valid())
+        return netError(LoadError::Kind::OpenFailed, "socket");
+    ::unlink(path.c_str());
+    if (::bind(sock.fd(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        return netError(LoadError::Kind::OpenFailed,
+                        "bind " + path);
+    if (::listen(sock.fd(), 64) != 0)
+        return netError(LoadError::Kind::OpenFailed, "listen");
+    return sock;
+}
+
+Expected<Socket>
+listenTcp(std::uint16_t port)
+{
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid())
+        return netError(LoadError::Kind::OpenFailed, "socket");
+    const int one = 1;
+    ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(sock.fd(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        return netError(LoadError::Kind::OpenFailed, "bind tcp");
+    if (::listen(sock.fd(), 64) != 0)
+        return netError(LoadError::Kind::OpenFailed, "listen");
+    return sock;
+}
+
+Expected<std::uint16_t>
+boundPort(const Socket &listener)
+{
+    sockaddr_in addr;
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listener.fd(),
+                      reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0)
+        return netError(LoadError::Kind::OpenFailed, "getsockname");
+    return static_cast<std::uint16_t>(ntohs(addr.sin_port));
+}
+
+Expected<Socket>
+connectUnix(const std::string &path)
+{
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (path.size() + 1 > sizeof(addr.sun_path))
+        return netFailure(LoadError::Kind::OpenFailed,
+                          "unix socket path too long: " + path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!sock.valid())
+        return netError(LoadError::Kind::OpenFailed, "socket");
+    if (::connect(sock.fd(), reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0)
+        return netError(LoadError::Kind::OpenFailed,
+                        "connect " + path);
+    return sock;
+}
+
+Expected<Socket>
+connectTcp(std::uint16_t port)
+{
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid())
+        return netError(LoadError::Kind::OpenFailed, "socket");
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(sock.fd(), reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0)
+        return netError(LoadError::Kind::OpenFailed, "connect tcp");
+    return sock;
+}
+
+int
+waitReadable(const Socket &socket, int timeoutMs)
+{
+    pollfd pfd;
+    pfd.fd = socket.fd();
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, timeoutMs);
+    if (rc < 0)
+        return errno == EINTR ? 0 : -1;
+    if (rc == 0)
+        return 0;
+    // Treat a pure error/hangup with no pending data as an error;
+    // POLLIN | POLLHUP means buffered bytes remain readable.
+    if ((pfd.revents & POLLIN) != 0)
+        return 1;
+    return -1;
+}
+
+Expected<Socket>
+acceptConnection(const Socket &listener)
+{
+    faultCheck("serve_accept");
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd < 0)
+        return netError(LoadError::Kind::OpenFailed, "accept");
+    return Socket(fd);
+}
+
+std::optional<LoadError>
+sendFrame(const Socket &socket, const std::string &frame)
+{
+    faultCheck("serve_frame_write");
+    if (frame.size() > maxFrameBytes)
+        return netFailure(LoadError::Kind::Malformed,
+                          "frame exceeds size cap");
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+        const ssize_t r = ::send(socket.fd(), frame.data() + sent,
+                                 frame.size() - sent, MSG_NOSIGNAL);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return netError(LoadError::Kind::WriteFailed, "send");
+        }
+        sent += static_cast<std::size_t>(r);
+    }
+    return std::nullopt;
+}
+
+Expected<std::string>
+recvFrame(const Socket &socket, int timeoutMs,
+          const CancelToken *cancel, int sliceMs)
+{
+    faultCheck("serve_frame_read");
+    if (sliceMs <= 0)
+        sliceMs = 100;
+    if (timeoutMs <= 0)
+        timeoutMs = sliceMs;
+
+    // Frame prefix: magic, version, payloadSize, crc (4 x u32).
+    constexpr std::size_t prefixBytes = 16;
+    std::string frame(prefixBytes, '\0');
+    bool sawAnyByte = false;
+    if (auto err = readExactly(socket, frame.data(), prefixBytes,
+                               timeoutMs, cancel, sliceMs,
+                               &sawAnyByte))
+        return *err;
+
+    if (loadU32(frame.data()) != wireMagic)
+        return netFailure(LoadError::Kind::BadMagic,
+                          "bad frame magic");
+    const std::uint32_t payloadSize = loadU32(frame.data() + 8);
+    if (prefixBytes + static_cast<std::size_t>(payloadSize) >
+        maxFrameBytes)
+        return netFailure(LoadError::Kind::Malformed,
+                          "frame exceeds size cap");
+
+    frame.resize(prefixBytes + payloadSize);
+    if (auto err = readExactly(socket, frame.data() + prefixBytes,
+                               payloadSize, timeoutMs, cancel,
+                               sliceMs, &sawAnyByte))
+        return *err;
+    return frame;
+}
+
+} // namespace serve
+} // namespace vaesa

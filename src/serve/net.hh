@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Minimal socket layer for the serve daemon: RAII descriptors,
+ * Unix/loopback-TCP listeners, and framed send/receive.
+ *
+ * This header's implementation (net.cc) is the ONLY translation unit
+ * in the tree allowed to touch raw POSIX socket calls -- vaesa_check
+ * enforces the confinement, the same way raw std::thread is confined
+ * to the thread pool. Everything above this layer speaks in complete
+ * protocol frames and Expected<> errors.
+ *
+ * Fault sites (deterministic, ctest-drivable via VAESA_FAULT):
+ *   serve_accept       an accept() that fails mid-storm
+ *   serve_frame_read   a connection dying mid-request
+ *   serve_frame_write  a connection dying mid-response
+ */
+
+#ifndef VAESA_SERVE_NET_HH
+#define VAESA_SERVE_NET_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/deadline.hh"
+#include "util/load_error.hh"
+
+namespace vaesa {
+namespace serve {
+
+/** Move-only RAII owner of one socket descriptor. */
+class Socket
+{
+  public:
+    /** An empty (invalid) socket. */
+    Socket() = default;
+
+    /** Take ownership of @p fd (-1 = invalid). */
+    explicit Socket(int fd) : fd_(fd) {}
+
+    ~Socket() { close(); }
+
+    Socket(Socket &&other) noexcept : fd_(other.fd_)
+    {
+        other.fd_ = -1;
+    }
+
+    Socket &
+    operator=(Socket &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    /** The raw descriptor (-1 when invalid). */
+    int fd() const { return fd_; }
+
+    /** True when a descriptor is owned. */
+    bool valid() const { return fd_ >= 0; }
+
+    /** Close the descriptor now (idempotent). */
+    void close();
+
+  private:
+    int fd_ = -1;
+};
+
+/** Bind + listen on a Unix-domain socket path (unlinking any stale
+ *  socket file first). */
+Expected<Socket> listenUnix(const std::string &path);
+
+/** Bind + listen on loopback TCP. @param port 0 picks an ephemeral
+ *  port; read it back with boundPort(). */
+Expected<Socket> listenTcp(std::uint16_t port);
+
+/** The local port a TCP listener actually bound. */
+Expected<std::uint16_t> boundPort(const Socket &listener);
+
+/** Connect to a Unix-domain listener. */
+Expected<Socket> connectUnix(const std::string &path);
+
+/** Connect to a loopback TCP listener. */
+Expected<Socket> connectTcp(std::uint16_t port);
+
+/**
+ * Wait until @p socket is readable.
+ * @return 1 ready, 0 timeout, -1 error/hangup-with-nothing-to-read.
+ */
+int waitReadable(const Socket &socket, int timeoutMs);
+
+/** Accept one pending connection (call after waitReadable() said
+ *  ready). Hits the `serve_accept` fault site. */
+Expected<Socket> acceptConnection(const Socket &listener);
+
+/**
+ * Send one complete frame image. Hits `serve_frame_write` first, so
+ * a test can kill any response mid-write. Partial sends are retried
+ * until the frame is fully on the wire.
+ */
+std::optional<LoadError> sendFrame(const Socket &socket,
+                                   const std::string &frame);
+
+/**
+ * Receive one complete frame image (16-byte frame prefix, then the
+ * payload). Blocks in poll() slices of at most @p sliceMs so the
+ * @p cancel token (when given) is observed between slices -- a
+ * draining server stops waiting on idle connections promptly.
+ *
+ * @return the frame bytes; OpenFailed with message "closed" on a
+ *         clean peer close before any byte, Truncated on a mid-frame
+ *         close, OpenFailed "timeout" after @p timeoutMs of silence,
+ *         OpenFailed "cancelled" when the token expired. Hits
+ *         `serve_frame_read` first.
+ */
+Expected<std::string> recvFrame(const Socket &socket, int timeoutMs,
+                                const CancelToken *cancel = nullptr,
+                                int sliceMs = 100);
+
+} // namespace serve
+} // namespace vaesa
+
+#endif // VAESA_SERVE_NET_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Per-request deadlines and cooperative cancellation. A CancelToken
+ * is owned by the initiator of a unit of work (a serve request, a
+ * drain sequence, a test) and observed — never blocked on — at the
+ * natural checkpoint boundaries of the work it governs: batch chunk
+ * claims in the parallel evaluator, iteration boundaries in the
+ * search drivers, frame boundaries in the serve connection loop.
+ *
+ * Expiry is the OR of three conditions: an explicit cancel() call, a
+ * monotonic-clock deadline, and the expiry of an optional parent
+ * token (serve chains every per-request token to the server's drain
+ * token, so one cancel() reaches every in-flight request). All reads
+ * are lock-free; the token allocates nothing.
+ *
+ * Time comes from metrics::monotonicNowNs(), which is ungated (the
+ * metricsEnabled() switch gates only instrument timing), so deadlines
+ * work whether or not observability is on.
+ */
+
+#ifndef VAESA_UTIL_DEADLINE_HH
+#define VAESA_UTIL_DEADLINE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "util/metrics.hh"
+
+namespace vaesa {
+
+/**
+ * Thrown by checkpoints that must unwind on expiry (the parallel
+ * evaluator's chunk loop). Callers that own a trace or partial
+ * result catch this and degrade to best-so-far instead of failing.
+ */
+class DeadlineExceeded : public std::runtime_error
+{
+  public:
+    explicit DeadlineExceeded(const std::string &where)
+        : std::runtime_error("deadline exceeded: " + where)
+    {
+    }
+};
+
+/**
+ * Cooperative cancellation handle. Configure (deadline, parent)
+ * before sharing the token across threads; cancel() and the
+ * observers are safe concurrently after that. Non-copyable — workers
+ * hold `const CancelToken *`.
+ */
+class CancelToken
+{
+  public:
+    /** A token that never expires until cancel() or a parent fires. */
+    CancelToken() = default;
+
+    CancelToken(const CancelToken &) = delete;
+    CancelToken &operator=(const CancelToken &) = delete;
+
+    /** Arm an absolute deadline, monotonicNowNs() epoch. */
+    void setDeadlineNs(std::uint64_t absoluteNs)
+    {
+        deadlineNs_ = absoluteNs;
+    }
+
+    /** Arm a deadline @p ms from now; 0 ms expires immediately. */
+    void setDeadlineAfterMs(std::uint64_t ms)
+    {
+        deadlineNs_ = metrics::monotonicNowNs() + ms * 1000000ull;
+    }
+
+    /**
+     * Chain to a parent whose expiry implies this token's expiry.
+     * The parent must outlive this token.
+     */
+    void chainTo(const CancelToken *parent) { parent_ = parent; }
+
+    /** Fire the token explicitly (idempotent, thread-safe). */
+    void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+    /** True once cancel() was called on this token itself. */
+    bool cancelled() const
+    {
+        return cancelled_.load(std::memory_order_relaxed);
+    }
+
+    /** True when cancelled, past deadline, or the parent expired. */
+    bool expired() const
+    {
+        if (cancelled_.load(std::memory_order_relaxed))
+            return true;
+        if (deadlineNs_ != 0 &&
+            metrics::monotonicNowNs() >= deadlineNs_)
+            return true;
+        return parent_ != nullptr && parent_->expired();
+    }
+
+    /**
+     * Nanoseconds until the deadline; 0 when expired. Tokens with no
+     * deadline (and no expired ancestor) report the max value, so
+     * min()-combining with an I/O timeout stays correct.
+     */
+    std::uint64_t remainingNs() const
+    {
+        if (expired())
+            return 0;
+        if (deadlineNs_ == 0)
+            return ~0ull;
+        const std::uint64_t now = metrics::monotonicNowNs();
+        return now >= deadlineNs_ ? 0 : deadlineNs_ - now;
+    }
+
+    /** Throw DeadlineExceeded tagged with @p where when expired. */
+    void check(const char *where) const
+    {
+        if (expired())
+            throw DeadlineExceeded(where);
+    }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+    std::uint64_t deadlineNs_ = 0;
+    const CancelToken *parent_ = nullptr;
+};
+
+} // namespace vaesa
+
+#endif // VAESA_UTIL_DEADLINE_HH

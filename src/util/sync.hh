@@ -250,6 +250,13 @@ class VAESA_SCOPED_CAPABILITY WriterLock
 #define VAESA_LOCK_ORDER_ENTRY(mutexName, rank) \
     static_assert((rank) > 0, "lock ranks are positive")
 
+// Serve ModelRegistry current-bundle pointer; a short swap/pin lock
+// that may be held before any evaluation begins.
+VAESA_LOCK_ORDER_ENTRY(bundleMutex_, 4);
+// Serve ModelBundle scratch-buffer lock; decode/predict may be
+// followed by (never nested under) cache evaluation, but ranking it
+// below the cache locks keeps that nesting legal if it ever forms.
+VAESA_LOCK_ORDER_ENTRY(modelMutex, 6);
 // CachingEvaluator layer registry; held across shard locks in clear().
 VAESA_LOCK_ORDER_ENTRY(registryMutex_, 10);
 // CachingEvaluator per-shard entry maps; innermost cache lock.

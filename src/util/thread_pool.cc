@@ -1,6 +1,7 @@
 #include "util/thread_pool.hh"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 
 #include "util/env.hh"
@@ -34,6 +35,7 @@ ThreadPool::ThreadPool(std::size_t threads)
 {
     if (threads == 0)
         threads = defaultThreadCount();
+    threads_ = threads;
     workers_.reserve(threads);
     for (std::size_t i = 0; i < threads; ++i)
         workers_.emplace_back([this] { workerLoop(); });
@@ -41,13 +43,31 @@ ThreadPool::ThreadPool(std::size_t threads)
 
 ThreadPool::~ThreadPool()
 {
+    shutdown();
+}
+
+void
+ThreadPool::shutdown()
+{
     {
         const MutexLock lock(queueMutex_);
         stopping_ = true;
+        if (joined_)
+            return;
+        joined_ = true;
     }
     wake_.notify_all();
     for (std::thread &worker : workers_)
         worker.join();
+    workers_.clear();
+    threads_ = 0;
+}
+
+bool
+ThreadPool::stopping() const
+{
+    const MutexLock lock(queueMutex_);
+    return stopping_;
 }
 
 void
@@ -95,7 +115,8 @@ ThreadPool::submit(std::function<void()> task)
     {
         const MutexLock lock(queueMutex_);
         if (stopping_)
-            panic("ThreadPool::submit on a stopping pool");
+            throw std::runtime_error(
+                "ThreadPool::submit on a stopping pool");
         queue_.push_back(std::move(packaged));
     }
     PoolMetrics &m = poolMetrics();
@@ -111,8 +132,11 @@ ThreadPool::parallelFor(std::size_t n,
 {
     if (n == 0)
         return;
-    const std::size_t chunks =
-        std::min<std::size_t>(n, threadCount());
+    // max(1, ...): a joined pool has threadCount() == 0, and zero
+    // chunks would silently run nothing -- one chunk makes submit()
+    // throw its stopping-pool error instead of dropping the work.
+    const std::size_t chunks = std::min<std::size_t>(
+        n, std::max<std::size_t>(1, threadCount()));
     std::vector<std::future<void>> pending;
     pending.reserve(chunks);
     for (std::size_t c = 0; c < chunks; ++c) {

@@ -53,11 +53,26 @@ class ThreadPool
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
-    /** Number of worker threads. */
-    std::size_t threadCount() const { return workers_.size(); }
+    /** Number of worker threads (0 once shutdown() joined them). */
+    std::size_t threadCount() const { return threads_; }
+
+    /**
+     * Stop accepting work, drain the already-queued tasks, and join
+     * every worker. Idempotent; safe to call from multiple threads
+     * (exactly one joins). After shutdown() begins, submit() and
+     * parallelFor() throw instead of enqueueing — a draining daemon
+     * must be able to race a late submit against its own shutdown
+     * without aborting the process.
+     */
+    void shutdown() VAESA_EXCLUDES(queueMutex_);
+
+    /** True once shutdown() (or destruction) has begun. */
+    bool stopping() const VAESA_EXCLUDES(queueMutex_);
 
     /**
      * Enqueue one task; the future rethrows anything it throws.
+     * Throws std::runtime_error if the pool is stopping (see
+     * shutdown()).
      */
     std::future<void> submit(std::function<void()> task)
         VAESA_EXCLUDES(queueMutex_);
@@ -82,10 +97,12 @@ class ThreadPool
     void workerLoop() VAESA_EXCLUDES(queueMutex_);
 
     std::vector<std::thread> workers_;
-    Mutex queueMutex_;
+    std::size_t threads_ = 0;
+    mutable Mutex queueMutex_;
     std::deque<std::packaged_task<void()>> queue_
         VAESA_GUARDED_BY(queueMutex_);
     bool stopping_ VAESA_GUARDED_BY(queueMutex_) = false;
+    bool joined_ VAESA_GUARDED_BY(queueMutex_) = false;
     // _any flavour: it waits on the annotated vaesa::Mutex directly
     // (BasicLockable), so the guarded wait loop stays visible to the
     // thread-safety analysis.

@@ -228,6 +228,28 @@ Trainer::train(const Matrix &hw_features, const Matrix &layer_features,
     TrainMetrics &tm = trainMetrics();
     for (std::size_t epoch = start_epoch; epoch < options_.epochs;
          ++epoch) {
+        // Cooperative stop (SIGTERM et al.): cut at the epoch
+        // boundary, persist the completed epochs, and return. The
+        // epoch-boundary checkpoint below already covered this state
+        // when checkpointEvery == 1; writing it unconditionally here
+        // makes the guarantee hold for any cadence.
+        if (options_.stopFlag != nullptr &&
+            options_.stopFlag->load(std::memory_order_relaxed)) {
+            if (checkpointing) {
+                TrainCheckpoint checkpoint;
+                checkpoint.epochsDone = epoch;
+                checkpoint.history = history;
+                checkpoint.rng = rng.state();
+                if (auto err = saveTrainCheckpoint(
+                        options_.checkpointPath, checkpoint,
+                        *optimizer_))
+                    warn("stop checkpoint save failed: ",
+                         err->describe());
+            }
+            inform("training stopped at epoch boundary ", epoch,
+                   "/", options_.epochs);
+            return history;
+        }
         faultCheck("train_epoch");
         const bool instrument = metrics::metricsEnabled();
         const std::uint64_t epoch_t0 =

@@ -10,6 +10,7 @@
 #ifndef VAESA_VAESA_TRAINER_HH
 #define VAESA_VAESA_TRAINER_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -52,6 +53,16 @@ struct TrainOptions
 
     /** Checkpoint after every Nth completed epoch (must be >= 1). */
     std::size_t checkpointEvery = 1;
+
+    /**
+     * Optional cooperative stop flag (borrowed; e.g. set from a
+     * SIGTERM handler). Checked at epoch boundaries only, so a stop
+     * never tears a half-applied optimizer step: training writes a
+     * final checkpoint for the completed epochs (when checkpointing)
+     * and returns the truncated history. Resuming from that
+     * checkpoint is bit-identical to a run that was never stopped.
+     */
+    const std::atomic<bool> *stopFlag = nullptr;
 };
 
 /** Per-epoch mean losses. */

@@ -192,11 +192,20 @@ trainingWorkloads()
 Workload
 workloadByName(const std::string &name)
 {
+    std::optional<Workload> found = tryWorkloadByName(name);
+    if (!found)
+        fatal("unknown workload '", name,
+              "' (expected alexnet/resnet50/resnext50/deepbench)");
+    return *std::move(found);
+}
+
+std::optional<Workload>
+tryWorkloadByName(const std::string &name)
+{
     for (Workload &w : trainingWorkloads())
         if (w.name == name)
-            return w;
-    fatal("unknown workload '", name,
-          "' (expected alexnet/resnet50/resnext50/deepbench)");
+            return std::move(w);
+    return std::nullopt;
 }
 
 } // namespace vaesa

@@ -9,6 +9,7 @@
 #ifndef VAESA_WORKLOAD_NETWORKS_HH
 #define VAESA_WORKLOAD_NETWORKS_HH
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,13 @@ std::vector<Workload> trainingWorkloads();
 
 /** Look up one training workload by name; fatal() if unknown. */
 Workload workloadByName(const std::string &name);
+
+/**
+ * Non-fatal lookup for callers that must survive hostile input (the
+ * serve request path): nullopt on an unknown name instead of
+ * terminating the process.
+ */
+std::optional<Workload> tryWorkloadByName(const std::string &name);
 
 /** Remove duplicate shapes, keeping first occurrences (order stable). */
 std::vector<LayerShape> uniqueLayers(const std::vector<LayerShape> &in);

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Negative lint fixture: raw BSD socket calls outside
+ * src/serve/net.cc must be flagged (vaesa_check bannedSocketCalls).
+ * Member calls and std-qualified names must NOT be flagged -- this
+ * file also pins the guards against those false positives.
+ *
+ * Never compiled; only scanned by lint.raw_socket_fixture.
+ */
+
+struct FakeChannel
+{
+    int send(const char *, int) { return 0; }
+    int connect(const char *) { return 0; }
+};
+
+inline int
+leakyTransport()
+{
+    // BAD: the raw syscall, exactly what the ban exists for.
+    const int fd = socket(2, 1, 0);
+
+    // fine: member calls are not syscalls.
+    FakeChannel channel;
+    channel.send("x", 1);
+    FakeChannel *p = &channel;
+    p->connect("y");
+
+    return fd;
+}

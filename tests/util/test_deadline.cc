@@ -1,0 +1,120 @@
+/**
+ * @file
+ * CancelToken/DeadlineExceeded contract tests: explicit cancel,
+ * monotonic deadlines, parent chaining (the serve drain pattern),
+ * and the remainingNs() combination rule for I/O timeouts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/deadline.hh"
+#include "util/thread_pool.hh"
+
+namespace vaesa {
+namespace {
+
+TEST(Deadline, FreshTokenNeverExpires)
+{
+    CancelToken token;
+    EXPECT_FALSE(token.expired());
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_EQ(token.remainingNs(), ~0ull);
+    EXPECT_NO_THROW(token.check("fresh"));
+}
+
+TEST(Deadline, CancelFiresImmediatelyAndIsIdempotent)
+{
+    CancelToken token;
+    token.cancel();
+    token.cancel();
+    EXPECT_TRUE(token.expired());
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_EQ(token.remainingNs(), 0u);
+    EXPECT_THROW(token.check("cancelled"), DeadlineExceeded);
+}
+
+TEST(Deadline, ZeroMsDeadlineExpiresImmediately)
+{
+    CancelToken token;
+    token.setDeadlineAfterMs(0);
+    EXPECT_TRUE(token.expired());
+    EXPECT_FALSE(token.cancelled()); // deadline, not cancel
+}
+
+TEST(Deadline, FarDeadlineDoesNotExpire)
+{
+    CancelToken token;
+    token.setDeadlineAfterMs(60000);
+    EXPECT_FALSE(token.expired());
+    EXPECT_GT(token.remainingNs(), 0u);
+    EXPECT_LE(token.remainingNs(), 60000ull * 1000000ull);
+}
+
+TEST(Deadline, AbsoluteDeadlineInThePastExpires)
+{
+    CancelToken token;
+    token.setDeadlineNs(1); // epoch start: long past
+    EXPECT_TRUE(token.expired());
+}
+
+TEST(Deadline, ParentExpiryPropagatesToChild)
+{
+    CancelToken drain;
+    CancelToken request;
+    request.chainTo(&drain);
+    EXPECT_FALSE(request.expired());
+    drain.cancel();
+    EXPECT_TRUE(request.expired());
+    EXPECT_FALSE(request.cancelled()); // inherited, not own
+    EXPECT_EQ(request.remainingNs(), 0u);
+}
+
+TEST(Deadline, ChildExpiryDoesNotPropagateUp)
+{
+    CancelToken drain;
+    CancelToken request;
+    request.chainTo(&drain);
+    request.cancel();
+    EXPECT_TRUE(request.expired());
+    EXPECT_FALSE(drain.expired());
+}
+
+TEST(Deadline, GrandparentChainPropagates)
+{
+    CancelToken root;
+    CancelToken mid;
+    CancelToken leaf;
+    mid.chainTo(&root);
+    leaf.chainTo(&mid);
+    root.cancel();
+    EXPECT_TRUE(leaf.expired());
+}
+
+TEST(Deadline, ExceptionMessageNamesTheCheckpoint)
+{
+    CancelToken token;
+    token.cancel();
+    try {
+        token.check("score_admit");
+        FAIL() << "check() must throw on an expired token";
+    } catch (const DeadlineExceeded &e) {
+        EXPECT_NE(std::string(e.what()).find("score_admit"),
+                  std::string::npos);
+    }
+}
+
+TEST(Deadline, CancelVisibleAcrossPoolThreads)
+{
+    CancelToken token;
+    ThreadPool pool(2);
+    auto watcher = pool.submit([&token] {
+        while (!token.expired()) {
+        }
+    });
+    token.cancel();
+    watcher.get(); // terminates only if the store became visible
+    pool.shutdown();
+}
+
+} // namespace
+} // namespace vaesa

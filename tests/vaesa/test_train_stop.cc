@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Cooperative-stop tests for training (TrainOptions::stopFlag): a
+ * SIGTERM-style stop is honored only at epoch boundaries, persists a
+ * resumable checkpoint for the completed epochs, and a resumed run
+ * is bit-identical to one that was never stopped.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+
+#include "../common/temp_path.hh"
+#include "fixtures.hh"
+#include "util/atomic_io.hh"
+
+namespace vaesa {
+namespace {
+
+FrameworkOptions
+smallOptions(std::size_t epochs)
+{
+    FrameworkOptions options;
+    options.vae.hiddenDims = {16, 8};
+    options.vae.latentDim = 2;
+    options.predictorHidden = {8};
+    options.train.epochs = epochs;
+    return options;
+}
+
+Dataset
+smallDataset()
+{
+    Rng rng(77);
+    std::vector<LayerShape> pool;
+    for (const Workload &w : trainingWorkloads()) {
+        pool.insert(pool.end(), w.layers.begin(), w.layers.end());
+        break;
+    }
+    return DatasetBuilder(testing::sharedEvaluator(), pool)
+        .build(150, rng);
+}
+
+void
+expectSameModel(VaesaFramework &a, VaesaFramework &b)
+{
+    const auto pa = a.parameters();
+    const auto pb = b.parameters();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i)
+        EXPECT_TRUE(pa[i]->value == pb[i]->value)
+            << "parameter " << pa[i]->name << " diverged";
+    ASSERT_EQ(a.history().size(), b.history().size());
+    for (std::size_t i = 0; i < a.history().size(); ++i)
+        EXPECT_TRUE(a.history()[i] == b.history()[i])
+            << "epoch " << i << " stats diverged";
+}
+
+// The signal-handler flag the raise(SIGTERM) test flips; file-scope
+// because a signal handler cannot capture.
+std::atomic<bool> signalStop{false};
+
+void
+onTerm(int)
+{
+    signalStop.store(true, std::memory_order_relaxed);
+}
+
+class TrainStopTest : public ::testing::Test
+{
+  protected:
+    std::string
+    checkpointPath()
+    {
+        return testing::uniqueTempPath("vaesa_train_stop", ".bin");
+    }
+
+    void
+    TearDown() override
+    {
+        std::remove(checkpointPath().c_str());
+        std::remove((checkpointPath() + ".tmp").c_str());
+        std::remove(
+            previousCheckpointPath(checkpointPath()).c_str());
+    }
+};
+
+TEST_F(TrainStopTest, StopAfterEpochOneThenResumeIsBitIdentical)
+{
+    const Dataset data = smallDataset();
+    VaesaFramework baseline(data, smallOptions(6), 7);
+
+    // Phase 1: train one epoch with checkpointing (simulates the
+    // state of a run at the boundary where the signal lands).
+    FrameworkOptions options = smallOptions(1);
+    options.train.checkpointPath = checkpointPath();
+    VaesaFramework first(data, options, 7);
+    ASSERT_EQ(first.history().size(), 1u);
+
+    // Phase 2: restart with the full budget but the stop flag
+    // already raised: the run must resume at epoch 1, stop at the
+    // boundary without training further, and leave the checkpoint
+    // resumable.
+    std::atomic<bool> stop{true};
+    FrameworkOptions stopped = smallOptions(6);
+    stopped.train.checkpointPath = checkpointPath();
+    stopped.train.stopFlag = &stop;
+    VaesaFramework interrupted(data, stopped, 7);
+    EXPECT_EQ(interrupted.history().size(), 1u);
+
+    // Phase 3: resume without the flag; the finished model must be
+    // bit-identical to the never-stopped baseline.
+    FrameworkOptions resumedOptions = smallOptions(6);
+    resumedOptions.train.checkpointPath = checkpointPath();
+    VaesaFramework resumed(data, resumedOptions, 7);
+    expectSameModel(baseline, resumed);
+}
+
+TEST_F(TrainStopTest, StopWithoutCheckpointingReturnsTruncatedRun)
+{
+    const Dataset data = smallDataset();
+    std::atomic<bool> stop{true};
+    FrameworkOptions options = smallOptions(6);
+    options.train.stopFlag = &stop;
+    VaesaFramework interrupted(data, options, 7);
+    EXPECT_TRUE(interrupted.history().empty());
+}
+
+TEST_F(TrainStopTest, UnraisedFlagDoesNotPerturbTraining)
+{
+    const Dataset data = smallDataset();
+    VaesaFramework baseline(data, smallOptions(4), 7);
+
+    std::atomic<bool> stop{false};
+    FrameworkOptions options = smallOptions(4);
+    options.train.stopFlag = &stop;
+    VaesaFramework flagged(data, options, 7);
+    expectSameModel(baseline, flagged);
+}
+
+TEST_F(TrainStopTest, RaisedSigtermStopsViaHandlerFlag)
+{
+    const Dataset data = smallDataset();
+    signalStop.store(false, std::memory_order_relaxed);
+    auto previous = std::signal(SIGTERM, onTerm);
+    ASSERT_NE(previous, SIG_ERR);
+    std::raise(SIGTERM);
+    EXPECT_TRUE(signalStop.load(std::memory_order_relaxed));
+
+    FrameworkOptions options = smallOptions(6);
+    options.train.checkpointPath = checkpointPath();
+    options.train.stopFlag = &signalStop;
+    VaesaFramework interrupted(data, options, 7);
+    EXPECT_TRUE(interrupted.history().empty());
+    std::signal(SIGTERM, previous);
+
+    // The stop checkpoint resumes to the uninterrupted model.
+    VaesaFramework baseline(data, smallOptions(6), 7);
+    FrameworkOptions resumedOptions = smallOptions(6);
+    resumedOptions.train.checkpointPath = checkpointPath();
+    VaesaFramework resumed(data, resumedOptions, 7);
+    expectSameModel(baseline, resumed);
+}
+
+} // namespace
+} // namespace vaesa

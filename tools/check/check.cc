@@ -326,6 +326,35 @@ const std::vector<BannedCall> bannedCalls = {
     {"srand", "vaesa::Rng", {"src/util/rng.hh", "src/util/rng.cc"}},
 };
 
+/**
+ * Raw BSD socket calls are confined to the serve transport TU so
+ * every fd is owned by a serve::Socket and every transport error
+ * feeds the one Expected-based error path. Member calls (x.send())
+ * and std-qualified names (std::bind) are not socket calls and are
+ * skipped; an explicit global qualifier (::socket) is still the real
+ * syscall and is flagged. `shutdown`/`poll` are deliberately absent:
+ * both are common non-socket identifiers in this codebase.
+ */
+const std::vector<std::string> socketCallFiles = {
+    "src/serve/net.cc",
+};
+
+const std::vector<BannedCall> bannedSocketCalls = {
+    {"socket", "serve::Socket (serve/net.hh)", socketCallFiles},
+    {"bind", "serve::listenUnix()/listenTcp()", socketCallFiles},
+    {"listen", "serve::listenUnix()/listenTcp()", socketCallFiles},
+    {"accept", "serve::acceptConnection()", socketCallFiles},
+    {"accept4", "serve::acceptConnection()", socketCallFiles},
+    {"connect", "serve::connectUnix()/connectTcp()",
+     socketCallFiles},
+    {"recv", "serve::recvFrame()", socketCallFiles},
+    {"send", "serve::sendFrame()", socketCallFiles},
+    {"recvfrom", "serve::recvFrame()", socketCallFiles},
+    {"sendto", "serve::sendFrame()", socketCallFiles},
+    {"setsockopt", "serve/net.cc socket setup", socketCallFiles},
+    {"getsockname", "serve::boundPort()", socketCallFiles},
+};
+
 /** Identifiers banned regardless of a following '('. */
 struct BannedToken
 {
@@ -459,6 +488,42 @@ checkBannedIdentifiers(const std::string &relPath,
                 report(relPath, t.line,
                        "call of '" + ban.name + "' (use " +
                            ban.instead + " instead)");
+        }
+        for (const BannedCall &ban : bannedSocketCalls) {
+            if (t.text != ban.name ||
+                pathAllowed(relPath, ban.allowedIn))
+                continue;
+            if (i + 1 >= tokens.size() ||
+                tokens[i + 1].kind != Token::Kind::Punct ||
+                tokens[i + 1].text != "(")
+                continue;
+            // Member calls are not socket syscalls: x.send( has "."
+            // before the name; p->connect( has ">" then "-" (the
+            // tokenizer emits single-char puncts except "::").
+            if (i > 0 && tokens[i - 1].kind == Token::Kind::Punct) {
+                if (tokens[i - 1].text == ".")
+                    continue;
+                if (tokens[i - 1].text == ">" && i > 1 &&
+                    tokens[i - 2].kind == Token::Kind::Punct &&
+                    tokens[i - 2].text == "-")
+                    continue;
+                // Namespace-qualified names (std::bind et al.) are
+                // fine; an explicit global `::socket(` is still the
+                // real syscall.
+                if (tokens[i - 1].text == "::" && i > 1 &&
+                    tokens[i - 2].kind == Token::Kind::Ident)
+                    continue;
+            }
+            // An identifier directly before the name makes this a
+            // declaration (`int send(...)`) not a call -- except
+            // `return send(...)`, which is a call.
+            if (i > 0 && tokens[i - 1].kind == Token::Kind::Ident &&
+                tokens[i - 1].text != "return")
+                continue;
+            report(relPath, t.line,
+                   "raw socket call '" + ban.name + "' (use " +
+                       ban.instead + "; raw sockets live only in "
+                       "src/serve/net.cc)");
         }
         if (!policy.allowStreams)
             for (const BannedToken &ban : bannedStreams)

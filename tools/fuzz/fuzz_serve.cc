@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fuzz target: the vaesa_serve frame and request parser
+ * (serve/protocol.cc). In-memory, no file materialization: the
+ * parsers take byte strings.
+ *
+ * Input shape follows the harness convention (harness.hh): the first
+ * byte selects the mode.
+ *   0x00  raw -- the remaining bytes are attacked as a full frame
+ *         (magic/version prefix, length, CRC and all);
+ *   else  re-framed -- the remaining bytes become the record payload
+ *         of a well-formed frame, so the mutator spends its budget
+ *         on request *content* instead of the checksum gate.
+ *
+ * A successfully parsed request must survive a serialize -> parse
+ * round trip: protocol drift between the writer and the reader is a
+ * crash here, not a production interop surprise.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    using namespace vaesa;
+    if (size == 0)
+        return 0;
+    const std::string body(
+        reinterpret_cast<const char *>(data + 1), size - 1);
+
+    std::string frame;
+    if (data[0] == 0x00)
+        frame = body;
+    else
+        frame = serve::frameMessage(body);
+
+    Expected<std::string> payload = serve::unwrapFrame(frame);
+    if (!payload)
+        return 0;
+
+    Expected<serve::Request> request =
+        serve::parseRequest(payload.value());
+    if (request) {
+        // Round trip: what we serialize, we must re-parse. A trap
+        // here is a writer/reader protocol drift the fuzzer caught.
+        Expected<serve::Request> again = serve::parseRequest(
+            serve::serializeRequest(request.value()));
+        if (!again)
+            __builtin_trap();
+    }
+
+    // The client-side response parser sees the same hostile bytes.
+    (void)serve::parseResponse(payload.value());
+    return 0;
+}

@@ -34,6 +34,7 @@
 #include "util/state_io.hh"
 #include "vaesa/checkpoint.hh"
 #include "vaesa/dataset.hh"
+#include "serve/protocol.hh"
 #include "vaesa/serialize.hh"
 
 namespace vaesa::fuzztool {
@@ -255,6 +256,79 @@ seedWorkload(const fs::path &dir)
               "conv3 -1 0 55 55 3 96 4 4\n");   // non-positive
 }
 
+/** Prefix with the harness re-frame mode byte (payload-only seed). */
+std::string
+reframed(const std::string &payload)
+{
+    return std::string(1, '\x01') + payload;
+}
+
+void
+seedServe(const fs::path &dir)
+{
+    using namespace serve;
+    // One valid request per message type, in re-framed shape so the
+    // mutator starts past the CRC gate.
+    Request ping;
+    ping.id = 1;
+    ping.type = MsgType::Ping;
+    writeSeed(dir, "ping.bin", reframed(serializeRequest(ping)));
+
+    Request score;
+    score.id = 2;
+    score.type = MsgType::ScoreConfig;
+    score.deadlineMs = 50;
+    score.workload = "alexnet";
+    writeSeed(dir, "score.bin", reframed(serializeRequest(score)));
+
+    Request decode;
+    decode.id = 3;
+    decode.type = MsgType::DecodeLatent;
+    decode.latent = {0.25, -0.5, 1.0, 0.0};
+    decode.workload = "resnet50";
+    writeSeed(dir, "decode.bin",
+              reframed(serializeRequest(decode)));
+
+    Request search;
+    search.id = 4;
+    search.type = MsgType::SearchK;
+    search.workload = "deepbench";
+    search.samples = 64;
+    search.method = SearchMethod::Bo;
+    search.seed = 99;
+    writeSeed(dir, "search.bin",
+              reframed(serializeRequest(search)));
+
+    Request reload;
+    reload.id = 5;
+    reload.type = MsgType::Reload;
+    reload.reloadPath = "/tmp/model.bin";
+    writeSeed(dir, "reload.bin",
+              reframed(serializeRequest(reload)));
+
+    // Raw-mode hostiles: a complete valid frame, a bit-flipped CRC,
+    // and a truncated frame -- each must be rejected, never crash.
+    const std::string frame = frameMessage(serializeRequest(score));
+    writeSeed(dir, "frame_valid.bin", raw(frame));
+    std::string corrupt = frame;
+    corrupt[frame.size() / 2] =
+        static_cast<char>(corrupt[frame.size() / 2] ^ 0x40);
+    writeSeed(dir, "frame_bad_crc.bin", raw(corrupt));
+    writeSeed(dir, "frame_truncated.bin",
+              raw(frame.substr(0, frame.size() - 3)));
+
+    // Content hostile: a DecodeLatent whose dim lies about the
+    // payload length (CRC-valid once re-framed).
+    ByteBuffer lying;
+    lying.putU64(6); // id
+    lying.putU32(static_cast<std::uint32_t>(MsgType::DecodeLatent));
+    lying.putU32(0);   // deadline
+    lying.putU64(48);  // claims 48 doubles...
+    lying.putF64(1.0); // ...carries one
+    writeSeed(dir, "decode_lying_dim.bin",
+              reframed(std::string(lying.data())));
+}
+
 } // namespace
 } // namespace vaesa::fuzztool
 
@@ -278,6 +352,7 @@ main(int argc, char **argv)
         {"search_state", seedSearchState},
         {"dataset_csv", seedDatasetCsv},
         {"workload", seedWorkload},
+        {"serve", seedServe},
     };
     for (const auto &target : targets) {
         const fs::path dir = root / target.name;
