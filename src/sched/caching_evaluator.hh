@@ -142,6 +142,16 @@ class CachingEvaluator
     BatchKey batchKey(const AcceleratorConfig &snapped,
                       std::uint32_t layerId) const;
 
+    /** Config half of batchKey() for a SNAPPED config — hoist this
+     *  once per config when keying it against many layers (the key
+     *  is layer-independent; batchKey() just pairs it with the
+     *  layer id). */
+    std::uint64_t snappedConfigKey(
+        const AcceleratorConfig &snapped) const
+    {
+        return configKey(snapped);
+    }
+
     /**
      * Locked-once-per-shard lookup of keys [0, n): found[i] is
      * nonzero iff keys[i] was cached, in which case results[i] holds

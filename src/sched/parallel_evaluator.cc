@@ -116,9 +116,15 @@ stealingLayerBatch(const Evaluator &evaluator,
 std::size_t
 chunkSizeFor(std::size_t items, std::size_t threads)
 {
+    // The floor of 8 must never hand out a chunk larger than the
+    // batch itself (a 3-item batch gets one 3-item chunk, not an
+    // 8-item one), and a 0-item batch yields chunk 1 so callers
+    // dividing by the chunk size never see zero.
+    const std::size_t floorChunk =
+        std::min<std::size_t>(8, std::max<std::size_t>(items, 1));
     const std::size_t target =
         items / (std::max<std::size_t>(1, threads) * 8);
-    return std::clamp<std::size_t>(target, 8, 256);
+    return std::clamp<std::size_t>(target, floorChunk, 256);
 }
 
 EvalResult
@@ -211,7 +217,8 @@ ParallelEvaluator::ParallelEvaluator(const CachingEvaluator &cache,
 }
 
 void
-ParallelEvaluator::scoreLayerSubset(const AcceleratorConfig *configs,
+ParallelEvaluator::scoreLayerSubset(const AcceleratorConfig *snapped,
+                                    const std::uint64_t *configKeys,
                                     const std::uint32_t *idx,
                                     std::size_t m,
                                     const LayerShape &layer,
@@ -222,13 +229,12 @@ ParallelEvaluator::scoreLayerSubset(const AcceleratorConfig *configs,
     const CachingEvaluator &cache = *cache_;
     const std::uint32_t layerId = cache.layerKey(layer);
 
-    // Snap + key once per item (the serial path does this per call).
-    std::vector<AcceleratorConfig> snapped(m);
+    // Pair the hoisted per-config key halves with this layer's id;
+    // the snap/pack work itself happened once, at batch entry.
     std::vector<CachingEvaluator::BatchKey> keys(m);
-    for (std::size_t j = 0; j < m; ++j) {
-        snapped[j] = cache.snapConfig(configs[idx[j]]);
-        keys[j] = cache.batchKey(snapped[j], layerId);
-    }
+    for (std::size_t j = 0; j < m; ++j)
+        keys[j] = CachingEvaluator::BatchKey{configKeys[idx[j]],
+                                             layerId};
 
     // Probe: each shard locked once for the whole batch.
     std::vector<EvalResult> local(m);
@@ -258,7 +264,7 @@ ParallelEvaluator::scoreLayerSubset(const AcceleratorConfig *configs,
         std::vector<AcceleratorConfig> uniqueConfigs(u);
         std::vector<CachingEvaluator::BatchKey> uniqueKeys(u);
         for (std::size_t k = 0; k < u; ++k) {
-            uniqueConfigs[k] = snapped[uniqueRep[k]];
+            uniqueConfigs[k] = snapped[idx[uniqueRep[k]]];
             uniqueKeys[k] = keys[uniqueRep[k]];
         }
         // Evaluate outside any lock; throws (an injected batch_chunk
@@ -288,10 +294,22 @@ ParallelEvaluator::evaluateBatch(
     const std::vector<AcceleratorConfig> &configs,
     const std::vector<LayerShape> &workload) const
 {
+    return evaluateConfigBatch(configs, workload, nullptr, nullptr);
+}
+
+std::vector<EvalResult>
+ParallelEvaluator::evaluateConfigBatch(
+    const std::vector<AcceleratorConfig> &configs,
+    const std::vector<LayerShape> &workload,
+    const CancelToken *const *itemTokens,
+    BatchItemStatus *statuses) const
+{
     const std::size_t n = configs.size();
     std::vector<EvalResult> totals(n);
     for (EvalResult &t : totals)
         t.valid = true;
+    if (statuses != nullptr)
+        std::fill_n(statuses, n, BatchItemStatus::Ok);
 
     // Alive mask: a config invalid at layer L stops looking up
     // layers past L, exactly like the serial per-config early exit —
@@ -300,12 +318,47 @@ ParallelEvaluator::evaluateBatch(
     std::vector<std::uint32_t> alive(n);
     std::iota(alive.begin(), alive.end(), 0);
 
+    // Per-item deadlines drop expired items at each layer boundary
+    // (including before the first): only the item leaves the batch —
+    // its mates keep scoring, and the layers already merged stay in
+    // the cache, exactly as a solo request cancelled between layers
+    // would leave them.
+    const auto dropExpired = [&] {
+        if (itemTokens == nullptr)
+            return;
+        std::vector<std::uint32_t> keep;
+        keep.reserve(alive.size());
+        for (const std::uint32_t i : alive) {
+            const CancelToken *token = itemTokens[i];
+            if (token != nullptr && token->expired()) {
+                totals[i] = EvalResult{};
+                if (statuses != nullptr)
+                    statuses[i] = BatchItemStatus::DeadlineExpired;
+            } else {
+                keep.push_back(i);
+            }
+        }
+        alive.swap(keep);
+    };
+
+    // Hoist the layer-independent per-config work: snap each config
+    // to its grid point and pack its 59-bit key half ONCE, instead
+    // of re-deriving both inside every one of the L layer passes.
+    std::vector<AcceleratorConfig> snapped(n);
+    std::vector<std::uint64_t> cfgKeys(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        snapped[i] = cache_->snapConfig(configs[i]);
+        cfgKeys[i] = cache_->snappedConfigKey(snapped[i]);
+    }
+
     std::vector<EvalResult> layerResults(n);
     for (const LayerShape &layer : workload) {
+        dropExpired();
         if (alive.empty())
             break;
-        scoreLayerSubset(configs.data(), alive.data(), alive.size(),
-                         layer, layerResults.data());
+        scoreLayerSubset(snapped.data(), cfgKeys.data(),
+                         alive.data(), alive.size(), layer,
+                         layerResults.data());
 
         std::vector<std::uint32_t> next;
         next.reserve(alive.size());
@@ -335,13 +388,20 @@ ParallelEvaluator::evaluateLayerBatch(
     const std::vector<AcceleratorConfig> &configs,
     const LayerShape &layer) const
 {
-    std::vector<EvalResult> results(configs.size());
+    const std::size_t n = configs.size();
+    std::vector<EvalResult> results(n);
     if (configs.empty())
         return results;
-    std::vector<std::uint32_t> idx(configs.size());
+    std::vector<AcceleratorConfig> snapped(n);
+    std::vector<std::uint64_t> cfgKeys(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        snapped[i] = cache_->snapConfig(configs[i]);
+        cfgKeys[i] = cache_->snappedConfigKey(snapped[i]);
+    }
+    std::vector<std::uint32_t> idx(n);
     std::iota(idx.begin(), idx.end(), 0);
-    scoreLayerSubset(configs.data(), idx.data(), idx.size(), layer,
-                     results.data());
+    scoreLayerSubset(snapped.data(), cfgKeys.data(), idx.data(),
+                     idx.size(), layer, results.data());
     return results;
 }
 

@@ -41,13 +41,32 @@ namespace vaesa {
 
 /**
  * Work-stealing chunk size for a batch of @p items across @p threads
- * workers: items/(threads*8) clamped to [8, 256]. ~8 chunks per
- * worker keeps the steal-cursor overhead negligible (one atomic add
- * per ~10-2000 µs of work) while bounding tail imbalance to ~1/8 of
- * a worker's share; the floor of 8 stops tiny batches from degrading
- * to per-item claims.
+ * workers: items/(threads*8) clamped to [min(items, 8), 256]. ~8
+ * chunks per worker keeps the steal-cursor overhead negligible (one
+ * atomic add per ~10-2000 µs of work) while bounding tail imbalance
+ * to ~1/8 of a worker's share; the floor of 8 stops tiny batches
+ * from degrading to per-item claims. Contract (unit-tested): the
+ * result is never 0, never exceeds max(items, 1) — so ceil(items /
+ * chunk) chunks never outnumber items and no chunk is empty — and
+ * threads == 0 behaves like threads == 1.
  */
 std::size_t chunkSizeFor(std::size_t items, std::size_t threads);
+
+/**
+ * Per-item outcome of a ParallelEvaluator batch evaluated with
+ * per-item cancel tokens: items whose own token expires are DROPPED
+ * at the next layer boundary without disturbing their batch-mates.
+ */
+enum class BatchItemStatus : std::uint8_t
+{
+    /** Scored completely; the result slot is authoritative. */
+    Ok = 0,
+
+    /** The item's own token expired; its result slot is the invalid
+     *  zero EvalResult and layers past the boundary were never
+     *  looked up for it. */
+    DeadlineExpired = 1,
+};
 
 /**
  * Roll a workload up layer-by-layer in parallel on a plain (cache-
@@ -103,6 +122,34 @@ class ParallelEvaluator
         const std::vector<AcceleratorConfig> &configs,
         const std::vector<LayerShape> &workload) const;
 
+    /**
+     * evaluateBatch with PER-ITEM deadlines: the serve-side
+     * coalescing entry point (serve/batcher.cc funnels concurrent
+     * ScoreConfig requests here as one SoA batch).
+     *
+     * @p itemTokens, when non-null, holds configs.size() borrowed
+     * token pointers (individual entries may be null = no deadline).
+     * Expiry of item i's own token is observed at layer boundaries —
+     * including before the first layer — and drops ONLY item i from
+     * the rest of the batch: statuses[i] (when @p statuses is
+     * non-null) becomes DeadlineExpired, its result slot is the
+     * invalid zero result, and its batch-mates score on untouched.
+     * Completed layers stay merged into the cache, exactly as a
+     * solo request cancelled between layers would leave it.
+     *
+     * The evaluator-wide token installed via setCancelToken() keeps
+     * its PR 7 semantics on top: it fires at chunk claims and throws
+     * DeadlineExceeded for the WHOLE batch through the all-or-
+     * nothing exit (per-item tokens never throw). With null
+     * @p itemTokens this is exactly evaluateBatch(), which now
+     * delegates here.
+     */
+    std::vector<EvalResult> evaluateConfigBatch(
+        const std::vector<AcceleratorConfig> &configs,
+        const std::vector<LayerShape> &workload,
+        const CancelToken *const *itemTokens,
+        BatchItemStatus *statuses) const;
+
     /** Score configs[i] on one layer into result i through the
      *  chunked dedup/probe/merge pipeline (see file comment). */
     std::vector<EvalResult> evaluateLayerBatch(
@@ -139,9 +186,15 @@ class ParallelEvaluator
     void setCancelToken(const CancelToken *token) { cancel_ = token; }
 
   private:
-    /** One layer of the pipeline over the items configs[idx[j]],
-     *  j in [0, m); writes results[idx[j]]. */
-    void scoreLayerSubset(const AcceleratorConfig *configs,
+    /** One layer of the pipeline over the items snapped[idx[j]],
+     *  j in [0, m); writes results[idx[j]]. @p snapped and
+     *  @p configKeys are the HOISTED per-config snap/key arrays
+     *  (snapConfig() result and its snappedConfigKey()), computed
+     *  once per batch call and reused for every layer — re-deriving
+     *  them per layer was pure redundant work (the snap and the
+     *  59-bit packing are layer-independent). */
+    void scoreLayerSubset(const AcceleratorConfig *snapped,
+                          const std::uint64_t *configKeys,
                           const std::uint32_t *idx, std::size_t m,
                           const LayerShape &layer,
                           EvalResult *results) const;

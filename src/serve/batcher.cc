@@ -1,0 +1,383 @@
+#include "serve/batcher.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "util/fault.hh"
+#include "util/metrics.hh"
+
+namespace vaesa {
+namespace serve {
+
+namespace {
+
+/** Instrument references resolved once (registry refs are stable). */
+struct BatcherMetrics
+{
+    metrics::Histogram &batchSize =
+        metrics::histogram("serve.batch_size");
+    metrics::Histogram &batchWaitNs =
+        metrics::histogram("serve.batch_wait_ns");
+    metrics::Counter &batches = metrics::counter("serve.batches");
+    metrics::Counter &requeues =
+        metrics::counter("serve.batch_requeues");
+    metrics::Counter &expired =
+        metrics::counter("serve.batch_expired");
+};
+
+BatcherMetrics &
+batcherMetrics()
+{
+    static BatcherMetrics m;
+    return m;
+}
+
+} // namespace
+
+ScoreBatcher::ScoreBatcher(const CachingEvaluator &cache,
+                           ThreadPool &evalPool,
+                           const BatcherOptions &options,
+                           const CancelToken *drain,
+                           std::function<std::size_t()> loadHint)
+    : cache_(&cache), evalPool_(&evalPool), options_(options),
+      drain_(drain), loadHint_(std::move(loadHint))
+{
+    if (options_.maxBatch == 0)
+        options_.maxBatch = 1;
+}
+
+EvalResult
+ScoreBatcher::score(const std::string &workload,
+                    const std::vector<LayerShape> &layers,
+                    const AcceleratorConfig &config,
+                    const CancelToken *token)
+{
+    BatcherMetrics &bm = batcherMetrics();
+    Item item;
+    item.config = &config;
+    item.token = token;
+    item.enqueueNs = metrics::monotonicNowNs();
+
+    if (options_.batchWindowUs == 0) {
+        // Batching DISABLED: dispatch this request by itself,
+        // bypassing the queue entirely — the pre-batcher per-request
+        // path, with the same fault/deadline/metrics semantics (the
+        // A/B baseline the load bench compares against).
+        Group *soloGroup = nullptr;
+        {
+            const MutexLock lock(coalesceMutex_);
+            Group &group = groups_[workload];
+            group.layers = &layers;
+            soloGroup = &group;
+        }
+        item.taken = true;
+        runBatch(*soloGroup, layers, {&item}, &item);
+        if (item.deadline)
+            throw DeadlineExceeded("serve_batch");
+        if (!item.error.empty())
+            throw std::runtime_error(item.error);
+        return item.result;
+    }
+
+    Group *groupPtr = nullptr;
+    bool fillNotify = false;
+    {
+        const MutexLock lock(coalesceMutex_);
+        Group &group = groups_[workload];
+        groupPtr = &group;
+        group.layers = &layers;
+        if (group.pending.empty())
+            group.windowOpenNs = item.enqueueNs;
+        group.pending.push_back(&item);
+        // Wake the window-waiting leader ONLY when this enqueue
+        // fills the batch (the one cutoff it re-checks). Anything
+        // broader is a thundering herd: on a saturated box every
+        // notify_all context-switches through all the parked
+        // followers, and that wakeup churn costs more than the
+        // coalescing saves.
+        fillNotify = group.hasLeader &&
+                     group.pending.size() >= closeTarget();
+    }
+    // Notify AFTER unlocking: a wakee that finds the mutex still
+    // held parks again on the mutex — two context switches instead
+    // of one, per wakee, on every batch.
+    if (fillNotify)
+        wake_.notify_all();
+    Group &group = *groupPtr;
+
+    // Group fields are protected by coalesceMutex_ by convention
+    // (the struct is private, every access below sits in a MutexLock
+    // scope); only the groups_ map itself carries the TSA guard.
+    const auto queued = [&group, &item] {
+        return std::find(group.pending.begin(), group.pending.end(),
+                         &item) != group.pending.end();
+    };
+
+    try {
+        for (;;) {
+            std::vector<Item *> batch;
+            const std::vector<LayerShape> *batchLayers = nullptr;
+            bool leftovers = false;
+            {
+                const MutexLock lock(coalesceMutex_);
+                while (!item.done && batch.empty()) {
+                    if (!group.hasLeader && queued()) {
+                        // First queued awake thread leads; its own
+                        // item rides in the front maxBatch slice or
+                        // a follow-up round.
+                        group.hasLeader = true;
+                        collectBatch(group, &batch);
+                        batchLayers = group.layers;
+                        leftovers = !group.pending.empty();
+                        continue;
+                    }
+                    if (queued() && item.token != nullptr &&
+                        item.token->expired()) {
+                        // Self-serve the deadline while still
+                        // queued: leave the queue, never join a
+                        // batch, and never disturb one.
+                        group.pending.erase(
+                            std::find(group.pending.begin(),
+                                      group.pending.end(), &item));
+                        item.deadline = true;
+                        item.done = true;
+                        bm.expired.inc();
+                        break;
+                    }
+                    // Follower: publishes / promotions notify; the
+                    // slice only bounds our own deadline-check
+                    // cadence, so it can be coarse — short slices
+                    // wake every parked follower several times per
+                    // batch for nothing.
+                    wake_.wait_for(coalesceMutex_,
+                                   std::chrono::milliseconds(5));
+                }
+            }
+            if (batch.empty())
+                break; // answered (by a leader or our own deadline)
+            // Wake the leftovers (outside the lock) so one of them
+            // promotes itself leader and can collect — and even
+            // evaluate — a second batch while this one scores.
+            if (leftovers)
+                wake_.notify_all();
+            runBatch(group, *batchLayers, batch, &item);
+        }
+    } catch (...) {
+        // Unwinding (the serve_batch leader kill, or anything
+        // unexpected): our stack-allocated item must not stay
+        // reachable. Unhook it if queued; if a concurrent leader
+        // owns it, wait the batch out before the frame dies.
+        const MutexLock lock(coalesceMutex_);
+        const auto it = std::find(group.pending.begin(),
+                                  group.pending.end(), &item);
+        if (it != group.pending.end())
+            group.pending.erase(it);
+        while (item.taken && !item.done)
+            wake_.wait_for(coalesceMutex_,
+                           std::chrono::milliseconds(1));
+        throw;
+    }
+
+    if (item.deadline)
+        throw DeadlineExceeded("serve_batch");
+    if (!item.error.empty())
+        throw std::runtime_error(item.error);
+    return item.result;
+}
+
+std::size_t
+ScoreBatcher::closeTarget() const
+{
+    // The window exists to let the rest of the CURRENT wavefront
+    // arrive. Once every connection that could still coalesce has an
+    // item queued, waiting longer is pure idle tail — close early.
+    // maxBatch stays the hard take cap either way.
+    std::size_t target = options_.maxBatch;
+    if (loadHint_)
+        target = std::min(
+            target, std::max<std::size_t>(1, loadHint_()));
+    return target;
+}
+
+void
+ScoreBatcher::collectBatch(Group &group, std::vector<Item *> *batch)
+{
+    const std::uint64_t windowNs = options_.batchWindowUs * 1000ull;
+    // An idle server (nobody else who could coalesce) answers at
+    // unbatched latency: no window wait.
+    const bool idle = loadHint_ && loadHint_() <= 1;
+    if (windowNs != 0 && !idle) {
+        // Hold the batch open (measured from the OLDEST queued
+        // item) for late arrivals; a full wavefront (closeTarget), a
+        // drain, a quiet queue, or the window closing ends the wait.
+        // The quiet-queue close matters most: one straggling
+        // connection must not make every batch pay the whole window
+        // in wall-clock — once arrivals stop for a gap, take what
+        // coalesced and let the straggler open the next batch.
+        const std::uint64_t gapNs = std::clamp<std::uint64_t>(
+            windowNs / 4, 10'000, 100'000);
+        std::size_t lastSize = group.pending.size();
+        for (;;) {
+            if (group.pending.size() >= closeTarget())
+                break;
+            if (drain_ != nullptr && drain_->expired())
+                break;
+            const std::uint64_t now = metrics::monotonicNowNs();
+            const std::uint64_t closeNs =
+                group.windowOpenNs + windowNs;
+            if (now >= closeNs)
+                break;
+            wake_.wait_for(coalesceMutex_,
+                           std::chrono::nanoseconds(
+                               std::min(closeNs - now, gapNs)));
+            if (group.pending.size() == lastSize)
+                break; // queue went quiet
+            lastSize = group.pending.size();
+        }
+    }
+    const std::size_t take =
+        std::min(group.pending.size(), options_.maxBatch);
+    batch->assign(group.pending.begin(),
+                  group.pending.begin() +
+                      static_cast<std::ptrdiff_t>(take));
+    group.pending.erase(group.pending.begin(),
+                        group.pending.begin() +
+                            static_cast<std::ptrdiff_t>(take));
+    for (Item *it : *batch)
+        it->taken = true;
+    // Leadership ends with the take: leftover items' threads promote
+    // a new leader (score() wakes them once the lock drops — items
+    // are disjoint and the cache is thread-safe, so a second batch
+    // can even evaluate while this one is still scoring). No
+    // leftovers means nobody needs waking until this one publishes.
+    group.hasLeader = false;
+    if (!group.pending.empty())
+        group.windowOpenNs = group.pending.front()->enqueueNs;
+}
+
+void
+ScoreBatcher::runBatch(Group &group,
+                       const std::vector<LayerShape> &layers,
+                       const std::vector<Item *> &batch, Item *self)
+{
+    BatcherMetrics &bm = batcherMetrics();
+    const std::uint64_t startNs = metrics::monotonicNowNs();
+    bm.batches.inc();
+    bm.batchSize.observe(batch.size());
+    for (const Item *it : batch)
+        bm.batchWaitNs.observe(startNs - it->enqueueNs);
+
+    // Batch-boundary deadline check: an already-expired item answers
+    // DEADLINE_EXCEEDED and never joins the dispatch. Its mates are
+    // untouched either way.
+    std::vector<Item *> live;
+    std::vector<Item *> lapsed;
+    live.reserve(batch.size());
+    for (Item *it : batch) {
+        if (it->token != nullptr && it->token->expired())
+            lapsed.push_back(it);
+        else
+            live.push_back(it);
+    }
+    bm.expired.inc(lapsed.size());
+
+    std::vector<AcceleratorConfig> configs;
+    std::vector<const CancelToken *> tokens;
+    configs.reserve(live.size());
+    tokens.reserve(live.size());
+    for (const Item *it : live) {
+        configs.push_back(*it->config);
+        tokens.push_back(it->token);
+    }
+    std::vector<BatchItemStatus> status(live.size(),
+                                        BatchItemStatus::Ok);
+    std::vector<EvalResult> results;
+
+    bool drained = false;
+    std::string failure;
+    try {
+        for (Item *it : live)
+            ++it->attempts;
+        faultCheck("serve_batch");
+        ParallelEvaluator evaluator(*cache_, *evalPool_);
+        // The drain token governs the WHOLE batch at chunk claims
+        // (the all-or-nothing exit); per-item tokens drop only their
+        // own item at layer boundaries.
+        evaluator.setCancelToken(drain_);
+        if (!live.empty())
+            results = evaluator.evaluateConfigBatch(
+                configs, layers, tokens.data(), status.data());
+    } catch (const InjectedFault &) {
+        // The leader's connection dies at this site — but ONLY the
+        // leader's. Mates go back to the head of the queue in
+        // arrival order for the next leader (a mate that already
+        // faulted once before answers an error instead of looping).
+        {
+            const MutexLock lock(coalesceMutex_);
+            for (Item *it : lapsed) {
+                it->taken = false;
+                it->deadline = true;
+                it->done = true;
+            }
+            for (auto rit = live.rbegin(); rit != live.rend();
+                 ++rit) {
+                Item *it = *rit;
+                it->taken = false;
+                if (it == self)
+                    continue; // exits score() through the rethrow
+                if (it->attempts >= 2) {
+                    it->error = "coalesced batch evaluation failed";
+                    it->done = true;
+                    continue;
+                }
+                group.pending.push_front(it);
+                bm.requeues.inc();
+            }
+            if (!group.pending.empty())
+                group.windowOpenNs = group.pending.front()->enqueueNs;
+        }
+        wake_.notify_all();
+        throw;
+    } catch (const DeadlineExceeded &) {
+        // The drain token cancelled the batch mid-flight; everyone
+        // still live answers DEADLINE_EXCEEDED (cache untouched by
+        // the all-or-nothing exit).
+        drained = true;
+    } catch (const std::exception &e) {
+        // A real evaluation failure is not connection-specific:
+        // re-dispatching would fail the same way, so every live item
+        // (the leader included) answers INTERNAL_ERROR.
+        failure = e.what();
+    }
+
+    {
+        const MutexLock lock(coalesceMutex_);
+        for (Item *it : lapsed) {
+            it->taken = false;
+            it->deadline = true;
+            it->done = true;
+        }
+        for (std::size_t i = 0; i < live.size(); ++i) {
+            Item *it = live[i];
+            it->taken = false;
+            if (drained ||
+                status[i] == BatchItemStatus::DeadlineExpired) {
+                it->deadline = true;
+            } else if (!failure.empty()) {
+                it->error = failure;
+            } else {
+                it->result = results[i];
+            }
+            it->done = true;
+        }
+    }
+    // Publish-then-notify with the lock DROPPED: every follower in
+    // this batch wakes exactly once and finds its answer ready,
+    // instead of waking into a held mutex and parking again.
+    wake_.notify_all();
+}
+
+} // namespace serve
+} // namespace vaesa

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Server-side micro-batching for ScoreConfig traffic: concurrent
+ * scoring requests coalesce into ONE SoA batch against the shared
+ * cost-model cache instead of N per-request evaluator dispatches, so
+ * a loaded server amortizes snap/probe/evaluate/merge across the
+ * whole wavefront (the PR 7 batch pipeline, which is ~9x the serial
+ * per-config loop even single-threaded) while an idle server keeps
+ * its sub-millisecond single-request latency.
+ *
+ * DESIGN — leader/follower, no dedicated batching thread:
+ *  - every request thread enqueues its stack-allocated Item into the
+ *    per-workload queue; the first queued thread appoints itself
+ *    LEADER, waits out the coalesce window (skipped when the server
+ *    is otherwise idle, when the window is 0, or once maxBatch items
+ *    are queued), takes up to maxBatch items FIFO, and evaluates
+ *    them as one batch with the queue lock RELEASED;
+ *  - the other threads are FOLLOWERS: they sleep on the same
+ *    condition variable until their Item is answered, self-serving
+ *    their own deadline while still queued and promoting themselves
+ *    to leader if they find the queue leaderless.
+ *
+ * DEADLINES: an item whose token expires while queued (or by drain
+ * time) answers DEADLINE_EXCEEDED without ever joining a batch; an
+ * item expiring mid-batch is dropped at the next layer boundary
+ * (sched/parallel_evaluator.hh per-item-token entry point). Neither
+ * cancels batch-mates. The server DRAIN token cancels whole batches
+ * through the all-or-nothing chunk-claim exit.
+ *
+ * FAULTS: the "serve_batch" site fires in the leader before its
+ * batch dispatches. The leader rethrows (killing only its own
+ * connection, like every serve_* site) after re-queuing its
+ * batch-mates for the next leader, so a killed connection mid-batch
+ * never poisons the cache (all-or-nothing batch exit) nor its
+ * mates' responses (they re-batch and answer normally).
+ */
+
+#ifndef VAESA_SERVE_BATCHER_HH
+#define VAESA_SERVE_BATCHER_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sched/parallel_evaluator.hh"
+#include "util/deadline.hh"
+#include "util/sync.hh"
+#include "util/thread_pool.hh"
+
+namespace vaesa {
+namespace serve {
+
+/** Coalescing knobs (surfaced as --batch-window-us / --max-batch). */
+struct BatcherOptions
+{
+    /** How long a leader holds the batch open for late arrivals, in
+     *  microseconds. 0 disables coalescing ENTIRELY: every request
+     *  bypasses the queue and dispatches by itself (the pre-batcher
+     *  per-request path, kept as the A/B baseline). */
+    std::uint32_t batchWindowUs = 50;
+
+    /** Most items one coalesced batch may carry. */
+    std::size_t maxBatch = 64;
+};
+
+/**
+ * The coalescing queue. One instance per Server, shared by every
+ * service-pool handler; score() is safe to call concurrently and
+ * blocks until the calling request's item is answered (bounded by
+ * the window plus one batch evaluation, or the caller's deadline).
+ *
+ * score() either returns the scored result or throws:
+ *  - DeadlineExceeded — the caller's token (or the drain token)
+ *    expired before its item completed a batch;
+ *  - InjectedFault — this caller was the leader whose dispatch hit
+ *    the "serve_batch" site (batch-mates are unaffected);
+ *  - std::runtime_error — the evaluation itself failed twice.
+ */
+class ScoreBatcher
+{
+  public:
+    /**
+     * @param cache     shared memo cache (borrowed, outlives this)
+     * @param evalPool  pool batch evaluations fan out on (borrowed)
+     * @param options   window / size knobs
+     * @param drain     server drain token; cancels whole batches
+     *                  (borrowed, may be null)
+     * @param loadHint  returns a current-load estimate (e.g. active
+     *                  connections); a leader skips the coalesce
+     *                  window when it reports <= 1 so an idle server
+     *                  answers at unbatched latency. May be empty
+     *                  (= always wait the window).
+     */
+    ScoreBatcher(const CachingEvaluator &cache, ThreadPool &evalPool,
+                 const BatcherOptions &options,
+                 const CancelToken *drain,
+                 std::function<std::size_t()> loadHint);
+
+    ScoreBatcher(const ScoreBatcher &) = delete;
+    ScoreBatcher &operator=(const ScoreBatcher &) = delete;
+
+    /**
+     * Score @p config on @p layers, coalescing with any concurrent
+     * score() calls naming the same @p workload. @p layers must be
+     * the stable per-workload vector owned by the server (borrowed
+     * for the life of the call, shared across the whole group).
+     * @p token is the caller's cancel token (may be null).
+     */
+    EvalResult score(const std::string &workload,
+                     const std::vector<LayerShape> &layers,
+                     const AcceleratorConfig &config,
+                     const CancelToken *token);
+
+  private:
+    /** One request, stack-allocated in its caller's score() frame
+     *  and linked into the group queue by pointer. */
+    struct Item
+    {
+        const AcceleratorConfig *config = nullptr;
+        const CancelToken *token = nullptr;
+        /** Enqueue timestamp (serve.batch_wait_ns origin). */
+        std::uint64_t enqueueNs = 0;
+        /** Batches this item has been dispatched into (a re-queued
+         *  item that fails again answers an error, not a loop). */
+        int attempts = 0;
+        /** Owned by a leader's in-flight batch (not queued, not yet
+         *  answered) — an unwinding caller must wait this out. */
+        bool taken = false;
+        /** Answered: exactly one of result / deadline / error below
+         *  is authoritative once this flips. */
+        bool done = false;
+        /** Answer is DEADLINE_EXCEEDED. */
+        bool deadline = false;
+        /** Non-empty: answer is an internal evaluation error. */
+        std::string error;
+        EvalResult result;
+    };
+
+    /** Per-workload coalescing state. */
+    struct Group
+    {
+        /** The server-owned layer vector every queued item shares. */
+        const std::vector<LayerShape> *layers = nullptr;
+        /** FIFO of waiting items (never owns them). */
+        std::deque<Item *> pending;
+        /** A leader is collecting/draining this group. */
+        bool hasLeader = false;
+        /** Enqueue time of the oldest pending item — the coalesce
+         *  window is measured from here. */
+        std::uint64_t windowOpenNs = 0;
+    };
+
+    /** Queue size at which a leader stops holding the window open:
+     *  min(maxBatch, current load hint) — once everyone who could
+     *  still coalesce is queued, more waiting is pure idle tail. */
+    std::size_t closeTarget() const;
+
+    /** As the fresh leader of @p group (hasLeader just flipped on):
+     *  wait out the coalesce window (skipped when idle / window 0 /
+     *  batch already full / draining), then take up to maxBatch
+     *  items FIFO into @p batch, hand leadership back, and wake the
+     *  leftovers so one of them promotes itself. */
+    void collectBatch(Group &group, std::vector<Item *> *batch)
+        VAESA_REQUIRES(coalesceMutex_);
+
+    /** Evaluate @p batch as one SoA dispatch (called UNLOCKED) and
+     *  publish every answer. A leader-killing injected fault
+     *  re-queues the batch-mates for the next leader, then rethrows
+     *  (@p self exits score() through the exception). */
+    void runBatch(Group &group,
+                  const std::vector<LayerShape> &layers,
+                  const std::vector<Item *> &batch, Item *self)
+        VAESA_EXCLUDES(coalesceMutex_);
+
+    const CachingEvaluator *cache_;
+    ThreadPool *evalPool_;
+    BatcherOptions options_;
+    const CancelToken *drain_;
+    std::function<std::size_t()> loadHint_;
+
+    mutable Mutex coalesceMutex_;
+    /** Signals enqueues, publishes, and leadership handoffs; waits
+     *  directly on the annotated mutex (the thread_pool.cc idiom). */
+    std::condition_variable_any wake_;
+    /** Keyed by workload name; groups are never erased (the name set
+     *  is the server's fixed workload registry). */
+    std::map<std::string, Group> groups_ VAESA_GUARDED_BY(
+        coalesceMutex_);
+};
+
+} // namespace serve
+} // namespace vaesa
+
+#endif // VAESA_SERVE_BATCHER_HH

@@ -12,6 +12,7 @@
 
 #include "serve/protocol.hh"
 #include "util/fault.hh"
+#include "util/metrics.hh"
 
 namespace vaesa {
 namespace serve {
@@ -31,31 +32,48 @@ netFailure(LoadError::Kind kind, std::string message)
     return makeLoadError(kind, "", 0, std::move(message));
 }
 
-/** Read exactly n bytes, polling in slices so cancellation and the
- *  overall timeout are both observed between reads. */
+/**
+ * Read exactly n bytes, polling in slices so cancellation and the
+ * overall timeout are both observed between reads. The idle budget
+ * is recomputed from the monotonic clock on every wakeup: poll/recv
+ * interruptions (EINTR / EAGAIN / spurious readiness) consume real
+ * elapsed time rather than being charged a whole slice (a signal
+ * storm used to burn the budget in microseconds) or no time at all
+ * (an interrupted recv used to restart the slice and could overstay
+ * the deadline indefinitely). Progress still resets the idle clock —
+ * timeoutMs bounds the wait since the LAST byte, not the whole read.
+ */
 std::optional<LoadError>
 readExactly(const Socket &socket, char *dst, std::size_t n,
             int timeoutMs, const CancelToken *cancel, int sliceMs,
             bool *sawAnyByte)
 {
     std::size_t got = 0;
-    int waited = 0;
+    const std::uint64_t budgetNs =
+        static_cast<std::uint64_t>(timeoutMs) * 1000000ull;
+    std::uint64_t idleSinceNs = metrics::monotonicNowNs();
     while (got < n) {
         if (cancel && cancel->expired())
             return netFailure(LoadError::Kind::OpenFailed,
                               "cancelled");
-        const int ready = waitReadable(socket,
-                                       std::min(sliceMs, timeoutMs));
+        const std::uint64_t idleNs =
+            metrics::monotonicNowNs() - idleSinceNs;
+        if (idleNs >= budgetNs)
+            return netFailure(LoadError::Kind::OpenFailed,
+                              "timeout");
+        // Poll the remaining budget, still sliced for cancellation
+        // checks; floor 1 ms so a sub-millisecond remainder blocks
+        // instead of spinning (the clock check above ends it).
+        const int remainMs =
+            static_cast<int>((budgetNs - idleNs) / 1000000ull);
+        const int ready = waitReadable(
+            socket,
+            std::clamp(remainMs, 1, std::max(1, sliceMs)));
         if (ready < 0)
             return netFailure(LoadError::Kind::OpenFailed,
                               "poll failed on connection");
-        if (ready == 0) {
-            waited += sliceMs;
-            if (waited >= timeoutMs)
-                return netFailure(LoadError::Kind::OpenFailed,
-                                  "timeout");
-            continue;
-        }
+        if (ready == 0)
+            continue; // timeout or EINTR: the clock above decides
         const ssize_t r = ::recv(socket.fd(), dst + got, n - got, 0);
         if (r == 0) {
             return netFailure(got == 0 && !*sawAnyByte
@@ -68,12 +86,12 @@ readExactly(const Socket &socket, char *dst, std::size_t n,
         if (r < 0) {
             if (errno == EINTR || errno == EAGAIN ||
                 errno == EWOULDBLOCK)
-                continue;
+                continue; // elapsed time stays charged
             return netError(LoadError::Kind::OpenFailed, "recv");
         }
         got += static_cast<std::size_t>(r);
         *sawAnyByte = true;
-        waited = 0; // progress resets the idle clock
+        idleSinceNs = metrics::monotonicNowNs(); // progress resets
     }
     return std::nullopt;
 }

@@ -113,6 +113,13 @@ std::optional<LoadError> sendFrame(const Socket &socket,
  * @p cancel token (when given) is observed between slices -- a
  * draining server stops waiting on idle connections promptly.
  *
+ * The idle timeout is accounted against the MONOTONIC CLOCK, not by
+ * counting slices: poll/recv interruptions (EINTR, EAGAIN) are
+ * charged the real time they consumed, so a signal-stormed
+ * connection neither times out early nor overstays -- each of the
+ * two reads (prefix, payload) ends within [timeoutMs, timeoutMs +
+ * one slice) of its last byte of progress.
+ *
  * @return the frame bytes; OpenFailed with message "closed" on a
  *         clean peer close before any byte, Truncated on a mid-frame
  *         close, OpenFailed "timeout" after @p timeoutMs of silence,

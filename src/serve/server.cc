@@ -37,6 +37,11 @@ struct ServeMetrics
         metrics::counter("serve.accept_failures");
     metrics::Histogram &requestNs =
         metrics::histogram("serve.request_ns");
+    /** Time spent answering connections the accept loop turned away
+     *  — the one reply path outside handleConnection's request
+     *  timer, so overload rejections stay latency-observable too. */
+    metrics::Histogram &rejectNs =
+        metrics::histogram("serve.reject_ns");
 };
 
 ServeMetrics &
@@ -212,7 +217,11 @@ class SlotGuard
 
 Server::Server(const ServeOptions &options)
     : options_(options), evalPool_(options.evalThreads),
-      servicePool_(std::max<std::size_t>(1, options.serviceThreads))
+      servicePool_(std::max<std::size_t>(1, options.serviceThreads)),
+      batcher_(cache_, evalPool_,
+               BatcherOptions{options.batchWindowUs, options.maxBatch},
+               &drainToken_,
+               [this] { return activeConns_.load(); })
 {
     for (Workload &w : trainingWorkloads())
         workloads_[w.name] = std::move(w.layers);
@@ -303,6 +312,7 @@ Server::serve()
                 rejection.message =
                     "server at connection capacity; retry later";
                 sm.rejectedOverload.inc();
+                const metrics::ScopedTimer timer(sm.rejectNs);
                 (void)sendFrame(conn.value(),
                                 frameMessage(
                                     serializeResponse(rejection)));
@@ -515,10 +525,13 @@ Server::handleScore(const Request &request, CancelToken &token,
     if (!layers)
         return;
     token.check("score_admit");
-    ParallelEvaluator evaluator(cache_, evalPool_);
-    evaluator.setCancelToken(&token);
+    // All ScoreConfig scoring funnels through the coalescing
+    // batcher (lint-enforced: the SoA batch entry point is called
+    // only from serve/batcher.cc), so concurrent requests share one
+    // dispatch while a lone request passes straight through.
     const EvalResult result =
-        evaluator.evaluateBatch({request.config}, *layers).front();
+        batcher_.score(request.workload, *layers, request.config,
+                       &token);
     resp->valid = result.valid;
     resp->latencyCycles = result.latencyCycles;
     resp->energyPj = result.energyPj;
@@ -556,10 +569,11 @@ Server::handleDecode(const Request &request, CancelToken &token,
             findWorkload(request.workload, resp);
         if (!layers)
             return;
-        ParallelEvaluator evaluator(cache_, evalPool_);
-        evaluator.setCancelToken(&token);
-        const EvalResult result =
-            evaluator.evaluateBatch({resp->config}, *layers).front();
+        // Decoded-config scoring rides the same coalescing queue as
+        // ScoreConfig: a DecodeLatent burst batches with the score
+        // traffic of the same workload.
+        const EvalResult result = batcher_.score(
+            request.workload, *layers, resp->config, &token);
         resp->valid = result.valid;
         resp->latencyCycles = result.latencyCycles;
         resp->energyPj = result.energyPj;

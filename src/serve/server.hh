@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "sched/caching_evaluator.hh"
+#include "serve/batcher.hh"
 #include "serve/model_bundle.hh"
 #include "serve/net.hh"
 #include "serve/protocol.hh"
@@ -97,6 +98,16 @@ struct ServeOptions
 
     /** Half-width of the latent search box for LatentRandom. */
     double latentRadius = 2.5;
+
+    /** ScoreConfig coalesce window in microseconds (see
+     *  serve/batcher.hh): how long the first request of a wavefront
+     *  holds the batch open for late arrivals. 0 disables
+     *  coalescing waits; an otherwise-idle server always skips the
+     *  window regardless. */
+    std::uint32_t batchWindowUs = 50;
+
+    /** Most requests one coalesced ScoreConfig batch may carry. */
+    std::size_t maxBatch = 64;
 };
 
 /** The daemon. Construct, start(), then serve() on some thread. */
@@ -175,6 +186,10 @@ class Server
     std::atomic<bool> reloadRequested_{false};
     std::atomic<std::size_t> activeConns_{0};
     std::atomic<std::size_t> searchInflight_{0};
+    /** Coalesces concurrent ScoreConfig traffic into SoA batches;
+     *  declared after cache_/evalPool_/drainToken_/activeConns_
+     *  (it borrows all four at construction). */
+    ScoreBatcher batcher_;
 };
 
 } // namespace serve

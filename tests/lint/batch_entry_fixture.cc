@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Negative lint fixture: direct evaluateConfigBatch() calls in the
+ * serve tree (anywhere but src/serve/batcher.cc) must be flagged --
+ * serve handlers route ScoreConfig scoring through the coalescing
+ * ScoreBatcher, never through their own per-request evaluator
+ * dispatch. Unlike the socket ban, MEMBER calls are exactly the
+ * violation here, so the fixture uses one.
+ *
+ * Never compiled; only scanned by lint.batch_entry_fixture.
+ */
+
+struct FakeEvaluator
+{
+    int evaluateConfigBatch(const int *, int) { return 0; }
+};
+
+inline int
+uncoalescedHandler()
+{
+    FakeEvaluator evaluator;
+    const int configs[2] = {0, 1};
+
+    // BAD: a serve-tree caller dispatching the batch entry point
+    // itself instead of going through serve::ScoreBatcher.
+    const int direct = evaluator.evaluateConfigBatch(configs, 2);
+
+    // fine: naming the entry point without calling it (docs, member
+    // pointers) is not a dispatch.
+    int (FakeEvaluator::*entry)(const int *, int) =
+        &FakeEvaluator::evaluateConfigBatch;
+    (void)entry;
+
+    return direct;
+}

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Deadline-accounting regression tests for the serve socket layer.
+ *
+ * The recvFrame idle timeout must be charged against the MONOTONIC
+ * CLOCK, not by counting poll slices: the old accounting charged a
+ * full slice to every EINTR wakeup (a 1 kHz signal storm burned a
+ * 300 ms budget in a few milliseconds of wall time) and restarted
+ * the slice after an interrupted recv (which could overstay the
+ * deadline indefinitely). These tests interrupt reads for real --
+ * pthread_kill() into a handler installed without SA_RESTART -- and
+ * assert the total wall-clock bound from both sides.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include <pthread.h>
+#include <sys/socket.h>
+
+#include "serve/net.hh"
+#include "serve/protocol.hh"
+#include "util/metrics.hh"
+#include "util/thread_pool.hh"
+
+namespace vaesa {
+namespace serve {
+namespace {
+
+void
+onStormSignal(int)
+{
+    // Exists only to interrupt blocking syscalls with EINTR.
+}
+
+/** A connected loopback pair (server side accepted). */
+struct SocketPair
+{
+    Socket client;
+    Socket server;
+};
+
+SocketPair
+loopbackPair()
+{
+    SocketPair pair;
+    Expected<Socket> listener = listenTcp(0);
+    EXPECT_TRUE(listener.ok());
+    if (!listener.ok())
+        return pair;
+    Expected<std::uint16_t> port = boundPort(listener.value());
+    EXPECT_TRUE(port.ok());
+    Expected<Socket> client = connectTcp(port.value());
+    EXPECT_TRUE(client.ok());
+    Expected<Socket> server = acceptConnection(listener.value());
+    EXPECT_TRUE(server.ok());
+    if (client.ok())
+        pair.client = std::move(client.value());
+    if (server.ok())
+        pair.server = std::move(server.value());
+    return pair;
+}
+
+/** Installs a no-SA_RESTART SIGUSR1 handler for the test's scope. */
+class SignalStormGuard
+{
+  public:
+    SignalStormGuard()
+    {
+        struct sigaction action;
+        std::memset(&action, 0, sizeof(action));
+        action.sa_handler = &onStormSignal;
+        sigemptyset(&action.sa_mask);
+        action.sa_flags = 0; // deliberately NO SA_RESTART
+        EXPECT_EQ(0, sigaction(SIGUSR1, &action, &previous_));
+    }
+
+    ~SignalStormGuard() { sigaction(SIGUSR1, &previous_, nullptr); }
+
+  private:
+    struct sigaction previous_;
+};
+
+TEST(ServeNetDeadline, SignalStormNeitherShortensNorExtendsTimeout)
+{
+    const SignalStormGuard guard;
+    SocketPair pair = loopbackPair();
+    ASSERT_TRUE(pair.server.valid());
+
+    constexpr int timeoutMs = 300;
+    std::atomic<pthread_t> reader{};
+    std::atomic<bool> readerStarted{false};
+    std::atomic<bool> readerDone{false};
+    std::uint64_t elapsedNs = 0;
+    std::string failure;
+
+    ThreadPool pool(1);
+    auto done = pool.submit([&] {
+        reader.store(pthread_self());
+        readerStarted.store(true);
+        const std::uint64_t t0 = metrics::monotonicNowNs();
+        // Nothing is ever sent: this must time out after ~300 ms of
+        // wall clock no matter how often the poll is interrupted.
+        Expected<std::string> frame =
+            recvFrame(pair.server, timeoutMs, nullptr, 50);
+        elapsedNs = metrics::monotonicNowNs() - t0;
+        EXPECT_FALSE(frame.ok());
+        if (!frame.ok())
+            failure = frame.error().describe();
+        readerDone.store(true);
+    });
+
+    while (!readerStarted.load())
+        std::this_thread::yield();
+    // ~1 kHz signal storm: each signal interrupts the blocking poll
+    // (EINTR), which the old slice accounting charged a full 50 ms.
+    while (!readerDone.load()) {
+        pthread_kill(reader.load(), SIGUSR1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    done.wait();
+    pool.shutdown();
+
+    EXPECT_NE(failure.find("timeout"), std::string::npos)
+        << failure;
+    // Lower bound: the storm must not burn the budget early (the
+    // old code failed here at ~6-50 ms). Upper bound: interrupted
+    // recv must not restart the slice forever.
+    EXPECT_GE(elapsedNs, 295ull * 1000000ull)
+        << "timed out after only " << elapsedNs / 1000000 << " ms";
+    EXPECT_LE(elapsedNs, 3000ull * 1000000ull)
+        << "overstayed: " << elapsedNs / 1000000 << " ms";
+}
+
+TEST(ServeNetDeadline, PartialProgressResetsTheIdleBudget)
+{
+    SocketPair pair = loopbackPair();
+    ASSERT_TRUE(pair.server.valid());
+
+    constexpr int timeoutMs = 250;
+    std::atomic<bool> readerStarted{false};
+    std::uint64_t elapsedNs = 0;
+    std::string failure;
+
+    ThreadPool pool(1);
+    auto done = pool.submit([&] {
+        readerStarted.store(true);
+        const std::uint64_t t0 = metrics::monotonicNowNs();
+        Expected<std::string> frame =
+            recvFrame(pair.server, timeoutMs, nullptr, 50);
+        elapsedNs = metrics::monotonicNowNs() - t0;
+        EXPECT_FALSE(frame.ok());
+        if (!frame.ok())
+            failure = frame.error().describe();
+    });
+
+    while (!readerStarted.load())
+        std::this_thread::yield();
+    // Feed 10 of the 16 prefix bytes 150 ms in: the idle budget is
+    // measured from the LAST byte of progress, so the read times out
+    // at ~150 + 250 ms, not at 250 ms total.
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    const std::string frame = frameMessage("partial");
+    ASSERT_EQ(10, ::send(pair.client.fd(), frame.data(), 10,
+                         MSG_NOSIGNAL));
+    done.wait();
+    pool.shutdown();
+
+    EXPECT_NE(failure.find("timeout"), std::string::npos)
+        << failure;
+    EXPECT_GE(elapsedNs, 350ull * 1000000ull)
+        << "budget not reset by progress: "
+        << elapsedNs / 1000000 << " ms";
+    EXPECT_LE(elapsedNs, 3000ull * 1000000ull);
+}
+
+} // namespace
+} // namespace serve
+} // namespace vaesa

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <future>
 #include <memory>
@@ -21,6 +22,7 @@
 #include <vector>
 
 #include "../common/temp_path.hh"
+#include "arch/design_space.hh"
 #include "sched/evaluator.hh"
 #include "serve/net.hh"
 #include "serve/protocol.hh"
@@ -480,6 +482,249 @@ TEST_F(ServeServer, ReloadValidatesBeforeSwapAndFaultsKeepOldModel)
 
     std::remove(modelPath.c_str());
     std::remove(garbagePath.c_str());
+}
+
+/** Distinct random configs for equivalence streams. */
+std::vector<AcceleratorConfig>
+randomConfigs(std::size_t count, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<AcceleratorConfig> configs;
+    configs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        configs.push_back(designSpace().randomConfig(rng));
+    return configs;
+}
+
+/**
+ * Run the same ScoreConfig stream against a fresh server configured
+ * with @p windowUs: @p clients concurrent connections, each sending
+ * its interleaved slice of @p configs in order (so the global
+ * arrival order is shuffled but identical across modes), with a
+ * harmless large deadline on every third request.
+ */
+std::vector<Response>
+scoreStream(std::uint32_t windowUs, std::size_t clients,
+            const std::vector<AcceleratorConfig> &configs)
+{
+    ServeOptions options = baseOptions();
+    options.serviceThreads = clients;
+    options.maxConnections = clients + 1;
+    options.batchWindowUs = windowUs;
+    options.maxBatch = 16;
+    ServerHarness harness(options);
+
+    std::vector<Response> replies(configs.size());
+    ThreadPool pool(clients);
+    std::vector<std::future<void>> done;
+    for (std::size_t c = 0; c < clients; ++c)
+        done.push_back(pool.submit([&, c] {
+            Expected<Socket> conn = harness.connect();
+            EXPECT_TRUE(conn.ok());
+            if (!conn.ok())
+                return;
+            for (std::size_t i = c; i < configs.size();
+                 i += clients) {
+                Request score;
+                score.id = static_cast<std::uint64_t>(i);
+                score.type = MsgType::ScoreConfig;
+                score.workload = "alexnet";
+                score.config = configs[i];
+                score.deadlineMs = (i % 3 == 0) ? 30000 : 0;
+                Expected<Response> reply =
+                    roundTrip(conn.value(), score);
+                EXPECT_TRUE(reply.ok());
+                if (reply.ok())
+                    replies[i] = reply.value();
+            }
+        }));
+    for (auto &future : done)
+        future.get();
+    pool.shutdown();
+    return replies;
+}
+
+TEST_F(ServeServer, BatchedRepliesBitIdenticalToUnbatched)
+{
+    constexpr std::size_t kClients = 4;
+    const std::vector<AcceleratorConfig> configs =
+        randomConfigs(24, 0xAB5EED);
+
+    // Same mix, same shuffled arrival order, same deadlines; the
+    // only difference is the coalescing window (0 = unbatched
+    // per-request dispatch, 2 ms = coalesced SoA batches).
+    const std::vector<Response> unbatched =
+        scoreStream(0, kClients, configs);
+    const std::vector<Response> batched =
+        scoreStream(2000, kClients, configs);
+
+    ASSERT_EQ(unbatched.size(), batched.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        EXPECT_EQ(batched[i].status, unbatched[i].status) << i;
+        EXPECT_EQ(batched[i].valid, unbatched[i].valid) << i;
+        // Exact double comparison: coalescing must be bit-neutral.
+        EXPECT_EQ(batched[i].edp, unbatched[i].edp) << i;
+        EXPECT_EQ(batched[i].latencyCycles,
+                  unbatched[i].latencyCycles)
+            << i;
+        EXPECT_EQ(batched[i].energyPj, unbatched[i].energyPj) << i;
+    }
+}
+
+TEST_F(ServeServer, KilledLeaderMidCoalescedBatchSparesMates)
+{
+    ServeOptions options = baseOptions();
+    options.batchWindowUs = 20000; // 20 ms: the two requests coalesce
+    options.maxBatch = 8;
+    ServerHarness harness(options);
+
+    const Workload alexnet = workloadByName("alexnet");
+    const std::vector<AcceleratorConfig> configs =
+        randomConfigs(2, 0xFA17);
+    Evaluator plain;
+    std::vector<EvalResult> expected;
+    for (const AcceleratorConfig &config : configs)
+        expected.push_back(
+            plain.evaluateWorkload(config, alexnet.layers));
+
+    metrics::Counter &killed =
+        metrics::counter("serve.killed_connections");
+    const std::uint64_t killedBefore = killed.value();
+
+    // Both connections up before the fault arms, so neither request
+    // trips an unrelated site.
+    Expected<Socket> connA = harness.connect();
+    Expected<Socket> connB = harness.connect();
+    ASSERT_TRUE(connA.ok());
+    ASSERT_TRUE(connB.ok());
+    Socket conns[2] = {std::move(connA.value()),
+                       std::move(connB.value())};
+
+    // The first coalesced dispatch dies at serve_batch: the LEADER's
+    // connection is killed; its batch-mate re-batches and answers.
+    FaultInjector::instance().arm("serve_batch", 1);
+    std::atomic<int> okCount{0};
+    std::atomic<int> deadConns{0};
+    bool gotReply[2] = {false, false};
+    Response okReplies[2];
+    ThreadPool clients(2);
+    std::vector<std::future<void>> done;
+    for (int i = 0; i < 2; ++i)
+        done.push_back(clients.submit([&, i] {
+            Request score;
+            score.id = static_cast<std::uint64_t>(100 + i);
+            score.type = MsgType::ScoreConfig;
+            score.workload = "alexnet";
+            score.config = configs[static_cast<std::size_t>(i)];
+            Expected<Response> reply =
+                roundTrip(conns[i], score, 10000);
+            if (reply.ok() &&
+                reply.value().status == Status::Ok) {
+                okReplies[i] = reply.value();
+                gotReply[i] = true;
+                ++okCount;
+            } else {
+                ++deadConns;
+            }
+        }));
+    for (auto &future : done)
+        future.get();
+    clients.shutdown();
+    ASSERT_TRUE(
+        eventually([&] { return killed.value() > killedBefore; }));
+    FaultInjector::instance().reset();
+
+    // Exactly one caller died with its connection; the survivor got
+    // its normal, bit-identical answer.
+    EXPECT_EQ(okCount.load(), 1);
+    EXPECT_EQ(deadConns.load(), 1);
+    EXPECT_EQ(killed.value(), killedBefore + 1);
+    for (int i = 0; i < 2; ++i)
+        if (gotReply[i]) {
+            EXPECT_EQ(okReplies[i].edp,
+                      expected[static_cast<std::size_t>(i)].edp);
+            EXPECT_EQ(
+                okReplies[i].latencyCycles,
+                expected[static_cast<std::size_t>(i)].latencyCycles);
+        }
+
+    // The aborted batch never merged: replaying both requests on a
+    // fresh connection reproduces the serial reference exactly.
+    Expected<Socket> again = harness.connect();
+    ASSERT_TRUE(again.ok());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        Request score;
+        score.type = MsgType::ScoreConfig;
+        score.workload = "alexnet";
+        score.config = configs[i];
+        Expected<Response> reply = roundTrip(again.value(), score);
+        ASSERT_TRUE(reply.ok());
+        EXPECT_EQ(reply.value().status, Status::Ok);
+        EXPECT_EQ(reply.value().edp, expected[i].edp);
+        EXPECT_EQ(reply.value().latencyCycles,
+                  expected[i].latencyCycles);
+    }
+}
+
+TEST_F(ServeServer, RejectedAndDeadlineRepliesAreObservable)
+{
+    const bool metricsWereEnabled = metrics::metricsEnabled();
+    metrics::setMetricsEnabled(true);
+
+    metrics::Counter &deadline =
+        metrics::counter("serve.deadline_exceeded");
+    metrics::Counter &rejected =
+        metrics::counter("serve.rejected_overload");
+    metrics::Histogram &requestNs =
+        metrics::histogram("serve.request_ns");
+    metrics::Histogram &rejectNs =
+        metrics::histogram("serve.reject_ns");
+    const std::uint64_t deadlineBefore = deadline.value();
+    const std::uint64_t rejectedBefore = rejected.value();
+    const std::uint64_t requestCountBefore = requestNs.count();
+    const std::uint64_t rejectCountBefore = rejectNs.count();
+
+    {
+        ServeOptions options = baseOptions();
+        options.maxConnections = 1;
+        ServerHarness harness(options);
+        Expected<Socket> conn = harness.connect();
+        ASSERT_TRUE(conn.ok());
+
+        // A deadline-partial reply must bump the counter AND land in
+        // the request-latency histogram (the old blind spot).
+        Request search;
+        search.type = MsgType::SearchK;
+        search.workload = "alexnet";
+        search.samples = 4096;
+        search.method = SearchMethod::Random;
+        search.seed = 11;
+        search.deadlineMs = 1;
+        Expected<Response> partial = roundTrip(conn.value(), search);
+        ASSERT_TRUE(partial.ok());
+        EXPECT_EQ(partial.value().status, Status::DeadlineExceeded);
+        EXPECT_GT(deadline.value(), deadlineBefore);
+        EXPECT_TRUE(eventually(
+            [&] { return requestNs.count() > requestCountBefore; }));
+
+        // An admission rejection is equally observable: counter plus
+        // its own reject-latency histogram.
+        Expected<Socket> turnedAway = harness.connect();
+        ASSERT_TRUE(turnedAway.ok());
+        Expected<std::string> frame =
+            recvFrame(turnedAway.value(), 5000);
+        ASSERT_TRUE(frame.ok());
+        Expected<std::string> payload = unwrapFrame(frame.value());
+        ASSERT_TRUE(payload.ok());
+        Expected<Response> reply = parseResponse(payload.value());
+        ASSERT_TRUE(reply.ok());
+        EXPECT_EQ(reply.value().status, Status::RejectedOverload);
+        EXPECT_GT(rejected.value(), rejectedBefore);
+        EXPECT_TRUE(eventually(
+            [&] { return rejectNs.count() > rejectCountBefore; }));
+    }
+
+    metrics::setMetricsEnabled(metricsWereEnabled);
 }
 
 TEST_F(ServeServer, ShutdownMessageDrainsCleanly)
