@@ -47,6 +47,7 @@
 #include "arch/area_model.hh"
 #include "dse/bo.hh"
 #include "dse/genetic.hh"
+#include "dse/multi_workload.hh"
 #include "dse/random_search.hh"
 #include "dse/search_state.hh"
 #include "sched/evaluator.hh"
@@ -89,9 +90,9 @@ printUsage(std::FILE *out, const char *prog)
         "  eval PES MACS ACCUM_KB WEIGHT_KB INPUT_KB GLOBAL_KB\n"
         "       [--workload NAME | --layers FILE]\n"
         "  train MODEL.BIN [--latent N] [--epochs N] [--dataset N]\n"
-        "       [--alpha X] [--seed N] [--checkpoint CKPT]\n"
-        "       [--checkpoint-every N] [--metrics-out FILE]\n"
-        "       [--trace-out FILE]\n"
+        "       [--alpha X] [--seed N] [--mix FILE]\n"
+        "       [--checkpoint CKPT] [--checkpoint-every N]\n"
+        "       [--metrics-out FILE] [--trace-out FILE]\n"
         "  search MODEL.BIN [--workload NAME | --layers FILE]\n"
         "       [--metric edp|latency|energy] [--samples N]\n"
         "       [--method vae_bo|bo|random|ga|sa] [--seed N]\n"
@@ -101,6 +102,10 @@ printUsage(std::FILE *out, const char *prog)
         "  decode MODEL.BIN Z1 [Z2 ...]\n"
         "       [--workload NAME | --layers FILE]\n"
         "\n"
+        "--mix trains on a traffic-mix file (one '<workload>\n"
+        "<weight>' per line over built-in/zoo workload names) with\n"
+        "layer draws weighted by traffic-weighted occurrence; see\n"
+        "docs/WORKLOADS.md.\n"
         "--metrics-out writes a JSON run manifest (metrics + run\n"
         "identity); --trace-out writes a Chrome trace of the run\n"
         "(load in chrome://tracing or Perfetto). See\n"
@@ -272,7 +277,7 @@ resolveWorkload(const Args &args)
                          layers.error().describe().c_str());
             std::exit(1);
         }
-        return {"custom(" + file + ")", layers.value()};
+        return {"custom(" + file + ")", layers.value(), {}};
     }
     return workloadByName(args.flag("workload", "resnet50"));
 }
@@ -371,12 +376,30 @@ cmdTrain(const Args &args, ObservabilityScope &obs)
 
     Evaluator evaluator;
     std::vector<LayerShape> pool;
-    for (const Workload &w : trainingWorkloads())
-        pool.insert(pool.end(), w.layers.begin(), w.layers.end());
+    std::vector<double> pool_weights;
+    const std::string mix_file = args.flag("mix", "");
+    if (!mix_file.empty()) {
+        const auto mix = parseTrafficMixFile(mix_file);
+        if (!mix) {
+            std::fprintf(stderr, "%s\n",
+                         mix.error().describe().c_str());
+            return 1;
+        }
+        pool = mixLayerPool(mix.value(), &pool_weights);
+        std::printf("traffic mix %s: %zu workloads, %zu pool "
+                    "layers\n",
+                    mix_file.c_str(), mix.value().entries.size(),
+                    pool.size());
+    } else {
+        for (const Workload &w : trainingWorkloads())
+            pool.insert(pool.end(), w.layers.begin(), w.layers.end());
+    }
     std::printf("building dataset (%zu samples)...\n", dataset_size);
     Rng rng(42);
-    const Dataset data =
-        DatasetBuilder(evaluator, pool).build(dataset_size, rng);
+    DatasetBuilder builder(evaluator, pool);
+    if (!pool_weights.empty())
+        builder.setLayerWeights(pool_weights);
+    const Dataset data = builder.build(dataset_size, rng);
 
     FrameworkOptions options;
     options.vae.latentDim = latent;
@@ -553,8 +576,8 @@ main(int argc, char **argv)
         allowed = {"workload", "layers"};
     } else if (command == "train") {
         allowed = {"latent", "epochs", "dataset", "alpha", "seed",
-                   "checkpoint", "checkpoint-every", "metrics-out",
-                   "trace-out"};
+                   "mix", "checkpoint", "checkpoint-every",
+                   "metrics-out", "trace-out"};
     } else if (command == "search") {
         allowed = {"workload", "layers", "metric", "samples",
                    "method", "seed", "radius", "checkpoint",

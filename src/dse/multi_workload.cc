@@ -1,0 +1,233 @@
+#include "dse/multi_workload.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <exception>
+#include <sstream>
+#include <utility>
+
+#include "sched/parallel_evaluator.hh"
+#include "util/atomic_io.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace vaesa {
+
+double
+TrafficMix::totalWeight() const
+{
+    double total = 0.0;
+    for (const TrafficEntry &e : entries)
+        total += e.weight;
+    return total;
+}
+
+Expected<TrafficMix>
+makeTrafficMix(
+    const std::vector<std::pair<std::string, double>> &namedWeights)
+{
+    TrafficMix mix;
+    for (const auto &[name, weight] : namedWeights) {
+        if (!(weight > 0.0) || !std::isfinite(weight))
+            return makeLoadError(LoadError::Kind::Malformed, "", 0,
+                                 "weight for '" + name +
+                                     "' must be positive and finite");
+        for (const TrafficEntry &e : mix.entries)
+            if (e.workload.name == name)
+                return makeLoadError(LoadError::Kind::Malformed, "",
+                                     0,
+                                     "duplicate workload '" + name +
+                                         "' in mix");
+        std::optional<Workload> w = tryWorkloadByName(name);
+        if (!w)
+            return makeLoadError(LoadError::Kind::Malformed, "", 0,
+                                 "unknown workload '" + name + "'");
+        mix.entries.push_back({*std::move(w), weight});
+    }
+    if (mix.entries.empty())
+        return makeLoadError(LoadError::Kind::Malformed, "", 0,
+                             "empty traffic mix");
+    return mix;
+}
+
+Expected<TrafficMix>
+parseTrafficMixFile(const std::string &path)
+{
+    Expected<std::string> bytes = readFileBytes(path);
+    if (!bytes)
+        return bytes.error();
+
+    std::vector<std::pair<std::string, double>> namedWeights;
+    std::istringstream in(bytes.value());
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream fields(line);
+        std::string name;
+        if (!(fields >> name))
+            continue;
+        std::string weightToken;
+        if (!(fields >> weightToken))
+            return makeLoadError(LoadError::Kind::Malformed, path,
+                                 line_no,
+                                 "expected '<workload> <weight>', got "
+                                 "'" + line + "'");
+        std::string extra;
+        if (fields >> extra)
+            return makeLoadError(LoadError::Kind::Malformed, path,
+                                 line_no,
+                                 "trailing token '" + extra + "'");
+        char *end = nullptr;
+        const double weight =
+            std::strtod(weightToken.c_str(), &end);
+        if (end == weightToken.c_str() || *end)
+            return makeLoadError(LoadError::Kind::Malformed, path,
+                                 line_no,
+                                 "'" + weightToken +
+                                     "' is not a number");
+        namedWeights.emplace_back(name, weight);
+    }
+
+    Expected<TrafficMix> mix = makeTrafficMix(namedWeights);
+    if (!mix) {
+        // Re-home the (file-less) builder error onto this file.
+        LoadError err = mix.error();
+        err.file = path;
+        return err;
+    }
+    return mix;
+}
+
+std::vector<LayerShape>
+mixLayerPool(const TrafficMix &mix, std::vector<double> *weights_out)
+{
+    std::vector<LayerShape> pool;
+    std::vector<double> weights;
+    for (const TrafficEntry &entry : mix.entries) {
+        for (std::size_t i = 0; i < entry.workload.layers.size();
+             ++i) {
+            const LayerShape &layer = entry.workload.layers[i];
+            const double w =
+                entry.weight *
+                static_cast<double>(entry.workload.countOf(i));
+            bool merged = false;
+            for (std::size_t j = 0; j < pool.size(); ++j) {
+                if (pool[j].sameShape(layer)) {
+                    weights[j] += w;
+                    merged = true;
+                    break;
+                }
+            }
+            if (!merged) {
+                pool.push_back(layer);
+                weights.push_back(w);
+            }
+        }
+    }
+    if (weights_out)
+        *weights_out = std::move(weights);
+    return pool;
+}
+
+MultiWorkloadObjective::MultiWorkloadObjective(
+    const Evaluator &evaluator, TrafficMix mix, Metric metric)
+    : evaluator_(evaluator), mix_(std::move(mix)), metric_(metric)
+{
+    if (mix_.entries.empty())
+        fatal("MultiWorkloadObjective needs a non-empty mix");
+    for (const TrafficEntry &e : mix_.entries) {
+        if (e.workload.layers.empty())
+            fatal("MultiWorkloadObjective: workload '",
+                  e.workload.name, "' has no layers");
+        if (!(e.weight > 0.0) || !std::isfinite(e.weight))
+            fatal("MultiWorkloadObjective: non-positive weight for '",
+                  e.workload.name, "'");
+    }
+}
+
+std::size_t
+MultiWorkloadObjective::dim() const
+{
+    return numHwParams;
+}
+
+std::vector<double>
+MultiWorkloadObjective::lowerBounds() const
+{
+    return std::vector<double>(numHwParams, 0.0);
+}
+
+std::vector<double>
+MultiWorkloadObjective::upperBounds() const
+{
+    return std::vector<double>(numHwParams, 1.0);
+}
+
+AcceleratorConfig
+MultiWorkloadObjective::decode(const std::vector<double> &x) const
+{
+    return decodeBoxPoint(x);
+}
+
+double
+MultiWorkloadObjective::evaluate(const std::vector<double> &x)
+{
+    const AcceleratorConfig config = decode(x);
+    double score = 0.0;
+    for (const TrafficEntry &entry : mix_.entries) {
+        const EvalResult r =
+            evaluator_.evaluateWorkload(config, entry.workload);
+        if (!r.valid)
+            return invalidScore;
+        score += entry.weight * metricValue(r, metric_);
+    }
+    return score;
+}
+
+std::vector<double>
+MultiWorkloadObjective::evaluateBatch(
+    const std::vector<std::vector<double>> &xs, ThreadPool *pool)
+{
+    if (!pool || xs.empty())
+        return Objective::evaluateBatch(xs, pool);
+
+    // Batch phase: one counted config-batch pass per mix entry, the
+    // weighted combination accumulating in entry order on this
+    // thread (the same association as the serial loop). An invalid
+    // workload poisons the point to invalidScore exactly like the
+    // serial early return — adding weight * infinity keeps the sum
+    // infinite for positive weights.
+    std::vector<double> raw;
+    try {
+        std::vector<AcceleratorConfig> configs;
+        configs.reserve(xs.size());
+        for (const std::vector<double> &x : xs)
+            configs.push_back(decode(x));
+        raw.assign(xs.size(), 0.0);
+        for (const TrafficEntry &entry : mix_.entries) {
+            const std::vector<EvalResult> results =
+                evaluateConfigBatch(evaluator_, configs,
+                                    entry.workload, *pool);
+            for (std::size_t i = 0; i < results.size(); ++i)
+                raw[i] += entry.weight *
+                          metricValue(results[i], metric_);
+        }
+    } catch (const std::exception &e) {
+        warn("multi-workload batch evaluation failed: ", e.what(),
+             "; retrying point by point");
+        return Objective::evaluateBatch(xs, pool);
+    }
+
+    // Recovery phase: identical per-point semantics (counters,
+    // timers, fault sites, retry) applied in input order.
+    std::vector<double> values(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        values[i] = recoverRawObjective(raw[i]);
+    return values;
+}
+
+} // namespace vaesa

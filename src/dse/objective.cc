@@ -72,19 +72,14 @@ evaluateRecovered(Objective &objective, const std::vector<double> &x)
     return invalidScore;
 }
 
-namespace {
-
 /**
- * Re-apply evaluateRecovered()'s exact semantics — metric counts,
- * timer, fault sites, NaN/exception retry, invalid fallback — to a
- * raw objective value that was already computed by the batch
- * pipeline. Valid because batch evaluation is deterministic: the
- * per-point path's retry would recompute the identical raw value,
- * so reusing it preserves bit-identical results and identical
- * fault-site hit counts.
+ * Valid to reuse the raw batch value because batch evaluation is
+ * deterministic: the per-point path's retry would recompute the
+ * identical value, so replaying the recovery protocol over it
+ * preserves bit-identical results and identical fault-site hits.
  */
 double
-recoveredFromRaw(double raw)
+recoverRawObjective(double raw)
 {
     EvalMetrics &em = evalMetrics();
     em.evals.inc();
@@ -110,8 +105,6 @@ recoveredFromRaw(double raw)
     em.invalid.inc();
     return invalidScore;
 }
-
-} // namespace
 
 std::vector<double>
 Objective::evaluateBatch(const std::vector<std::vector<double>> &xs,
@@ -219,14 +212,60 @@ metricName(Metric metric)
     panic("metricName: bad metric");
 }
 
+AcceleratorConfig
+decodeBoxPoint(const std::vector<double> &x)
+{
+    if (x.size() != numHwParams)
+        panic("decodeBoxPoint: wrong dimensionality");
+    const DesignSpace &ds = designSpace();
+    std::array<std::int64_t, numHwParams> idx{};
+    for (int p = 0; p < numHwParams; ++p) {
+        const auto param = static_cast<HwParam>(p);
+        const double unit = clampd(x[p], 0.0, 1.0);
+        const auto count = static_cast<double>(ds.count(param));
+        idx[p] = std::min<std::int64_t>(
+            ds.count(param) - 1,
+            static_cast<std::int64_t>(
+                std::llround(unit * (count - 1.0))));
+    }
+    return ds.fromIndices(idx);
+}
+
+std::vector<double>
+encodeBoxPoint(const AcceleratorConfig &config)
+{
+    const DesignSpace &ds = designSpace();
+    const auto idx = ds.toIndices(config);
+    std::vector<double> x(numHwParams);
+    for (int p = 0; p < numHwParams; ++p) {
+        const auto param = static_cast<HwParam>(p);
+        const auto count = static_cast<double>(ds.count(param));
+        x[p] = count > 1.0
+                   ? static_cast<double>(idx[p]) / (count - 1.0)
+                   : 0.0;
+    }
+    return x;
+}
+
 InputSpaceObjective::InputSpaceObjective(const Evaluator &evaluator,
                                          std::vector<LayerShape> layers,
                                          Metric metric)
-    : evaluator_(evaluator), layers_(std::move(layers)),
+    : InputSpaceObjective(evaluator,
+                          Workload{"", std::move(layers), {}}, metric)
+{
+}
+
+InputSpaceObjective::InputSpaceObjective(const Evaluator &evaluator,
+                                         Workload workload,
+                                         Metric metric)
+    : evaluator_(evaluator), workload_(std::move(workload)),
       metric_(metric)
 {
-    if (layers_.empty())
+    if (workload_.layers.empty())
         fatal("InputSpaceObjective needs at least one layer");
+    if (!workload_.counts.empty() &&
+        workload_.counts.size() != workload_.layers.size())
+        fatal("InputSpaceObjective: counts/layers size mismatch");
 }
 
 std::size_t
@@ -250,43 +289,20 @@ InputSpaceObjective::upperBounds() const
 AcceleratorConfig
 InputSpaceObjective::decode(const std::vector<double> &x) const
 {
-    if (x.size() != numHwParams)
-        panic("InputSpaceObjective::decode: wrong dimensionality");
-    const DesignSpace &ds = designSpace();
-    std::array<std::int64_t, numHwParams> idx{};
-    for (int p = 0; p < numHwParams; ++p) {
-        const auto param = static_cast<HwParam>(p);
-        const double unit = clampd(x[p], 0.0, 1.0);
-        const auto count = static_cast<double>(ds.count(param));
-        idx[p] = std::min<std::int64_t>(
-            ds.count(param) - 1,
-            static_cast<std::int64_t>(
-                std::llround(unit * (count - 1.0))));
-    }
-    return ds.fromIndices(idx);
+    return decodeBoxPoint(x);
 }
 
 std::vector<double>
 InputSpaceObjective::encode(const AcceleratorConfig &config) const
 {
-    const DesignSpace &ds = designSpace();
-    const auto idx = ds.toIndices(config);
-    std::vector<double> x(numHwParams);
-    for (int p = 0; p < numHwParams; ++p) {
-        const auto param = static_cast<HwParam>(p);
-        const auto count = static_cast<double>(ds.count(param));
-        x[p] = count > 1.0
-                   ? static_cast<double>(idx[p]) / (count - 1.0)
-                   : 0.0;
-    }
-    return x;
+    return encodeBoxPoint(config);
 }
 
 double
 InputSpaceObjective::evaluate(const std::vector<double> &x)
 {
     const AcceleratorConfig config = decode(x);
-    return metricValue(evaluator_.evaluateWorkload(config, layers_),
+    return metricValue(evaluator_.evaluateWorkload(config, workload_),
                        metric_);
 }
 
@@ -308,7 +324,8 @@ InputSpaceObjective::evaluateBatch(
         for (const std::vector<double> &x : xs)
             configs.push_back(decode(x));
         const std::vector<EvalResult> results =
-            evaluateConfigBatch(evaluator_, configs, layers_, *pool);
+            evaluateConfigBatch(evaluator_, configs, workload_,
+                                *pool);
         raw.reserve(results.size());
         for (const EvalResult &r : results)
             raw.push_back(metricValue(r, metric_));
@@ -322,7 +339,7 @@ InputSpaceObjective::evaluateBatch(
     // timers, fault sites, retry) applied in input order.
     std::vector<double> values(xs.size());
     for (std::size_t i = 0; i < xs.size(); ++i)
-        values[i] = recoveredFromRaw(raw[i]);
+        values[i] = recoverRawObjective(raw[i]);
     return values;
 }
 

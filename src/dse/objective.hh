@@ -18,6 +18,7 @@
 #include "arch/design_space.hh"
 #include "sched/evaluator.hh"
 #include "workload/layer.hh"
+#include "workload/networks.hh"
 
 namespace vaesa {
 
@@ -98,6 +99,28 @@ double evaluateRecovered(Objective &objective,
                          const std::vector<double> &x);
 
 /**
+ * Re-apply evaluateRecovered()'s exact semantics — metric counters,
+ * timer, fault sites, NaN/exception retry, invalid fallback — to a
+ * raw objective value already computed by a deterministic batch
+ * pipeline. Every batch-capable Objective (InputSpaceObjective,
+ * MultiWorkloadObjective) runs its batch results through this in
+ * input order so values AND fault-site hit counts stay identical to
+ * the per-point path.
+ */
+double recoverRawObjective(double raw);
+
+/**
+ * Map a [0,1]^6 box point to the nearest discrete Table II
+ * configuration (per-axis linear index rounding; out-of-box
+ * coordinates clamp). The shared decode of every input-space
+ * objective.
+ */
+AcceleratorConfig decodeBoxPoint(const std::vector<double> &x);
+
+/** Inverse of decodeBoxPoint onto grid indices, normalized [0,1]. */
+std::vector<double> encodeBoxPoint(const AcceleratorConfig &config);
+
+/**
  * Score xs[i] into out[i], fanning across the pool when one is given
  * and the objective declares threadSafeEvaluate(); the serial loop
  * otherwise. Results are bit-identical either way (results land in
@@ -164,11 +187,21 @@ class InputSpaceObjective : public Objective
   public:
     /**
      * @param evaluator scoring backend (borrowed; must outlive this).
-     * @param layers workload layers to optimize.
+     * @param layers workload layers to optimize (paper mode: every
+     *        layer once).
      * @param metric quantity to minimize (default EDP).
      */
     InputSpaceObjective(const Evaluator &evaluator,
                         std::vector<LayerShape> layers,
+                        Metric metric = Metric::Edp);
+
+    /**
+     * Occurrence-counted variant: the workload's counts weight each
+     * layer's latency/energy in the roll-up (see
+     * Evaluator::evaluateWorkload(arch, Workload)). With empty
+     * counts this is exactly the layer-vector constructor.
+     */
+    InputSpaceObjective(const Evaluator &evaluator, Workload workload,
                         Metric metric = Metric::Edp);
 
     std::size_t dim() const override;
@@ -204,7 +237,7 @@ class InputSpaceObjective : public Objective
 
   private:
     const Evaluator &evaluator_;
-    std::vector<LayerShape> layers_;
+    Workload workload_;
     Metric metric_;
 };
 

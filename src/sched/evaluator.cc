@@ -122,6 +122,29 @@ Evaluator::evaluateWorkload(const AcceleratorConfig &arch,
     return total;
 }
 
+EvalResult
+Evaluator::evaluateWorkload(const AcceleratorConfig &arch,
+                            const Workload &workload) const
+{
+    EvalResult total;
+    total.valid = true;
+    for (std::size_t i = 0; i < workload.layers.size(); ++i) {
+        const EvalResult r = evaluateLayer(arch, workload.layers[i]);
+        if (!r.valid) {
+            total.valid = false;
+            total.latencyCycles = 0.0;
+            total.energyPj = 0.0;
+            total.edp = 0.0;
+            return total;
+        }
+        const double n = static_cast<double>(workload.countOf(i));
+        total.latencyCycles += n * r.latencyCycles;
+        total.energyPj += n * r.energyPj;
+    }
+    total.edp = total.latencyCycles * total.energyPj;
+    return total;
+}
+
 CostResult
 Evaluator::detailedLayer(const AcceleratorConfig &arch,
                          const LayerShape &layer,

@@ -85,6 +85,17 @@ class Evaluator
                                 const std::vector<LayerShape> &layers)
                                 const;
 
+    /**
+     * Occurrence-counted workload evaluation: each unique layer is
+     * scheduled and scored once, then its latency/energy enter the
+     * totals weighted by Workload::countOf. With empty counts every
+     * weight is exactly 1.0, so the result is bit-identical to the
+     * layer-vector overload — paper-mode callers can route through
+     * either.
+     */
+    EvalResult evaluateWorkload(const AcceleratorConfig &arch,
+                                const Workload &workload) const;
+
     /** Detailed per-layer result (mapping + full cost breakdown). */
     CostResult detailedLayer(const AcceleratorConfig &arch,
                              const LayerShape &layer,

@@ -111,6 +111,87 @@ stealingLayerBatch(const Evaluator &evaluator,
     });
 }
 
+/**
+ * Shared body of the two free evaluateConfigBatch overloads. When
+ * @p counts is empty every layer weighs exactly 1.0, reproducing the
+ * un-counted overload bit for bit; otherwise layer li's
+ * latency/energy enter each surviving config's totals scaled by
+ * counts[li] (occurrence-weighted whole-network sums).
+ */
+std::vector<EvalResult>
+configBatchImpl(const Evaluator &evaluator,
+                const std::vector<AcceleratorConfig> &configs,
+                const std::vector<LayerShape> &layers,
+                const std::vector<std::int64_t> &counts,
+                ThreadPool &pool)
+{
+    const std::size_t n = configs.size();
+    std::vector<EvalResult> totals(n);
+    for (EvalResult &t : totals)
+        t.valid = true;
+
+    // Alive mask: configs drop out at their first invalid layer, so
+    // each config's roll-up sees exactly the serial loop's layer
+    // prefix (same sums, same early-exit semantics).
+    std::vector<std::uint32_t> alive(n);
+    std::iota(alive.begin(), alive.end(), 0);
+
+    std::vector<AcceleratorConfig> uniques;
+    std::vector<std::uint32_t> slotOf;
+    std::vector<EvalResult> uniqueResults;
+    for (std::size_t li = 0; li < layers.size(); ++li) {
+        if (alive.empty())
+            break;
+        const LayerShape &layer = layers[li];
+        const double weight =
+            counts.empty() ? 1.0 : static_cast<double>(counts[li]);
+
+        // Within-batch dedup on exact config value: evaluation is
+        // deterministic, so duplicates share one scored result.
+        uniques.clear();
+        slotOf.assign(alive.size(), 0);
+        std::unordered_map<AcceleratorConfig, std::uint32_t,
+                           ConfigHash>
+            uniqueOf;
+        uniqueOf.reserve(alive.size());
+        for (std::size_t j = 0; j < alive.size(); ++j) {
+            const auto [it, inserted] = uniqueOf.emplace(
+                configs[alive[j]],
+                static_cast<std::uint32_t>(uniques.size()));
+            if (inserted)
+                uniques.push_back(configs[alive[j]]);
+            slotOf[j] = it->second;
+        }
+
+        uniqueResults.assign(uniques.size(), EvalResult{});
+        stealingLayerBatch(evaluator, uniques.data(), uniques.size(),
+                           layer, uniqueResults.data(), pool,
+                           nullptr);
+
+        // Accumulate in input order on this thread.
+        std::vector<std::uint32_t> next;
+        next.reserve(alive.size());
+        for (std::size_t j = 0; j < alive.size(); ++j) {
+            const EvalResult &r = uniqueResults[slotOf[j]];
+            EvalResult &t = totals[alive[j]];
+            if (!r.valid) {
+                t = EvalResult{};
+                continue;
+            }
+            t.latencyCycles += weight * r.latencyCycles;
+            t.energyPj += weight * r.energyPj;
+            next.push_back(alive[j]);
+        }
+        alive.swap(next);
+    }
+
+    for (EvalResult &t : totals) {
+        if (t.valid)
+            t.edp = t.latencyCycles * t.energyPj;
+    }
+    return totals;
+}
+
 } // namespace
 
 std::size_t
@@ -146,68 +227,16 @@ evaluateConfigBatch(const Evaluator &evaluator,
                     const std::vector<LayerShape> &layers,
                     ThreadPool &pool)
 {
-    const std::size_t n = configs.size();
-    std::vector<EvalResult> totals(n);
-    for (EvalResult &t : totals)
-        t.valid = true;
+    return configBatchImpl(evaluator, configs, layers, {}, pool);
+}
 
-    // Alive mask: configs drop out at their first invalid layer, so
-    // each config's roll-up sees exactly the serial loop's layer
-    // prefix (same sums, same early-exit semantics).
-    std::vector<std::uint32_t> alive(n);
-    std::iota(alive.begin(), alive.end(), 0);
-
-    std::vector<AcceleratorConfig> uniques;
-    std::vector<std::uint32_t> slotOf;
-    std::vector<EvalResult> uniqueResults;
-    for (const LayerShape &layer : layers) {
-        if (alive.empty())
-            break;
-
-        // Within-batch dedup on exact config value: evaluation is
-        // deterministic, so duplicates share one scored result.
-        uniques.clear();
-        slotOf.assign(alive.size(), 0);
-        std::unordered_map<AcceleratorConfig, std::uint32_t,
-                           ConfigHash>
-            uniqueOf;
-        uniqueOf.reserve(alive.size());
-        for (std::size_t j = 0; j < alive.size(); ++j) {
-            const auto [it, inserted] = uniqueOf.emplace(
-                configs[alive[j]],
-                static_cast<std::uint32_t>(uniques.size()));
-            if (inserted)
-                uniques.push_back(configs[alive[j]]);
-            slotOf[j] = it->second;
-        }
-
-        uniqueResults.assign(uniques.size(), EvalResult{});
-        stealingLayerBatch(evaluator, uniques.data(), uniques.size(),
-                           layer, uniqueResults.data(), pool,
-                           nullptr);
-
-        // Accumulate in input order on this thread.
-        std::vector<std::uint32_t> next;
-        next.reserve(alive.size());
-        for (std::size_t j = 0; j < alive.size(); ++j) {
-            const EvalResult &r = uniqueResults[slotOf[j]];
-            EvalResult &t = totals[alive[j]];
-            if (!r.valid) {
-                t = EvalResult{};
-                continue;
-            }
-            t.latencyCycles += r.latencyCycles;
-            t.energyPj += r.energyPj;
-            next.push_back(alive[j]);
-        }
-        alive.swap(next);
-    }
-
-    for (EvalResult &t : totals) {
-        if (t.valid)
-            t.edp = t.latencyCycles * t.energyPj;
-    }
-    return totals;
+std::vector<EvalResult>
+evaluateConfigBatch(const Evaluator &evaluator,
+                    const std::vector<AcceleratorConfig> &configs,
+                    const Workload &workload, ThreadPool &pool)
+{
+    return configBatchImpl(evaluator, configs, workload.layers,
+                           workload.counts, pool);
 }
 
 ParallelEvaluator::ParallelEvaluator(const CachingEvaluator &cache,

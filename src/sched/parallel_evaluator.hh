@@ -98,6 +98,19 @@ std::vector<EvalResult> evaluateConfigBatch(
     const std::vector<LayerShape> &layers, ThreadPool &pool);
 
 /**
+ * Occurrence-counted variant: layer i's latency/energy enter each
+ * config's totals weighted by workload.countOf(i), matching
+ * Evaluator::evaluateWorkload(arch, workload) per config bit for bit
+ * (weights multiply before the in-order accumulation, and an empty
+ * counts vector weighs every layer exactly 1.0, collapsing to the
+ * overload above).
+ */
+std::vector<EvalResult> evaluateConfigBatch(
+    const Evaluator &evaluator,
+    const std::vector<AcceleratorConfig> &configs,
+    const Workload &workload, ThreadPool &pool);
+
+/**
  * Batch front-end over a shared CachingEvaluator and a ThreadPool.
  * Borrows both (they must outlive this). All methods are safe to
  * call from one thread while the pool's workers fan the batch out;

@@ -13,6 +13,7 @@
 #include "util/fault.hh"
 #include "util/logging.hh"
 #include "util/metrics.hh"
+#include "workload/zoo.hh"
 
 namespace vaesa {
 namespace serve {
@@ -225,6 +226,19 @@ Server::Server(const ServeOptions &options)
 {
     for (Workload &w : trainingWorkloads())
         workloads_[w.name] = std::move(w.layers);
+    // Zoo workloads carry occurrence counts; the per-request score
+    // path sums plain layer vectors, so expand each shape by its
+    // count to keep whole-network totals exact. The shared cache
+    // collapses the repeats to one evaluation per unique shape.
+    for (const Workload &w : zooWorkloads()) {
+        std::vector<LayerShape> seq;
+        seq.reserve(static_cast<std::size_t>(w.totalLayers()));
+        for (std::size_t i = 0; i < w.layers.size(); ++i)
+            seq.insert(seq.end(),
+                       static_cast<std::size_t>(w.countOf(i)),
+                       w.layers[i]);
+        workloads_[w.name] = std::move(seq);
+    }
 }
 
 Server::~Server()

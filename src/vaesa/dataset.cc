@@ -1,5 +1,6 @@
 #include "vaesa/dataset.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.hh"
@@ -87,6 +88,27 @@ DatasetBuilder::DatasetBuilder(const Evaluator &evaluator,
         fatal("DatasetBuilder needs a non-empty layer pool");
 }
 
+void
+DatasetBuilder::setLayerWeights(std::vector<double> weights)
+{
+    if (weights.empty()) {
+        cumulativeWeights_.clear();
+        return;
+    }
+    if (weights.size() != pool_.size())
+        fatal("DatasetBuilder::setLayerWeights: ", weights.size(),
+              " weights for ", pool_.size(), " pool layers");
+    cumulativeWeights_.resize(weights.size());
+    double running = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        if (!(weights[i] > 0.0) || !std::isfinite(weights[i]))
+            fatal("DatasetBuilder::setLayerWeights: weight ", i,
+                  " must be positive and finite");
+        running += weights[i];
+        cumulativeWeights_[i] = running;
+    }
+}
+
 Dataset
 DatasetBuilder::build(std::size_t target_samples, Rng &rng,
                       std::size_t max_attempts_factor) const
@@ -103,7 +125,21 @@ DatasetBuilder::build(std::size_t target_samples, Rng &rng,
         ++attempts;
         const AcceleratorConfig config =
             designSpace().randomConfig(rng);
-        const std::size_t layer_idx = rng.index(pool_.size());
+        std::size_t layer_idx;
+        if (cumulativeWeights_.empty()) {
+            layer_idx = rng.index(pool_.size());
+        } else {
+            // Inverse-CDF draw over the cumulative weights; uniform()
+            // is in [0,1) so u never reaches the total and the
+            // upper_bound is always a valid pool index.
+            const double u =
+                rng.uniform() * cumulativeWeights_.back();
+            layer_idx = static_cast<std::size_t>(
+                std::upper_bound(cumulativeWeights_.begin(),
+                                 cumulativeWeights_.end(), u) -
+                cumulativeWeights_.begin());
+            layer_idx = std::min(layer_idx, pool_.size() - 1);
+        }
         const LayerShape &layer = pool_[layer_idx];
         const EvalResult result =
             evaluator_.evaluateLayer(config, layer);

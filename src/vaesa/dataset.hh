@@ -124,8 +124,21 @@ class DatasetBuilder
                    std::vector<LayerShape> layer_pool);
 
     /**
-     * Draw (config, layer) pairs uniformly at random, keep the valid
-     * ones, and assemble a Dataset.
+     * Bias layer draws by positive relative weights (one per pool
+     * layer) instead of the default uniform pick — the mixed-workload
+     * training path feeds mixLayerPool()'s traffic-weighted
+     * occurrence rates through here so BERT's per-head GEMMs appear
+     * in proportion to how often the mix actually runs them. Without
+     * this call (or with an empty vector) build() keeps its original
+     * uniform rng.index() draw, bit-identical to older datasets.
+     * fatal() on a size mismatch or a non-positive/non-finite weight.
+     */
+    void setLayerWeights(std::vector<double> weights);
+
+    /**
+     * Draw (config, layer) pairs at random — layers uniformly, or by
+     * setLayerWeights() when given — keep the valid ones, and
+     * assemble a Dataset.
      * @param target_samples number of valid samples to gather.
      * @param rng seeded generator.
      * @param max_attempts_factor give up after target * factor draws.
@@ -136,6 +149,8 @@ class DatasetBuilder
   private:
     const Evaluator &evaluator_;
     std::vector<LayerShape> pool_;
+    /** Cumulative weight per pool layer; empty = uniform draws. */
+    std::vector<double> cumulativeWeights_;
 };
 
 } // namespace vaesa

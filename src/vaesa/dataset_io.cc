@@ -1,5 +1,6 @@
 #include "vaesa/dataset_io.hh"
 
+#include <cerrno>
 #include <cstdlib>
 #include <sstream>
 
@@ -35,7 +36,12 @@ parseI64(const std::string &cell, std::int64_t &out)
     if (cell.empty())
         return false;
     char *end = nullptr;
+    errno = 0;
     out = std::strtoll(cell.c_str(), &end, 10);
+    // strtoll saturates on overflow; a 20-digit cell must be a load
+    // error, not a "valid" 9.2e18 dimension.
+    if (errno == ERANGE)
+        return false;
     return end == cell.c_str() + cell.size();
 }
 
@@ -123,7 +129,17 @@ loadDatasetCsv(const std::string &path)
                     return rowError(path, line_no,
                                     "bad layer dimension '" +
                                         cells[2 + i] + "'");
-            pool.push_back(layerFromFields(cells[1], dims));
+            const LayerShape parsed =
+                layerFromFields(cells[1], dims);
+            // Hostile-input boundary: the pool feeds straight into
+            // cost-model arithmetic, so reject rows the parser-side
+            // loaders would reject too.
+            if (!parsed.isSane())
+                return rowError(path, line_no,
+                                "non-positive layer dimension");
+            if (const auto oversize = parsed.oversizeReason())
+                return rowError(path, line_no, *oversize);
+            pool.push_back(parsed);
         } else if (cells[0] == "sample") {
             DataSample s;
             std::int64_t layer_index = 0;

@@ -6,42 +6,78 @@
 
 namespace vaesa {
 
+namespace {
+
+/** Widen-before-multiply (see the header's overflow note). */
+inline double
+d(std::int64_t v)
+{
+    return static_cast<double>(v);
+}
+
+/** Largest double range over which integer counts stay exact. */
+constexpr double maxExactWords = 9007199254740992.0; // 2^53
+
+} // namespace
+
 double
 LayerShape::macs() const
 {
-    return static_cast<double>(r) * static_cast<double>(s) *
-           static_cast<double>(p) * static_cast<double>(q) *
-           static_cast<double>(c) * static_cast<double>(k);
+    return d(r) * d(s) * d(p) * d(q) * d(c) * d(k);
 }
 
-std::int64_t
+double
 LayerShape::weightWords() const
 {
-    return r * s * c * k;
+    return d(r) * d(s) * d(c) * d(k);
 }
 
-std::int64_t
+double
 LayerShape::outputWords() const
 {
-    return p * q * k;
+    return d(p) * d(q) * d(k);
 }
 
-std::int64_t
+double
 LayerShape::inputW() const
 {
-    return (p - 1) * strideW + r;
+    return d(p - 1) * d(strideW) + d(r);
 }
 
-std::int64_t
+double
 LayerShape::inputH() const
 {
-    return (q - 1) * strideH + s;
+    return d(q - 1) * d(strideH) + d(s);
 }
 
-std::int64_t
+double
 LayerShape::inputWords() const
 {
-    return inputW() * inputH() * c;
+    return inputW() * inputH() * d(c);
+}
+
+std::optional<std::string>
+LayerShape::oversizeReason() const
+{
+    const struct
+    {
+        const char *what;
+        double value;
+    } totals[] = {
+        {"MAC count", macs()},
+        {"weight word count", weightWords()},
+        {"input word count", inputWords()},
+        {"output word count", outputWords()},
+    };
+    for (const auto &t : totals) {
+        if (t.value > maxExactWords) {
+            std::ostringstream oss;
+            oss << t.what << " " << t.value
+                << " exceeds the 2^53 exact-integer bound";
+            return oss.str();
+        }
+    }
+    return std::nullopt;
 }
 
 bool

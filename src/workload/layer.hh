@@ -10,6 +10,7 @@
 #define VAESA_WORKLOAD_LAYER_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -50,26 +51,46 @@ struct LayerShape
     /** Vertical stride. */
     std::int64_t strideH = 1;
 
+    // Word counts are products of up to six dimensions. On hostile
+    // CSV shapes (the same bug class as the Mapping word-count fix:
+    // fuzzed or adversarial layer files with dims near INT64_MAX) the
+    // int64 products overflow — signed overflow is UB and a wrapped
+    // negative count can make an impossibly large layer look cheap —
+    // so every factor is widened to double BEFORE multiplying. Each
+    // legitimate factor is far below 2^53, so results are exact
+    // whenever they matter and merely lose precision (never wrap) on
+    // shapes that oversizeReason() rejects anyway.
+
     /** Total multiply-accumulates: R*S*P*Q*C*K (batch 1). */
     double macs() const;
 
     /** Number of weight words: R*S*C*K. */
-    std::int64_t weightWords() const;
+    double weightWords() const;
 
     /** Number of output words: P*Q*K. */
-    std::int64_t outputWords() const;
+    double outputWords() const;
 
     /** Input activation width: (P-1)*strideW + R. */
-    std::int64_t inputW() const;
+    double inputW() const;
 
     /** Input activation height: (Q-1)*strideH + S. */
-    std::int64_t inputH() const;
+    double inputH() const;
 
     /** Number of input words: inputW*inputH*C. */
-    std::int64_t inputWords() const;
+    double inputWords() const;
 
     /** True when every dimension is at least 1. */
     bool isSane() const;
+
+    /**
+     * Structured rejection for shapes whose derived totals (MACs or
+     * any word count) exceed 2^53, the largest range over which the
+     * double-domain counts above stay exact integers. Loaders (layer
+     * files, dataset CSVs) refuse such shapes with this reason
+     * instead of silently feeding saturated math downstream.
+     * @return nullopt when the shape is within bounds.
+     */
+    std::optional<std::string> oversizeReason() const;
 
     /**
      * Raw feature vector for the predictors: log2 of the eight

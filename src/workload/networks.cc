@@ -1,6 +1,8 @@
 #include "workload/networks.hh"
 
+#include "util/contracts.hh"
 #include "util/logging.hh"
+#include "workload/zoo.hh"
 
 namespace vaesa {
 
@@ -27,20 +29,74 @@ layer(std::string name, std::int64_t r, std::int64_t s, std::int64_t p,
 
 } // namespace
 
+std::int64_t
+Workload::countOf(std::size_t i) const
+{
+    VAESA_EXPECT(i < layers.size(),
+                 "Workload::countOf: index out of range");
+    if (counts.empty())
+        return 1;
+    VAESA_EXPECT(counts.size() == layers.size(),
+                 "Workload: counts/layers size mismatch");
+    return counts[i];
+}
+
+std::int64_t
+Workload::totalLayers() const
+{
+    std::int64_t total = 0;
+    for (std::size_t i = 0; i < layers.size(); ++i)
+        total += countOf(i);
+    return total;
+}
+
+double
+Workload::totalMacs() const
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < layers.size(); ++i)
+        total += static_cast<double>(countOf(i)) * layers[i].macs();
+    return total;
+}
+
+Workload
+countedWorkload(std::string name,
+                const std::vector<LayerShape> &sequence)
+{
+    Workload w;
+    w.name = std::move(name);
+    w.layers = uniqueLayersCounted(sequence, &w.counts);
+    return w;
+}
+
 std::vector<LayerShape>
 uniqueLayers(const std::vector<LayerShape> &in)
 {
+    return uniqueLayersCounted(in, nullptr);
+}
+
+std::vector<LayerShape>
+uniqueLayersCounted(const std::vector<LayerShape> &in,
+                    std::vector<std::int64_t> *counts_out)
+{
     std::vector<LayerShape> out;
+    if (counts_out)
+        counts_out->clear();
     for (const LayerShape &candidate : in) {
         bool seen = false;
-        for (const LayerShape &kept : out) {
-            if (kept.sameShape(candidate)) {
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            if (out[i].sameShape(candidate)) {
                 seen = true;
+                if (counts_out)
+                    ++(*counts_out)[i];
                 break;
             }
         }
-        if (!seen)
+        if (!seen) {
             out.push_back(candidate);
+            if (counts_out)
+                counts_out->push_back(1);
+        }
     }
     return out;
 }
@@ -195,7 +251,9 @@ workloadByName(const std::string &name)
     std::optional<Workload> found = tryWorkloadByName(name);
     if (!found)
         fatal("unknown workload '", name,
-              "' (expected alexnet/resnet50/resnext50/deepbench)");
+              "' (expected alexnet/resnet50/resnext50/deepbench or "
+              "a zoo name: bert_base/bert_large/gpt2/mobilenet_v2/"
+              "dlrm)");
     return *std::move(found);
 }
 
@@ -203,6 +261,9 @@ std::optional<Workload>
 tryWorkloadByName(const std::string &name)
 {
     for (Workload &w : trainingWorkloads())
+        if (w.name == name)
+            return std::move(w);
+    for (Workload &w : zooWorkloads())
         if (w.name == name)
             return std::move(w);
     return std::nullopt;

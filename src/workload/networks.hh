@@ -17,7 +17,18 @@
 
 namespace vaesa {
 
-/** A named set of unique layers optimized as one workload. */
+/**
+ * A named set of unique layers optimized as one workload.
+ *
+ * OCCURRENCE COUNTS: real networks repeat shapes (ResNet-50 runs its
+ * stage-1 bottleneck 3 times; a BERT block's attention GEMMs run once
+ * per head per block), and any whole-network or traffic-weighted
+ * objective is wrong if that multiplicity is dropped. `counts[i]` is
+ * how many times `layers[i]` occurs in the full network. An EMPTY
+ * counts vector means every layer occurs once — the paper's
+ * unique-layer mode, which the Table III/IV benches and the four
+ * built-in training workloads keep for bit-identical reproduction.
+ */
 struct Workload
 {
     /** Workload name, e.g. "resnet50". */
@@ -25,7 +36,30 @@ struct Workload
 
     /** Unique layer shapes of the network. */
     std::vector<LayerShape> layers;
+
+    /** Per-layer occurrence counts; empty = every layer once. */
+    std::vector<std::int64_t> counts;
+
+    /** Occurrences of layers[i] (1 when counts is empty). */
+    std::int64_t countOf(std::size_t i) const;
+
+    /** True when any layer occurs more than once. */
+    bool hasCounts() const { return !counts.empty(); }
+
+    /** Total layer instances: sum of counts. */
+    std::int64_t totalLayers() const;
+
+    /** Occurrence-weighted MAC total of the full network. */
+    double totalMacs() const;
 };
+
+/**
+ * Build a Workload from a network's FULL layer sequence: shapes are
+ * deduplicated in first-occurrence order (like uniqueLayers) and the
+ * dropped duplicates become occurrence counts instead of vanishing.
+ */
+Workload countedWorkload(std::string name,
+                         const std::vector<LayerShape> &sequence);
 
 /** AlexNet's 8 unique layers (5 conv + 3 FC). */
 std::vector<LayerShape> alexNetLayers();
@@ -57,6 +91,17 @@ std::optional<Workload> tryWorkloadByName(const std::string &name);
 
 /** Remove duplicate shapes, keeping first occurrences (order stable). */
 std::vector<LayerShape> uniqueLayers(const std::vector<LayerShape> &in);
+
+/**
+ * uniqueLayers plus multiplicity: counts_out[i] (when non-null) is
+ * how many input shapes collapsed into output layer i, so
+ * occurrence-weighted sums over the result equal plain sums over the
+ * full input sequence. uniqueLayers() itself silently dropped this —
+ * the multiplicity-loss bug behind wrong whole-network EDP totals.
+ */
+std::vector<LayerShape>
+uniqueLayersCounted(const std::vector<LayerShape> &in,
+                    std::vector<std::int64_t> *counts_out);
 
 } // namespace vaesa
 

@@ -1,6 +1,7 @@
 #include "workload/parse.hh"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <sstream>
 
@@ -17,6 +18,24 @@ lineError(std::string *error, const std::string &message)
     if (error)
         *error = message;
     return std::nullopt;
+}
+
+/**
+ * True when a token is shaped like an integer dimension, INCLUDING a
+ * leading sign. A bare isdigit() probe on the first character used to
+ * classify "-5" or "+3" as the optional layer *name*, silently
+ * shifting all eight dimensions one column right; signed tokens must
+ * instead reach the dimension parser, where a negative value gets the
+ * proper non-positive-dimension rejection.
+ */
+bool
+looksNumeric(const std::string &token)
+{
+    std::size_t at = 0;
+    if (token[0] == '-' || token[0] == '+')
+        at = 1;
+    return at < token.size() &&
+           std::isdigit(static_cast<unsigned char>(token[at]));
 }
 
 } // namespace
@@ -41,8 +60,9 @@ parseLayerLine(const std::string &line, const std::string &default_name,
 
     std::string name = default_name;
     std::size_t first = 0;
-    // A leading non-numeric token is the layer name.
-    if (!std::isdigit(static_cast<unsigned char>(tokens[0][0]))) {
+    // A leading non-numeric token is the layer name; signed numbers
+    // ("-5", "+3") are dimensions, not names (see looksNumeric).
+    if (!looksNumeric(tokens[0])) {
         name = tokens[0];
         first = 1;
     }
@@ -57,11 +77,19 @@ parseLayerLine(const std::string &line, const std::string &default_name,
     for (int i = 0; i < 8; ++i) {
         const std::string &t = tokens[first + i];
         char *end = nullptr;
+        errno = 0;
         dims[i] = std::strtoll(t.c_str(), &end, 10);
         if (end == t.c_str() || *end)
             return lineError(error, "'" + t +
                                         "' is not an integer in '" +
                                         line + "'");
+        // strtoll saturates to INT64_MIN/MAX on overflow; without
+        // the errno check a 20-digit dimension silently became a
+        // "valid" 9.2e18 layer.
+        if (errno == ERANGE)
+            return lineError(error,
+                             "'" + t + "' overflows int64 in '" +
+                                 line + "'");
     }
 
     LayerShape layer;
@@ -77,7 +105,19 @@ parseLayerLine(const std::string &line, const std::string &default_name,
     if (!layer.isSane())
         return lineError(error,
                          "non-positive dimension in '" + line + "'");
+    if (const auto oversize = layer.oversizeReason())
+        return lineError(error, *oversize + " in '" + line + "'");
     return layer;
+}
+
+std::string
+formatLayerLine(const LayerShape &layer)
+{
+    std::ostringstream oss;
+    oss << layer.name << " " << layer.r << " " << layer.s << " "
+        << layer.p << " " << layer.q << " " << layer.c << " "
+        << layer.k << " " << layer.strideW << " " << layer.strideH;
+    return oss.str();
 }
 
 Expected<std::vector<LayerShape>>

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Programmatic workload zoo beyond the hand-tabulated Table III
+ * networks: transformer encoder/decoder stacks (BERT/GPT-class),
+ * MobileNetV2's depthwise inverted residuals, and DLRM-style long
+ * skinny MLP GEMMs. All generators emit the full layer sequence of
+ * the network and reduce it through countedWorkload(), so every
+ * Workload carries occurrence counts and totalMacs() equals the
+ * whole-network MAC total.
+ *
+ * Encoding conventions (8-column R S P Q C K strideW strideH):
+ *  - A GEMM of shape [M x C] * [C x K] is an FC-style layer with
+ *    r=s=q=1, p=M (the batch/sequence dimension), c=C, k=K.
+ *  - Depthwise/grouped convolutions store c as the PER-GROUP input
+ *    channel count (depthwise: c=1), the same convention as the
+ *    ResNeXt grouped 3x3s, which keeps MAC and weight-word totals
+ *    exact in the 8-column format.
+ *  - Per-head attention GEMMs (QK^T and A*V) appear once per head and
+ *    collapse into a single shape with an occurrence count of
+ *    heads * blocks.
+ */
+
+#ifndef VAESA_WORKLOAD_ZOO_HH
+#define VAESA_WORKLOAD_ZOO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/networks.hh"
+
+namespace vaesa {
+
+/** Dimensions of a pre-norm transformer encoder/decoder stack. */
+struct TransformerConfig
+{
+    /** Sequence length S (tokens per forward pass). */
+    std::int64_t seqLen = 0;
+    /** Model width H. */
+    std::int64_t hidden = 0;
+    /** Attention heads A; must divide hidden. */
+    std::int64_t heads = 0;
+    /** MLP inner width F (usually 4H). */
+    std::int64_t ffn = 0;
+    /** Number of identical blocks L. */
+    std::int64_t blocks = 0;
+};
+
+/**
+ * One transformer block as its full GEMM sequence: fused QKV
+ * projection, per-head QK^T score and A*V context GEMMs (heads
+ * entries each), attention output projection, and the two MLP GEMMs.
+ * Per-block MACs = 4*S*H^2 + 2*S*H*F + 2*S^2*H.
+ */
+std::vector<LayerShape>
+transformerBlockLayers(const std::string &prefix,
+                       const TransformerConfig &config);
+
+/** Full stack: blockLayers repeated config.blocks times, counted. */
+Workload transformerWorkload(std::string name,
+                             const TransformerConfig &config);
+
+/** BERT-base: S=512, H=768, A=12, F=3072, L=12 (~48.3 GMACs). */
+Workload bertBaseWorkload();
+
+/** BERT-large: S=512, H=1024, A=16, F=4096, L=24 (~167.5 GMACs). */
+Workload bertLargeWorkload();
+
+/** GPT-2 medium-class: S=1024, H=1024, A=16, F=4096, L=24. */
+Workload gpt2Workload();
+
+/**
+ * MobileNetV2 at 224x224: stem conv, the seven inverted-residual
+ * stages of the paper's (t, c, n, s) table, the 1x1 head conv and the
+ * classifier FC. Depthwise 3x3s use the per-group-C convention
+ * (c=1, k=channels). ~300.8 MMACs over 53 conv/FC instances.
+ */
+Workload mobileNetV2Workload();
+
+/**
+ * DLRM-style recommendation MLPs at batch 2048: bottom tower
+ * 13-512-256-128 and top tower 479-1024-1024-512-256-1 as long
+ * skinny GEMMs (p=2048 rows, tiny c/k). ~4.84 GMACs.
+ */
+Workload dlrmWorkload();
+
+/** All five zoo workloads, lookup-able through workloadByName(). */
+std::vector<Workload> zooWorkloads();
+
+} // namespace vaesa
+
+#endif // VAESA_WORKLOAD_ZOO_HH

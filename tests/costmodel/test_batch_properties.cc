@@ -26,6 +26,7 @@
 #include "sched/random_mapper.hh"
 #include "tensor/kernels/kernels.hh"
 #include "workload/networks.hh"
+#include "workload/zoo.hh"
 
 namespace vaesa {
 namespace {
@@ -256,6 +257,49 @@ TEST_P(BatchCostProperties, EvaluatorLayerBatchMatchesLoop)
     }
     // The batch counted one evaluation per item, the loop another.
     EXPECT_EQ(evaluator.evaluationCount(), 2 * configs.size());
+}
+
+// The zoo's shape extremes — depthwise convs (c=1, wide k) and long
+// skinny GEMMs (huge p, tiny c/k) — stress different corners of the
+// SoA kernels than the Table III convs, so the scalar-parity
+// contract is pinned on them explicitly.
+TEST_P(BatchCostProperties, MatchesScalarOnDepthwiseAndSkinnyGemm)
+{
+    Rng rng(507);
+    const bool naive = GetParam() == kernels::KernelKind::Naive;
+
+    std::vector<LayerShape> shapes;
+    for (const LayerShape &l : mobileNetV2Workload().layers)
+        if (l.c == 1)
+            shapes.push_back(l); // the depthwise 3x3s
+    for (const LayerShape &l : dlrmWorkload().layers)
+        shapes.push_back(l); // batch-2048 skinny GEMMs
+    ASSERT_GE(shapes.size(), 10u);
+
+    int checked = 0;
+    for (const LayerShape &layer : shapes) {
+        const auto items = drawItems(layer, 16, rng);
+        const auto results = scoreBatch(batch, items, layer);
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            const CostResult scalar = model.evaluate(
+                items[i].arch, layer, items[i].mapping);
+            ASSERT_EQ(results[i].valid, scalar.valid)
+                << layer.describe();
+            if (!scalar.valid)
+                continue;
+            ++checked;
+            if (naive) {
+                expectBitIdentical(results[i], scalar);
+            } else {
+                EXPECT_NEAR(results[i].latencyCycles,
+                            scalar.latencyCycles,
+                            1e-12 * scalar.latencyCycles);
+                EXPECT_NEAR(results[i].energyPj, scalar.energyPj,
+                            1e-12 * scalar.energyPj);
+            }
+        }
+    }
+    EXPECT_GT(checked, 40);
 }
 
 INSTANTIATE_TEST_SUITE_P(

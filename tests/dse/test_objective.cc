@@ -125,7 +125,8 @@ TEST_F(InputObjectiveTest, EvaluationMatchesDirectEvaluator)
 TEST(InputObjective, RejectsEmptyWorkload)
 {
     Evaluator ev;
-    EXPECT_DEATH(InputSpaceObjective(ev, {}), "at least one layer");
+    EXPECT_DEATH(InputSpaceObjective(ev, std::vector<LayerShape>{}),
+                 "at least one layer");
 }
 
 TEST(Metric, ValueExtraction)

@@ -224,6 +224,30 @@ TEST_F(ServeServer, UnknownWorkloadIsInvalidNotFatal)
     EXPECT_EQ(pong.value().status, Status::Ok);
 }
 
+TEST_F(ServeServer, ZooWorkloadNamesAreServable)
+{
+    ServerHarness harness(baseOptions());
+    Expected<Socket> conn = harness.connect();
+    ASSERT_TRUE(conn.ok());
+
+    // Zoo entries register count-expanded, so a depthwise-heavy net
+    // and a transformer both score through the same batcher path as
+    // the Table III convs.
+    unsigned id = 40;
+    for (const char *name : {"mobilenet_v2", "bert_base", "dlrm"}) {
+        Request score;
+        score.id = id++;
+        score.type = MsgType::ScoreConfig;
+        score.workload = name;
+        score.config = someConfig();
+        Expected<Response> reply = roundTrip(conn.value(), score);
+        ASSERT_TRUE(reply.ok()) << name;
+        EXPECT_EQ(reply.value().status, Status::Ok) << name;
+        EXPECT_TRUE(reply.value().valid) << name;
+        EXPECT_GT(reply.value().edp, 0.0) << name;
+    }
+}
+
 TEST_F(ServeServer, DecodeWithoutModelIsInvalid)
 {
     ServerHarness harness(baseOptions());

@@ -109,6 +109,69 @@ TEST(Dataset, HwNormalizerUsesGridBounds)
         EXPECT_DOUBLE_EQ(data.hwNormalizer().lower(p), lo[p]);
 }
 
+TEST(Dataset, WeightedDrawsBiasTowardHeavyLayers)
+{
+    Evaluator &ev = testing::sharedEvaluator();
+    std::vector<LayerShape> pool = alexNetLayers();
+    DatasetBuilder builder(ev, pool);
+    // Layer 0 carries ~99% of the traffic weight.
+    std::vector<double> weights(pool.size(), 1.0);
+    weights[0] = 100.0 * static_cast<double>(pool.size() - 1);
+    builder.setLayerWeights(weights);
+
+    Rng rng(11);
+    const Dataset data = builder.build(300, rng);
+    std::size_t heavy = 0;
+    for (const DataSample &s : data.samples())
+        heavy += s.layerIndex == 0;
+    // Expectation ~99%; anywhere above 80% proves the bias without
+    // being flaky about mapping-validity rejection differences.
+    EXPECT_GT(heavy, data.size() * 8 / 10);
+}
+
+TEST(Dataset, EmptyWeightsKeepTheUniformDrawBitIdentical)
+{
+    Evaluator &ev = testing::sharedEvaluator();
+    std::vector<LayerShape> pool = alexNetLayers();
+
+    Rng rng_a(13);
+    const Dataset plain = DatasetBuilder(ev, pool).build(60, rng_a);
+
+    DatasetBuilder cleared(ev, pool);
+    cleared.setLayerWeights(
+        std::vector<double>(pool.size(), 3.0));
+    cleared.setLayerWeights({}); // clearing restores uniform draws
+    Rng rng_b(13);
+    const Dataset reset = cleared.build(60, rng_b);
+
+    ASSERT_EQ(plain.size(), reset.size());
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        EXPECT_EQ(plain.samples()[i].config,
+                  reset.samples()[i].config);
+        EXPECT_EQ(plain.samples()[i].layerIndex,
+                  reset.samples()[i].layerIndex);
+        EXPECT_EQ(plain.samples()[i].logLatency,
+                  reset.samples()[i].logLatency);
+    }
+}
+
+TEST(Dataset, BadLayerWeightsAreFatal)
+{
+    Evaluator ev;
+    std::vector<LayerShape> pool = alexNetLayers();
+    DatasetBuilder builder(ev, pool);
+    EXPECT_DEATH(builder.setLayerWeights({1.0, 2.0}),
+                 "weights for");
+    std::vector<double> zero(pool.size(), 1.0);
+    zero[3] = 0.0;
+    EXPECT_DEATH(builder.setLayerWeights(zero),
+                 "positive and finite");
+    std::vector<double> nan(pool.size(), 1.0);
+    nan[0] = std::nan("");
+    EXPECT_DEATH(builder.setLayerWeights(nan),
+                 "positive and finite");
+}
+
 TEST(Dataset, EmptyPoolIsFatal)
 {
     Evaluator ev;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "workload/layer.hh"
 
 namespace vaesa {
@@ -83,6 +85,54 @@ TEST(LayerShape, FeaturesAreLog2InTableOrder)
     EXPECT_EQ(l.toFeatures(), expect);
     EXPECT_EQ(l.toFeatures().size(),
               static_cast<std::size_t>(numLayerFeatures));
+}
+
+// The derived counts return double with widen-before-multiply, so
+// dimensions near int64 limits cannot overflow (signed int64
+// multiplication overflow is UB); oversizeReason() flags products
+// past 2^53, where doubles stop being exact integers.
+TEST(LayerShape, HugeDimensionsDoNotOverflow)
+{
+    LayerShape l;
+    l.r = 1 << 20;
+    l.s = 1 << 20;
+    l.p = 1 << 20;
+    l.q = 1 << 20;
+    l.c = 1 << 20;
+    l.k = 1 << 20;
+    EXPECT_TRUE(l.isSane());
+    // 2^120, far past int64 but exact as a double power of two.
+    EXPECT_EQ(l.macs(), std::ldexp(1.0, 120));
+    EXPECT_GT(l.macs(), 0.0);
+    ASSERT_TRUE(l.oversizeReason().has_value());
+    EXPECT_NE(l.oversizeReason()->find("2^53"), std::string::npos);
+}
+
+TEST(LayerShape, OversizeReasonIsEmptyForRealisticLayers)
+{
+    EXPECT_FALSE(conv3x3().oversizeReason().has_value());
+    LayerShape big;
+    big.p = 4096;
+    big.q = 1;
+    big.c = 65536;
+    big.k = 65536;
+    // 2^44 MACs: enormous but still exactly representable.
+    EXPECT_FALSE(big.oversizeReason().has_value());
+}
+
+TEST(LayerShape, OversizeReasonNamesTheOffendingCount)
+{
+    LayerShape l;
+    l.r = 1;
+    l.s = 1;
+    l.p = 1;
+    l.q = 1;
+    l.c = std::int64_t{1} << 30;
+    l.k = std::int64_t{1} << 30;
+    // MACs = weight words = 2^60 > 2^53; MACs is checked first.
+    const auto reason = l.oversizeReason();
+    ASSERT_TRUE(reason.has_value());
+    EXPECT_NE(reason->find("MAC count"), std::string::npos);
 }
 
 TEST(LayerShape, SameShapeIgnoresName)

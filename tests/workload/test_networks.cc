@@ -25,6 +25,70 @@ TEST(Networks, BuiltInLayersAreAlreadyUnique)
     }
 }
 
+TEST(Networks, BuiltInWorkloadsStayInPaperMode)
+{
+    // The four Table III workloads keep EMPTY counts (every layer
+    // once) so the fig/tab benches reproduce the paper bit for bit.
+    for (const Workload &w : trainingWorkloads()) {
+        EXPECT_FALSE(w.hasCounts()) << w.name;
+        EXPECT_EQ(w.totalLayers(),
+                  static_cast<std::int64_t>(w.layers.size()))
+            << w.name;
+        for (std::size_t i = 0; i < w.layers.size(); ++i)
+            EXPECT_EQ(w.countOf(i), 1) << w.name;
+    }
+}
+
+// Regression: uniqueLayers() silently dropped multiplicity — a
+// network running one shape 3x scored it 1x in any whole-network
+// roll-up. uniqueLayersCounted preserves the dropped duplicates as
+// occurrence counts.
+TEST(Networks, UniqueLayersCountedPreservesMultiplicity)
+{
+    std::vector<LayerShape> seq = resNet50Layers();
+    const std::size_t unique = seq.size();
+    // Repeat the first shape twice more and the last once more.
+    seq.push_back(seq[0]);
+    seq.push_back(seq[0]);
+    seq.push_back(seq[unique - 1]);
+
+    std::vector<std::int64_t> counts;
+    const std::vector<LayerShape> out =
+        uniqueLayersCounted(seq, &counts);
+    ASSERT_EQ(out.size(), unique);
+    ASSERT_EQ(counts.size(), unique);
+    EXPECT_EQ(counts[0], 3);
+    EXPECT_EQ(counts[unique - 1], 2);
+    for (std::size_t i = 1; i + 1 < unique; ++i)
+        EXPECT_EQ(counts[i], 1);
+
+    // First-occurrence order and shapes are exactly uniqueLayers'.
+    const std::vector<LayerShape> plain = uniqueLayers(seq);
+    ASSERT_EQ(plain.size(), out.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_TRUE(out[i].sameShape(plain[i])) << i;
+}
+
+TEST(Networks, CountedWorkloadReconstructsFullSequenceTotals)
+{
+    std::vector<LayerShape> seq;
+    for (int rep = 0; rep < 3; ++rep)
+        seq.push_back(alexNetLayers()[0]);
+    seq.push_back(alexNetLayers()[1]);
+
+    const Workload w = countedWorkload("toy", seq);
+    ASSERT_EQ(w.layers.size(), 2u);
+    EXPECT_TRUE(w.hasCounts());
+    EXPECT_EQ(w.countOf(0), 3);
+    EXPECT_EQ(w.countOf(1), 1);
+    EXPECT_EQ(w.totalLayers(), 4);
+
+    double plainSum = 0.0;
+    for (const LayerShape &l : seq)
+        plainSum += l.macs();
+    EXPECT_EQ(w.totalMacs(), plainSum);
+}
+
 TEST(Networks, AllLayersAreSane)
 {
     for (const Workload &w : trainingWorkloads())

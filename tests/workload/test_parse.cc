@@ -75,6 +75,85 @@ TEST(ParseLayerLine, NonPositiveDimensionIsReported)
     EXPECT_NE(error.find("non-positive"), std::string::npos);
 }
 
+// Regression: a leading SIGNED number used to be classified as the
+// optional layer name (the name probe only looked at isdigit of the
+// first character), silently shifting all eight dimensions one
+// column right and then failing with a misleading column-count
+// error. A signed token must reach the dimension parser and get the
+// proper non-positive rejection.
+TEST(ParseLayerLine, SignedLeadingTokenIsADimensionNotAName)
+{
+    std::string error;
+    EXPECT_FALSE(
+        parseLayerLine("-5 3 56 56 64 128 1 1", "d", &error)
+            .has_value());
+    EXPECT_NE(error.find("non-positive"), std::string::npos)
+        << error;
+
+    // A '+'-signed positive dimension parses as that dimension.
+    const auto layer =
+        parseLayerLine("+3 3 56 56 64 128 1 1", "d");
+    ASSERT_TRUE(layer.has_value());
+    EXPECT_EQ(layer->name, "d");
+    EXPECT_EQ(layer->r, 3);
+}
+
+// A name that merely STARTS with a sign (no digit after) is still a
+// name, as before the fix.
+TEST(ParseLayerLine, SignPrefixedWordIsStillAName)
+{
+    const auto layer =
+        parseLayerLine("-weird 3 3 56 56 64 128 1 1", "d");
+    ASSERT_TRUE(layer.has_value());
+    EXPECT_EQ(layer->name, "-weird");
+    EXPECT_EQ(layer->r, 3);
+}
+
+// Regression: strtoll saturates to INT64_MAX on overflow, so a
+// 20-digit dimension used to come back as a "valid" 9.2e18 layer.
+TEST(ParseLayerLine, Int64OverflowIsReported)
+{
+    std::string error;
+    EXPECT_FALSE(parseLayerLine(
+                     "3 3 56 56 99999999999999999999 128 1 1", "d",
+                     &error)
+                     .has_value());
+    EXPECT_NE(error.find("overflows int64"), std::string::npos)
+        << error;
+}
+
+// Dimensions that individually fit int64 but whose products exceed
+// the 2^53 exact-integer range are structurally rejected at the
+// parse boundary instead of flowing into cost-model arithmetic.
+TEST(ParseLayerLine, OversizeProductIsReported)
+{
+    std::string error;
+    EXPECT_FALSE(
+        parseLayerLine("1 1 1000000000 1 1000000000 1000000000 1 1",
+                       "d", &error)
+            .has_value());
+    EXPECT_NE(error.find("2^53"), std::string::npos) << error;
+}
+
+TEST(FormatLayerLine, RoundTripsExactly)
+{
+    LayerShape l;
+    l.name = "rt.conv";
+    l.r = 3;
+    l.s = 5;
+    l.p = 700;
+    l.q = 161;
+    l.c = 1;
+    l.k = 64;
+    l.strideW = 2;
+    l.strideH = 2;
+    const std::string line = formatLayerLine(l);
+    const auto back = parseLayerLine(line, "dflt");
+    ASSERT_TRUE(back.has_value()) << line;
+    EXPECT_EQ(back->name, "rt.conv");
+    EXPECT_TRUE(back->sameShape(l));
+}
+
 class ParseFileTest : public ::testing::Test
 {
   protected:
